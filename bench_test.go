@@ -1,0 +1,299 @@
+// Package repro's root benchmarks: one testing.B benchmark per evaluation
+// table/figure of the paper (see DESIGN.md §3 and EXPERIMENTS.md), plus
+// ablation benches for the design choices the A&R paradigm rests on.
+//
+// The per-figure benchmarks wall-clock the full experiment harness — real
+// operator execution plus simulated-cost accounting — at the Quick data
+// scale; `go run ./cmd/arbench` prints the actual reproduced figures.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ar"
+	"repro/internal/bat"
+	"repro/internal/bulk"
+	"repro/internal/bwd"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/spatial"
+	"repro/internal/tpch"
+)
+
+func benchFigure(b *testing.B, fn func(experiments.Options) (*experiments.Figure, error)) {
+	b.Helper()
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8aSelectionGPUResident(b *testing.B)  { benchFigure(b, experiments.Fig8a) }
+func BenchmarkFig8bSelectionDistributed(b *testing.B)  { benchFigure(b, experiments.Fig8b) }
+func BenchmarkFig8cSelectionBits(b *testing.B)         { benchFigure(b, experiments.Fig8c) }
+func BenchmarkFig8dProjectionGPUResident(b *testing.B) { benchFigure(b, experiments.Fig8d) }
+func BenchmarkFig8eProjectionDistributed(b *testing.B) { benchFigure(b, experiments.Fig8e) }
+func BenchmarkFig8fGrouping(b *testing.B)              { benchFigure(b, experiments.Fig8f) }
+func BenchmarkFig9SpatialRangeQuery(b *testing.B)      { benchFigure(b, experiments.Fig9) }
+func BenchmarkFig10aTPCHQ1(b *testing.B)               { benchFigure(b, experiments.Fig10a) }
+func BenchmarkFig10bTPCHQ6(b *testing.B)               { benchFigure(b, experiments.Fig10b) }
+func BenchmarkFig10cTPCHQ14(b *testing.B)              { benchFigure(b, experiments.Fig10c) }
+func BenchmarkFig11Throughput(b *testing.B)            { benchFigure(b, experiments.Fig11) }
+
+func BenchmarkTable1SpatialSetup(b *testing.B) {
+	opts := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Operator-level wall-clock benchmarks: the real Go implementations,
+// no simulation accounting (nil meters).
+
+const benchN = 1 << 20
+
+func benchColumn(bits uint) (*bwd.Column, *bat.BAT) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int64, benchN)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(benchN))
+	}
+	b := bat.NewDense(vals, bat.Width32)
+	col, err := bwd.Decompose(b, bits, nil)
+	if err != nil {
+		panic(err)
+	}
+	return col, b
+}
+
+func BenchmarkOpSelectApprox(b *testing.B) {
+	col, _ := benchColumn(12)
+	r := col.Relax(0, benchN/10)
+	b.SetBytes(col.Approx.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.SelectApprox(nil, col, r)
+	}
+}
+
+func BenchmarkOpSelectRefine(b *testing.B) {
+	col, _ := benchColumn(12)
+	cands := ar.SelectApprox(nil, col, col.Relax(0, benchN/10))
+	b.SetBytes(int64(cands.Len()) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.SelectRefine(nil, 1, col, 0, benchN/10, cands)
+	}
+}
+
+func BenchmarkOpSelectClassic(b *testing.B) {
+	_, raw := benchColumn(12)
+	b.SetBytes(raw.TailBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bulk.SelectRange(nil, 1, raw, 0, benchN/10)
+	}
+}
+
+func BenchmarkOpProjectApproxRefine(b *testing.B) {
+	selCol, _ := benchColumn(12)
+	prjCol, _ := benchColumn(12)
+	cands := ar.SelectApprox(nil, selCol, selCol.Relax(0, benchN/10))
+	refined, _ := ar.SelectRefine(nil, 1, selCol, 0, benchN/10, cands)
+	b.SetBytes(int64(refined.Len()) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proj := ar.ProjectApprox(nil, prjCol, cands)
+		if _, err := ar.ProjectRefine(nil, 1, proj, refined); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpGroupApprox(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	keys := make([]int64, benchN)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(100))
+	}
+	col, err := bwd.Decompose(bat.NewDense(keys, bat.Width32), 32, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := ar.SelectApprox(nil, col, bwd.ApproxRange{Full: true})
+	b.SetBytes(int64(benchN) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar.GroupApprox(nil, col, cands)
+	}
+}
+
+func BenchmarkOpTranslucentJoin(b *testing.B) {
+	col, _ := benchColumn(12)
+	cands := ar.SelectApprox(nil, col, col.Relax(0, benchN/2))
+	refined, _ := ar.SelectRefine(nil, 1, col, 0, benchN/4, cands)
+	b.SetBytes(int64(cands.Len()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ar.TranslucentJoin(cands.IDs, refined.IDs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benches (design choices called out in DESIGN.md).
+
+// Ablation: decomposition resolution. How does the device-bit budget move
+// the full A&R selection cost? (The Fig 8c trade-off as a micro-ablation.)
+func BenchmarkAblationResolution(b *testing.B) {
+	for _, bits := range []uint{8, 16, 24} {
+		b.Run(map[uint]string{8: "8bits", 16: "16bits", 24: "24bits"}[bits], func(b *testing.B) {
+			col, _ := benchColumn(bits)
+			r := col.Relax(0, benchN/20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cands := ar.SelectApprox(nil, col, r)
+				ar.SelectRefine(nil, 1, col, 0, benchN/20, cands)
+			}
+		})
+	}
+}
+
+// Ablation: translucent join vs generic hash join on the same
+// approximation/refinement alignment task.
+func BenchmarkAblationTranslucentVsHash(b *testing.B) {
+	col, _ := benchColumn(12)
+	cands := ar.SelectApprox(nil, col, col.Relax(0, benchN/2))
+	refined, _ := ar.SelectRefine(nil, 1, col, 0, benchN/4, cands)
+	aVals := make([]int64, len(cands.IDs))
+	for i, id := range cands.IDs {
+		aVals[i] = int64(id)
+	}
+	bVals := make([]int64, len(refined.IDs))
+	for i, id := range refined.IDs {
+		bVals[i] = int64(id)
+	}
+	b.Run("translucent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ar.TranslucentJoin(cands.IDs, refined.IDs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bulk.HashJoin(nil, 1, aVals, bVals)
+		}
+	})
+}
+
+// Ablation: rule-based filter push-down (§III-A) on a two-filter query
+// where one predicate is far more selective.
+func BenchmarkAblationFilterPushdown(b *testing.B) {
+	sys := device.PaperSystem()
+	c := plan.NewCatalog(sys)
+	rng := rand.New(rand.NewSource(11))
+	tbl := plan.NewTable("fact")
+	n := 1 << 19
+	for _, col := range []string{"wide", "narrow"} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(n))
+		}
+		if err := tbl.AddColumn(col, bat.NewDense(vals, bat.Width32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.AddTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	for _, col := range []string{"wide", "narrow"} {
+		if _, err := c.Decompose("fact", col, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := plan.Query{
+		Table: "fact",
+		Filters: []plan.Filter{
+			{Col: "wide", Lo: 0, Hi: int64(n)},
+			{Col: "narrow", Lo: 0, Hi: int64(n / 100)},
+		},
+		Aggs: []plan.AggSpec{{Name: "n", Func: plan.Count}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ExecAR(q, plan.ExecOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end wall clock of the three reproduced TPC-H queries at small SF.
+func BenchmarkEndToEndTPCH(b *testing.B) {
+	sys := device.PaperSystem()
+	c := plan.NewCatalog(sys)
+	d := tpch.Generate(0.005, 42)
+	if err := d.Load(c); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.DecomposeAll(c, false); err != nil {
+		b.Fatal(err)
+	}
+	q14, err := tpch.Q14(1995, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, entry := range []struct {
+		name string
+		q    plan.Query
+	}{{"Q1", tpch.Q1(90)}, {"Q6", tpch.Q6(1994, 6, 24)}, {"Q14", q14}} {
+		b.Run(entry.name+"/AR", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ExecAR(entry.q, plan.ExecOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(entry.name+"/Classic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ExecClassic(entry.q, plan.ExecOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// End-to-end wall clock of the spatial range query.
+func BenchmarkEndToEndSpatial(b *testing.B) {
+	sys := device.PaperSystem()
+	c := plan.NewCatalog(sys)
+	d := spatial.Generate(200_000, 7)
+	if err := d.Load(c); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Decompose(c); err != nil {
+		b.Fatal(err)
+	}
+	q := spatial.RangeCountQuery()
+	b.Run("AR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ExecAR(q, plan.ExecOpts{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Classic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ExecClassic(q, plan.ExecOpts{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Command arshell is a minimal interactive SQL shell over the A&R engine.
+// It starts with the TPC-H subset and the spatial trips table pre-loaded
+// (at small scale) so the paper's queries can be typed directly.
+//
+//	$ go run ./cmd/arshell
+//	ar> select bwdecompose(lon, 24), bwdecompose(lat, 24) from trips
+//	ar> select count(*) from trips where lon between 2.68288 and 2.70228
+//	                                 and lat between 50.4222 and 50.4485
+//	ar> explain select count(*) from trips where lon between 268288 and 270228
+//	ar> \q
+//
+// Meta commands: \tables, \cost (toggle cost report), \q.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/plan"
+	"repro/internal/spatial"
+	"repro/internal/sql"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		sf       = flag.Float64("sf", 0.002, "TPC-H scale factor preloaded")
+		spatialN = flag.Int("spatial", 200_000, "spatial fixes preloaded")
+	)
+	flag.Parse()
+
+	sys := device.PaperSystem()
+	catalog := plan.NewCatalog(sys)
+	if err := tpch.Generate(*sf, 42).Load(catalog); err != nil {
+		fmt.Fprintln(os.Stderr, "arshell:", err)
+		os.Exit(1)
+	}
+	if err := spatial.Generate(*spatialN, 7).Load(catalog); err != nil {
+		fmt.Fprintln(os.Stderr, "arshell:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("A&R shell — lineitem (SF-%g), part, trips (%d fixes) loaded.\n", *sf, *spatialN)
+	fmt.Println(`Decompose columns first: select bwdecompose(col, bits) from table. \q quits.`)
+
+	showCost := true
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("ar> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case line == `\cost`:
+			showCost = !showCost
+			fmt.Printf("cost report %v\n", map[bool]string{true: "on", false: "off"}[showCost])
+			continue
+		case line == `\tables`:
+			for _, name := range []string{"lineitem", "part", "trips"} {
+				t, err := catalog.Table(name)
+				if err != nil {
+					continue
+				}
+				fmt.Printf("%s (%d rows): %s\n", name, t.Len(), strings.Join(t.Columns(), ", "))
+			}
+			continue
+		}
+		res, err := sql.Run(catalog, line, plan.ExecOpts{})
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(sql.Format(res))
+		if res != nil && showCost && res.Meter != nil {
+			fmt.Printf("-- simulated %v; candidates %d -> refined %d; approx count %v\n",
+				res.Meter, res.Candidates, res.Refined, res.Approx.Count)
+		}
+	}
+}

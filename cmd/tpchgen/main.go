@@ -1,0 +1,77 @@
+// Command tpchgen generates the TPC-H subset (lineitem, part) used by the
+// reproduction to CSV files, for inspection or for loading into other
+// systems.
+//
+// Usage:
+//
+//	tpchgen -sf 0.01 -out /tmp/tpch
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fixed"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		sf   = flag.Float64("sf", 0.01, "scale factor (SF-1 = 6M lineitems)")
+		out  = flag.String("out", ".", "output directory")
+		seed = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	d := tpch.Generate(*sf, *seed)
+	if err := writeLineitem(d, filepath.Join(*out, "lineitem.csv")); err != nil {
+		fmt.Fprintln(os.Stderr, "tpchgen:", err)
+		os.Exit(1)
+	}
+	if err := writePart(d, filepath.Join(*out, "part.csv")); err != nil {
+		fmt.Fprintln(os.Stderr, "tpchgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d lineitems and %d parts to %s\n", d.LineCount, d.PartCount, *out)
+}
+
+var retFlags = []string{"A", "N", "R"}
+var lineStats = []string{"F", "O"}
+
+func writeLineitem(d *tpch.Data, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "l_partkey,l_quantity,l_extendedprice,l_discount,l_tax,l_returnflag,l_linestatus,l_shipdate")
+	for i := 0; i < d.LineCount; i++ {
+		date := tpch.Epoch.AddDate(0, 0, int(d.Shipdate[i]))
+		fmt.Fprintf(w, "%d,%d,%s,%s,%s,%s,%s,%s\n",
+			d.Partkey[i], d.Quantity[i],
+			fixed.Format(d.ExtPrice[i], fixed.Scale2),
+			fixed.Format(d.Discount[i], fixed.Scale2),
+			fixed.Format(d.Tax[i], fixed.Scale2),
+			retFlags[d.RetFlag[i]], lineStats[d.LineStat[i]],
+			date.Format("2006-01-02"))
+	}
+	return w.Flush()
+}
+
+func writePart(d *tpch.Data, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "p_partkey,p_type")
+	for i := 0; i < d.PartCount; i++ {
+		fmt.Fprintf(w, "%d,%s\n", d.PKey[i], tpch.Types[d.PType[i]])
+	}
+	return w.Flush()
+}

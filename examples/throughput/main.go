@@ -1,0 +1,31 @@
+// Throughput scaling (Fig 11, "A Gap in the Memory Wall"): a classic CPU
+// query stream saturates the host memory bandwidth, while an A&R stream on
+// the device's own memory stacks almost additively on top.
+//
+//	go run ./examples/throughput
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	opts := experiments.Defaults()
+	fig, err := experiments.Fig11(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fig.Render())
+
+	fmt.Println("\nReading the numbers:")
+	fmt.Println("- the classic stream stops scaling once min(t x per-thread, aggregate)")
+	fmt.Println("  bandwidth saturates: that flat line is the memory wall;")
+	fmt.Println("- the A&R stream works out of the device's separate memory, so its")
+	fmt.Println("  throughput is untouched by CPU load — the 'gap' in the wall;")
+	fmt.Println("- running both costs the CPU stream only the bandwidth that A&R")
+	fmt.Println("  refinement and DMA transfers draw from the host, so combined")
+	fmt.Println("  throughput is nearly additive (the paper: 12.6 + 13.4 = 26.0 q/s).")
+}

@@ -1,0 +1,77 @@
+// TPC-H under Approximate & Refine: runs Q1, Q6 and Q14 on a generated
+// data set in both execution models, prints results, device-time
+// breakdowns and the approximate answers available after phase A.
+//
+//	go run ./examples/tpch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/device"
+	"repro/internal/fixed"
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+func main() {
+	const sf = 0.01 // 60k lineitems: adjust upward for bigger runs
+	fmt.Printf("generating TPC-H SF-%g...\n", sf)
+	data := tpch.Generate(sf, 42)
+
+	sys := device.PaperSystem()
+	catalog := plan.NewCatalog(sys)
+	if err := data.Load(catalog); err != nil {
+		log.Fatal(err)
+	}
+	if err := data.DecomposeAll(catalog, false); err != nil {
+		log.Fatal(err)
+	}
+
+	q14, err := tpch.Q14(1995, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []struct {
+		name string
+		q    plan.Query
+	}{
+		{"Q1", tpch.Q1(90)},
+		{"Q6", tpch.Q6(1994, 6, 24)},
+		{"Q14", q14},
+	}
+
+	for _, entry := range queries {
+		fmt.Printf("\n=== TPC-H %s ===\n", entry.name)
+		arRes, err := catalog.ExecAR(entry.q, plan.ExecOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		clRes, err := catalog.ExecClassic(entry.q, plan.ExecOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !plan.EqualResults(arRes.Rows, clRes.Rows) {
+			log.Fatalf("%s: execution models disagree", entry.name)
+		}
+		fmt.Printf("A&R:     %v\n", arRes.Meter)
+		fmt.Printf("classic: %v\n", clRes.Meter)
+		fmt.Printf("speed-up %.1fx; candidates %d -> refined %d\n",
+			clRes.Meter.Total().Seconds()/arRes.Meter.Total().Seconds(),
+			arRes.Candidates, arRes.Refined)
+
+		switch entry.name {
+		case "Q1":
+			fmt.Println("returnflag/linestatus groups (sum_qty, sum_base, sum_disc, charge, avgs, count):")
+			fmt.Print(plan.FormatRows(arRes.Rows))
+		case "Q6":
+			fmt.Printf("revenue = %s (approximate bounds before refinement: [%s, %s])\n",
+				fixed.Format(arRes.Rows[0].Vals[0], fixed.Scale2),
+				fixed.Format(arRes.Approx.Aggs[0].Lo, fixed.Scale2),
+				fixed.Format(arRes.Approx.Aggs[0].Hi, fixed.Scale2))
+		case "Q14":
+			fmt.Printf("promo_revenue = %.2f%%\n", tpch.Q14Ratio(arRes))
+		}
+	}
+}

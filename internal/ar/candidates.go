@@ -1,0 +1,154 @@
+// Package ar implements the Approximate & Refine (A&R) operator library —
+// the paper's primary contribution (§III–IV).
+//
+// Instead of classic relational operators over a unified data
+// representation, each operator is split into two:
+//
+//   - an approximation operator that runs on the fast device (the simulated
+//     GPU) over the bit-packed approximations and produces a candidate
+//     result: a superset of the true result for structural operators, or a
+//     value interval for arithmetic;
+//   - a refinement operator that runs on the CPU, combining the shipped
+//     candidates with the CPU-resident residuals to produce the exact
+//     result (false positives eliminated, values reconstructed by bitwise
+//     concatenation).
+//
+// Approximation operators never depend on refinement results, so an entire
+// approximation subplan can execute on the device first — yielding a fast
+// approximate query answer at no extra cost (§III item 4) — before the
+// refinement subplan starts on the CPU.
+package ar
+
+import (
+	"repro/internal/bat"
+	"repro/internal/bwd"
+	"repro/internal/device"
+)
+
+// attachment carries the approximation codes of one column, positionally
+// aligned with a candidate list, together with the relaxed predicate range
+// that was applied on that column (zero ApproxRange when the column was
+// only projected, not filtered).
+type attachment struct {
+	col      *bwd.Column
+	codes    []uint64
+	rng      bwd.ApproxRange
+	filtered bool
+}
+
+// Candidates is the output of approximation operators on the structural
+// path: a list of tuple IDs that is a superset of the exact result, in
+// device (permuted) order, plus the approximation codes of every column
+// that has been touched so far. The codes travel with the IDs because the
+// approximations are device-resident only: once candidates are shipped to
+// the host, the codes are the CPU's only view of the major bits.
+type Candidates struct {
+	IDs     []bat.OID
+	attach  []attachment
+	shipped bool
+}
+
+// Len returns the number of candidate tuples.
+func (c *Candidates) Len() int { return len(c.IDs) }
+
+// Shipped reports whether the candidate set has been transferred to the
+// host.
+func (c *Candidates) Shipped() bool { return c.shipped }
+
+// CodesFor returns the approximation codes of col aligned with the
+// candidate IDs, or nil if col was never attached.
+func (c *Candidates) CodesFor(col *bwd.Column) []uint64 {
+	for i := range c.attach {
+		if c.attach[i].col == col {
+			return c.attach[i].codes
+		}
+	}
+	return nil
+}
+
+// Certain reports whether candidate i is guaranteed to satisfy every
+// relaxed predicate exactly (i.e. it cannot be a false positive): its code
+// on every filtered column lies strictly inside the relaxed range, away
+// from the boundary buckets. Approximate min/max aggregation uses this to
+// bound the true extremum (§IV-F, Fig 6).
+func (c *Candidates) Certain(i int) bool {
+	for k := range c.attach {
+		a := &c.attach[k]
+		if !a.filtered {
+			continue
+		}
+		if a.col.Dec.ResBits == 0 {
+			continue // exact codes: no boundary uncertainty
+		}
+		code := a.codes[i]
+		if a.rng.Full {
+			continue
+		}
+		if code == a.rng.Lo || code == a.rng.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Ship charges the PCI-E transfer that moves the candidate set (IDs plus
+// every attached code column) from device to host. Calling it twice is a
+// no-op: data already on the host is not re-shipped.
+func (c *Candidates) Ship(m *device.Meter) {
+	if c.shipped {
+		return
+	}
+	c.shipped = true
+	if m == nil {
+		return
+	}
+	n := len(c.IDs)
+	bytes := int64(n) * 4
+	for i := range c.attach {
+		// Codes of fully device-resident columns are not shipped for
+		// refinement: with no residual bits there is nothing to refine
+		// (§IV-C); consumers that need the values ship them as explicit
+		// projections.
+		if c.attach[i].col.Dec.ResBits == 0 {
+			continue
+		}
+		bytes += packedBytes(n, c.attach[i].col.Dec.ApproxBits)
+	}
+	m.Transfer(bytes)
+}
+
+// filterTo builds a new candidate set containing the positions listed in
+// keep (indices into c), compacting every attachment to preserve
+// alignment. Order of keep indices is preserved, so the result has the
+// same permutation as c (§IV-A item 2).
+func (c *Candidates) filterTo(keep []int) *Candidates {
+	out := &Candidates{IDs: make([]bat.OID, len(keep)), shipped: c.shipped}
+	for i, k := range keep {
+		out.IDs[i] = c.IDs[k]
+	}
+	out.attach = make([]attachment, len(c.attach))
+	for ai := range c.attach {
+		src := &c.attach[ai]
+		codes := make([]uint64, len(keep))
+		for i, k := range keep {
+			codes[i] = src.codes[k]
+		}
+		out.attach[ai] = attachment{col: src.col, codes: codes, rng: src.rng, filtered: src.filtered}
+	}
+	return out
+}
+
+// packedBytes is the physical byte footprint of n bit-packed values of the
+// given width, as charged for transfers and scans.
+func packedBytes(n int, bits uint) int64 {
+	return (int64(n)*int64(bits) + 7) / 8
+}
+
+// residualBytes is the per-value byte cost of a random residual access:
+// sub-byte residuals still cost a full byte to touch.
+func residualBytes(bits uint) int64 {
+	if bits == 0 {
+		return 0
+	}
+	return int64(bits+7) / 8
+}

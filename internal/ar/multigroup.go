@@ -1,0 +1,201 @@
+package ar
+
+import (
+	"repro/internal/bulk"
+	"repro/internal/bwd"
+	"repro/internal/device"
+)
+
+// MultiGrouping is the device-side pre-grouping over several columns at
+// once (TPC-H Q1 groups by l_returnflag, l_linestatus). Group identity is
+// the tuple of approximation codes; like the single-column Grouping, the
+// per-candidate group IDs are positionally aligned with the candidate set.
+type MultiGrouping struct {
+	Src     *Candidates
+	Cols    []*bwd.Column
+	IDs     []uint32
+	NGroups int
+	// Codes[k][g] is the approximation code of column k for group g.
+	Codes   [][]uint64
+	shipped bool
+}
+
+// GroupApproxMulti hash-groups the candidates by the code tuple of the
+// given columns on the device. The write-conflict charge follows the same
+// lanes-per-group serialization model as GroupApprox.
+func GroupApproxMulti(m *device.Meter, cols []*bwd.Column, cands *Candidates) *MultiGrouping {
+	n := len(cands.IDs)
+	colCodes := make([][]uint64, len(cols))
+	for k, col := range cols {
+		if attached := cands.CodesFor(col); attached != nil {
+			colCodes[k] = attached
+			continue
+		}
+		p := ProjectApprox(m, col, cands)
+		colCodes[k] = p.Codes
+	}
+	// Combine code tuples into single hash keys; code widths are bounded
+	// by the columns' approximation bits.
+	idx := make(map[uint64]uint32, 64)
+	ids := make([]uint32, n)
+	var uniq []uint64
+	shift := make([]uint, len(cols))
+	var total uint
+	for k := len(cols) - 1; k >= 0; k-- {
+		shift[k] = total
+		total += cols[k].Dec.ApproxBits
+	}
+	for i := 0; i < n; i++ {
+		var key uint64
+		for k := range cols {
+			key |= colCodes[k][i] << shift[k]
+		}
+		g, ok := idx[key]
+		if !ok {
+			g = uint32(len(uniq))
+			idx[key] = g
+			uniq = append(uniq, key)
+		}
+		ids[i] = g
+	}
+	codes := make([][]uint64, len(cols))
+	for k, col := range cols {
+		codes[k] = make([]uint64, len(uniq))
+		mask := uint64(1)<<col.Dec.ApproxBits - 1
+		for g, key := range uniq {
+			codes[k][g] = key >> shift[k] & mask
+		}
+	}
+	if m != nil {
+		lanes := float64(m.System().GPU.Threads)
+		groups := float64(len(uniq))
+		if groups < 1 {
+			groups = 1
+		}
+		depth := lanes / groups
+		if depth < 1 {
+			depth = 1
+		}
+		var seq int64
+		for _, col := range cols {
+			seq += packedBytes(n, col.Dec.ApproxBits)
+		}
+		m.GPUKernel(seq+int64(n)*4, 0, int64(n)*bulk.OpsHashGroup+int64(float64(n)*depth))
+	}
+	return &MultiGrouping{Src: cands, Cols: cols, IDs: ids, NGroups: len(uniq), Codes: codes}
+}
+
+// Ship charges the transfer of the per-candidate group IDs and the group
+// code table to the host.
+func (g *MultiGrouping) Ship(m *device.Meter) {
+	if g.shipped {
+		return
+	}
+	g.shipped = true
+	if m != nil {
+		m.Transfer(int64(len(g.IDs))*4 + int64(g.NGroups*len(g.Cols))*8)
+	}
+}
+
+// GroupRefineMulti produces the exact grouping of the refined subset plus
+// the per-group key values of every grouping column.
+//
+// When every grouping column is fully device resident the pre-grouping is
+// exact and only false positives are discharged (translucent join).
+// Otherwise exact keys are re-derived from shipped codes and host
+// residuals and the CPU regroups.
+func GroupRefineMulti(m *device.Meter, threads int, g *MultiGrouping, refined *Candidates) (*bulk.Grouping, [][]int64, error) {
+	pos, err := TranslucentJoinMetered(m, threads, g.Src.IDs, refined.IDs)
+	if err != nil {
+		return nil, nil, err
+	}
+	exactPre := true
+	for _, col := range g.Cols {
+		if col.Dec.ResBits != 0 {
+			exactPre = false
+			break
+		}
+	}
+	if exactPre {
+		// Pass the pre-grouping through, dropping groups that lost all
+		// their tuples to false-positive elimination.
+		remap := make([]int32, g.NGroups)
+		for i := range remap {
+			remap[i] = -1
+		}
+		ids := make([]uint32, len(pos))
+		next := uint32(0)
+		var used []uint32
+		for i, p := range pos {
+			old := g.IDs[p]
+			if remap[old] < 0 {
+				remap[old] = int32(next)
+				used = append(used, old)
+				next++
+			}
+			ids[i] = uint32(remap[old])
+		}
+		keys := make([][]int64, len(g.Cols))
+		for k, col := range g.Cols {
+			keys[k] = make([]int64, len(used))
+			for newID, old := range used {
+				keys[k][newID] = col.Dec.Base + int64(g.Codes[k][old])
+			}
+		}
+		if m != nil {
+			m.CPUWork(threads, int64(len(pos))*8, 0, int64(len(pos)))
+		}
+		return &bulk.Grouping{IDs: ids, NGroups: len(used), Keys: nil}, keys, nil
+	}
+
+	// Reconstruct exact key tuples and regroup on the CPU.
+	n := len(pos)
+	exact := make([][]int64, len(g.Cols))
+	for k, col := range g.Cols {
+		exact[k] = make([]int64, n)
+		for i, p := range pos {
+			code := g.Codes[k][g.IDs[p]]
+			var r uint64
+			if col.Dec.ResBits > 0 {
+				r = col.Residual.Get(int(refined.IDs[i]))
+			}
+			exact[k][i] = col.ReconstructFrom(code, r)
+		}
+		if m != nil {
+			m.CPUWork(threads, int64(n)*8, int64(n)*residualBytes(col.Dec.ResBits), int64(n))
+		}
+	}
+	// Hash the exact tuples.
+	type slot struct{ id uint32 }
+	idx := make(map[string]slot, 64)
+	ids := make([]uint32, n)
+	var order []int
+	keyBuf := make([]byte, 0, len(g.Cols)*8)
+	for i := 0; i < n; i++ {
+		keyBuf = keyBuf[:0]
+		for k := range g.Cols {
+			v := uint64(exact[k][i])
+			for s := 0; s < 8; s++ {
+				keyBuf = append(keyBuf, byte(v>>(8*s)))
+			}
+		}
+		s, ok := idx[string(keyBuf)]
+		if !ok {
+			s = slot{id: uint32(len(order))}
+			idx[string(keyBuf)] = s
+			order = append(order, i)
+		}
+		ids[i] = s.id
+	}
+	keys := make([][]int64, len(g.Cols))
+	for k := range g.Cols {
+		keys[k] = make([]int64, len(order))
+		for gi, first := range order {
+			keys[k][gi] = exact[k][first]
+		}
+	}
+	if m != nil {
+		m.CPUWork(threads, int64(n)*8*int64(len(g.Cols)), 0, int64(n)*bulk.OpsHashGroup)
+	}
+	return &bulk.Grouping{IDs: ids, NGroups: len(order), Keys: nil}, keys, nil
+}

@@ -1,0 +1,168 @@
+package ar
+
+import (
+	"repro/internal/bat"
+	"repro/internal/bwd"
+	"repro/internal/device"
+	"repro/internal/par"
+)
+
+// gpuChunk is the tuple count per simulated device work-group.
+const gpuChunk = 64 << 10
+
+// OpsPackedScan is the per-tuple operation count of a JIT-generated packed
+// selection kernel: unpacking a bit-packed code straddling word boundaries,
+// masking, shifting and evaluating the relaxed predicate. It makes wide
+// scans compute-bound on the device, which is what the paper's untuned
+// kernels observably were (their approximation times barely vary with the
+// packed width, Fig 8c).
+const OpsPackedScan = 6
+
+type idCode struct {
+	id   bat.OID
+	code uint64
+}
+
+// SelectApprox is the approximation of a selection on a bitwise decomposed
+// column (§IV-B): the device scans the bit-packed approximation with the
+// relaxed predicate r and emits every tuple whose approximation code
+// matches — a superset of the exact result. The output order is a
+// deterministic permutation of the input order, modelling the
+// non-order-preserving massively parallel kernel (§IV-A item 3).
+//
+// The candidate codes ride along with the IDs; they are the host's only
+// view of the device-resident major bits once the candidates are shipped.
+func SelectApprox(m *device.Meter, col *bwd.Column, r bwd.ApproxRange) *Candidates {
+	n := col.Len()
+	var pairs []idCode
+	switch {
+	case r.Empty:
+		pairs = nil
+	default:
+		pairs = par.Gather(n, gpuChunk, 0, false, func(lo, hi int) []idCode {
+			out := make([]idCode, 0, (hi-lo)/4)
+			for i := lo; i < hi; i++ {
+				code := col.Approx.Get(i)
+				if r.Contains(code) {
+					out = append(out, idCode{bat.OID(i), code})
+				}
+			}
+			return out
+		})
+	}
+	c := &Candidates{IDs: make([]bat.OID, len(pairs))}
+	codes := make([]uint64, len(pairs))
+	for i, p := range pairs {
+		c.IDs[i] = p.id
+		codes[i] = p.code
+	}
+	c.attach = []attachment{{col: col, codes: codes, rng: r, filtered: true}}
+	if m != nil {
+		scanned := col.Approx.Bytes()
+		written := int64(len(pairs))*4 + packedBytes(len(pairs), col.Dec.ApproxBits)
+		m.GPUKernel(scanned+written, 0, int64(n)*OpsPackedScan)
+	}
+	return c
+}
+
+// SelectApproxOver narrows an existing candidate set with a further relaxed
+// predicate on another column (conjunctive selections, e.g. the two
+// BETWEENs of the spatial range query). The device gathers col's codes at
+// the candidate positions and keeps the matches, preserving candidate
+// order so later translucent joins remain valid.
+func SelectApproxOver(m *device.Meter, col *bwd.Column, r bwd.ApproxRange, in *Candidates) *Candidates {
+	keep := make([]int, 0, len(in.IDs))
+	codes := make([]uint64, 0, len(in.IDs))
+	if !r.Empty {
+		for i, id := range in.IDs {
+			code := col.Approx.Get(int(id))
+			if r.Contains(code) {
+				keep = append(keep, i)
+				codes = append(codes, code)
+			}
+		}
+	}
+	out := in.filterTo(keep)
+	out.shipped = false // a fresh device-side intermediate
+	out.attach = append(out.attach, attachment{col: col, codes: codes, rng: r, filtered: true})
+	if m != nil {
+		n := len(in.IDs)
+		seq := int64(n)*4 + int64(len(keep))*4 + packedBytes(len(keep), col.Dec.ApproxBits)
+		m.GPUKernel(seq, packedBytes(n, col.Dec.ApproxBits), int64(n)*OpsPackedScan)
+	}
+	return out
+}
+
+// SelectRefine is the refinement of a selection (Algorithm 2): on the CPU,
+// each candidate's exact value is reconstructed by bitwise concatenation
+// of its shipped approximation code and its host-resident residual, the
+// precise predicate lo <= v <= hi is re-evaluated, and false positives are
+// eliminated. The translucent join with the residual and the re-evaluation
+// are fused into one loop, as the paper prescribes; because the residual
+// is a persistent column with dense IDs, that join takes the invisible
+// (positional) fast path.
+//
+// The result preserves candidate order and compacts every attached code
+// column, so further refinements on other columns can run directly on it.
+// The exact values of col for the surviving candidates are returned
+// alongside.
+func SelectRefine(m *device.Meter, threads int, col *bwd.Column, lo, hi int64, in *Candidates) (*Candidates, []int64) {
+	codes := in.CodesFor(col)
+	if codes == nil {
+		panic("ar: SelectRefine on a column that was never approximated over these candidates")
+	}
+	n := len(in.IDs)
+	keep := make([]int, 0, n)
+	vals := make([]int64, 0, n)
+	res := col.Residual
+	resBits := col.Dec.ResBits
+	for i := 0; i < n; i++ {
+		var r uint64
+		if resBits > 0 {
+			r = res.Get(int(in.IDs[i]))
+		}
+		v := col.ReconstructFrom(codes[i], r)
+		if v >= lo && v <= hi {
+			keep = append(keep, i)
+			vals = append(vals, v)
+		}
+	}
+	out := in.filterTo(keep)
+	if m != nil && resBits > 0 {
+		// §IV-C: fully device-resident data needs no refinement — exact
+		// codes admit no false positives, so that case charges nothing
+		// (the candidate list already is the result). Otherwise the fused
+		// loop streams IDs and codes and touches the residual at candidate
+		// order: cache-line-bounded when sparse, array-bounded when dense.
+		resFetch := device.RandomFetchBytes(int64(n), residualBytes(resBits), col.Residual.Bytes())
+		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits) +
+			resFetch + int64(len(keep))*4
+		m.CPUWork(threads, seq, 0, int64(n)*2)
+	}
+	return out, vals
+}
+
+// ReconstructAll materializes the exact values of col for every candidate,
+// without filtering: the degenerate "selection refinement without a
+// predicate" the paper equates with projection refinement (§IV-C).
+func ReconstructAll(m *device.Meter, threads int, col *bwd.Column, in *Candidates) []int64 {
+	codes := in.CodesFor(col)
+	if codes == nil {
+		panic("ar: ReconstructAll on a column without attached codes")
+	}
+	n := len(in.IDs)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		var r uint64
+		if col.Dec.ResBits > 0 {
+			r = col.Residual.Get(int(in.IDs[i]))
+		}
+		vals[i] = col.ReconstructFrom(codes[i], r)
+	}
+	if m != nil && col.Dec.ResBits > 0 {
+		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
+		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits) + resFetch + int64(n)*8
+		m.CPUWork(threads, seq, 0, int64(n))
+	}
+	return vals
+}

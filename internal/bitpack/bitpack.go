@@ -1,0 +1,172 @@
+// Package bitpack implements fixed-width bit-packed integer arrays.
+//
+// A bit-packed array stores n values of a fixed width (1..64 bits) densely
+// in 64-bit words. It is the physical storage format for the GPU-resident
+// approximations and the CPU-resident residuals of a bitwise decomposed
+// column (see package bwd): an approximation with k-bit resolution occupies
+// k/8 bytes per value instead of the full value width, which is what lets
+// it fit into the small, fast device memory.
+//
+// Width 0 is supported and denotes an array of zeros that occupies no
+// storage; it arises when a column is fully GPU resident (the residual is
+// empty) or fully CPU resident (the approximation carries no bits).
+package bitpack
+
+import "fmt"
+
+// Array is a fixed-width bit-packed integer array. The zero value is an
+// empty array of width 0.
+type Array struct {
+	width uint
+	n     int
+	words []uint64
+}
+
+// New returns an Array of n zero values of the given width in bits.
+// It panics if width exceeds 64 or n is negative.
+func New(width uint, n int) *Array {
+	if width > 64 {
+		panic(fmt.Sprintf("bitpack: width %d out of range [0,64]", width))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("bitpack: negative length %d", n))
+	}
+	a := &Array{width: width, n: n}
+	if width > 0 {
+		a.words = make([]uint64, wordsFor(width, n))
+	}
+	return a
+}
+
+// Pack packs vals into a new Array of the given width. Values must fit in
+// width bits; excess high bits are masked off.
+func Pack(width uint, vals []uint64) *Array {
+	a := New(width, len(vals))
+	if width == 0 {
+		return a
+	}
+	for i, v := range vals {
+		a.Set(i, v)
+	}
+	return a
+}
+
+func wordsFor(width uint, n int) int {
+	bits := uint64(width) * uint64(n)
+	return int((bits + 63) / 64)
+}
+
+// Mask returns a bit mask with the low width bits set.
+func Mask(width uint) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// Len returns the number of values in the array.
+func (a *Array) Len() int { return a.n }
+
+// Width returns the width in bits of each value.
+func (a *Array) Width() uint { return a.width }
+
+// Bytes returns the physical storage footprint of the array in bytes.
+// This is the quantity charged against device capacity and bandwidth.
+func (a *Array) Bytes() int64 { return int64(len(a.words)) * 8 }
+
+// Get returns the i-th value. It panics if i is out of range.
+func (a *Array) Get(i int) uint64 {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, a.n))
+	}
+	if a.width == 0 {
+		return 0
+	}
+	off := uint64(i) * uint64(a.width)
+	w := off >> 6
+	sh := off & 63
+	v := a.words[w] >> sh
+	if sh+uint64(a.width) > 64 {
+		v |= a.words[w+1] << (64 - sh)
+	}
+	return v & Mask(a.width)
+}
+
+// Set stores v at index i, masking v to the array width.
+// It panics if i is out of range.
+func (a *Array) Set(i int, v uint64) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, a.n))
+	}
+	if a.width == 0 {
+		return
+	}
+	v &= Mask(a.width)
+	off := uint64(i) * uint64(a.width)
+	w := off >> 6
+	sh := off & 63
+	a.words[w] = a.words[w]&^(Mask(a.width)<<sh) | v<<sh
+	if sh+uint64(a.width) > 64 {
+		rem := sh + uint64(a.width) - 64
+		a.words[w+1] = a.words[w+1]&^Mask(uint(rem)) | v>>(64-sh)
+	}
+}
+
+// Unpack appends all values to dst and returns the extended slice.
+func (a *Array) Unpack(dst []uint64) []uint64 {
+	if cap(dst)-len(dst) < a.n {
+		grown := make([]uint64, len(dst), len(dst)+a.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := 0; i < a.n; i++ {
+		dst = append(dst, a.Get(i))
+	}
+	return dst
+}
+
+// Gather writes a.Get(id) for each id in ids into dst, which must be at
+// least len(ids) long. It is the positional-lookup primitive behind
+// invisible joins on packed columns.
+func (a *Array) Gather(ids []uint32, dst []uint64) {
+	_ = dst[:len(ids)]
+	for i, id := range ids {
+		dst[i] = a.Get(int(id))
+	}
+}
+
+// Append appends v (masked to the array width) and returns the new length.
+func (a *Array) Append(v uint64) int {
+	i := a.n
+	a.n++
+	if a.width > 0 {
+		if need := wordsFor(a.width, a.n); need > len(a.words) {
+			a.words = append(a.words, make([]uint64, need-len(a.words))...)
+		}
+		a.Set(i, v)
+	}
+	return a.n
+}
+
+// Clone returns a deep copy of the array.
+func (a *Array) Clone() *Array {
+	c := &Array{width: a.width, n: a.n}
+	if a.words != nil {
+		c.words = make([]uint64, len(a.words))
+		copy(c.words, a.words)
+	}
+	return c
+}
+
+// Equal reports whether two arrays have the same width and contents.
+func (a *Array) Equal(b *Array) bool {
+	if a.width != b.width || a.n != b.n {
+		return false
+	}
+	for i := 0; i < a.n; i++ {
+		if a.Get(i) != b.Get(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,65 @@
+package bulk
+
+import "repro/internal/device"
+
+// Fixed-point arithmetic maps. Decimal columns (prices, discounts, GPS
+// coordinates) are stored as scaled integers; multiplication of two scaled
+// values must divide one scale back out. All maps are bulk operators:
+// tight loops that materialize their full result (§II-B).
+
+// MapAdd returns a[i] + b[i].
+func MapAdd(m *device.Meter, threads int, a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	chargeArith(m, threads, len(a))
+	return out
+}
+
+// MapSub returns a[i] - b[i].
+func MapSub(m *device.Meter, threads int, a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	chargeArith(m, threads, len(a))
+	return out
+}
+
+// MapMulScaled returns (a[i] * b[i]) / scale: the fixed-point product of
+// two columns sharing the given decimal scale.
+func MapMulScaled(m *device.Meter, threads int, a, b []int64, scale int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i] / scale
+	}
+	chargeArith(m, threads, len(a))
+	return out
+}
+
+// MapAddConst returns a[i] + c.
+func MapAddConst(m *device.Meter, threads int, a []int64, c int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] + c
+	}
+	chargeArith(m, threads, len(a))
+	return out
+}
+
+// MapSubConstRev returns c - a[i] (e.g. 1.00 - l_discount).
+func MapSubConstRev(m *device.Meter, threads int, a []int64, c int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = c - a[i]
+	}
+	chargeArith(m, threads, len(a))
+	return out
+}
+
+func chargeArith(m *device.Meter, threads, n int) {
+	if m != nil {
+		m.CPUWork(threads, int64(n)*24, 0, int64(n)*OpsArith)
+	}
+}

@@ -1,0 +1,285 @@
+// Package bulk implements the classic MonetDB-style bulk processing model
+// (§II-B of the paper): operators are simple, tight loops without function
+// calls in the hot path that fully materialize their results for the next
+// operator to pick up. Package bulk is both
+//
+//   - the CPU-only baseline ("MonetDB" in the paper's charts) that the
+//     Approximate & Refine implementation is compared against, and
+//   - the refinement substrate: A&R refinement operators run the same tight
+//     CPU loops over candidates and residuals.
+//
+// Every operator takes an optional *device.Meter; when non-nil, the
+// operator charges its simulated cost (bytes scanned/gathered/written and
+// tuple-ops executed) against the CPU device with the given thread count.
+// A nil meter executes without cost accounting.
+package bulk
+
+import (
+	"repro/internal/bat"
+	"repro/internal/device"
+)
+
+// Per-tuple op weights used for compute-cost charging. A plain comparison
+// in a selection loop is the unit; hashing costs several units, matching
+// the relative operator costs observable in bulk engines.
+// Hash weights reflect measured bulk-engine costs (tens of ns per tuple
+// for hash build/group on out-of-cache tables).
+const (
+	OpsSelect    = 1
+	OpsFetch     = 1
+	OpsArith     = 1
+	OpsAggregate = 1
+	OpsHashBuild = 24
+	OpsHashProbe = 12
+	OpsHashGroup = 12
+)
+
+// oidBytes is the physical size the classic engine pays per tuple ID in
+// candidate lists: MonetDB v11 BATs carry 64-bit oids on 64-bit builds.
+// (The A&R operators ship compact 32-bit IDs across the bus instead; that
+// difference is part of the design.)
+const oidBytes = 8
+
+// SelectRange returns the positions of b whose value v satisfies
+// lo <= v <= hi, in input order (the bulk selection is order-preserving,
+// §IV-A item 2). This is MonetDB's uselect.
+func SelectRange(m *device.Meter, threads int, b *bat.BAT, lo, hi int64) []bat.OID {
+	tails := b.Tails()
+	out := make([]bat.OID, 0, len(tails)/4)
+	for i, v := range tails {
+		if v >= lo && v <= hi {
+			out = append(out, bat.OID(i))
+		}
+	}
+	if m != nil {
+		m.CPUWork(threads,
+			b.TailBytes()+int64(len(out))*oidBytes, 0,
+			int64(len(tails))*OpsSelect)
+	}
+	return out
+}
+
+// SelectOIDs filters an existing candidate list: it returns the subset of
+// ids whose value in b satisfies lo <= v <= hi, preserving candidate order.
+// Access to b is positional (gather).
+func SelectOIDs(m *device.Meter, threads int, b *bat.BAT, ids []bat.OID, lo, hi int64) []bat.OID {
+	tails := b.Tails()
+	out := make([]bat.OID, 0, len(ids)/2)
+	for _, id := range ids {
+		if v := tails[id]; v >= lo && v <= hi {
+			out = append(out, id)
+		}
+	}
+	if m != nil {
+		gather := device.RandomFetchBytes(int64(len(ids)), int64(b.Width()), b.TailBytes())
+		m.CPUWork(threads,
+			int64(len(ids))*oidBytes+int64(len(out))*oidBytes+gather,
+			0,
+			int64(len(ids))*OpsSelect)
+	}
+	return out
+}
+
+// Fetch is the invisible (positional) join: it returns b's values at the
+// given positions, aligned with ids. This is how late-materializing
+// column stores implement projections (§IV-C).
+func Fetch(m *device.Meter, threads int, b *bat.BAT, ids []bat.OID) []int64 {
+	tails := b.Tails()
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = tails[id]
+	}
+	if m != nil {
+		gather := device.RandomFetchBytes(int64(len(ids)), int64(b.Width()), b.TailBytes())
+		m.CPUWork(threads,
+			int64(len(ids))*oidBytes+int64(len(out))*int64(b.Width())+gather,
+			0,
+			int64(len(ids))*OpsFetch)
+	}
+	return out
+}
+
+// Grouping is the result of a group-by: a group ID per input position
+// (positionally aligned with the input, the MonetDB representation noted
+// in §IV-E) plus the distinct keys in first-appearance order.
+type Grouping struct {
+	IDs     []uint32 // group id per input position
+	NGroups int
+	Keys    []int64 // Keys[g] is the key value of group g
+}
+
+// GroupBy hash-groups the given keys, assigning dense group IDs in order
+// of first appearance.
+func GroupBy(m *device.Meter, threads int, keys []int64) *Grouping {
+	idx := make(map[int64]uint32, 64)
+	ids := make([]uint32, len(keys))
+	var uniq []int64
+	for i, k := range keys {
+		g, ok := idx[k]
+		if !ok {
+			g = uint32(len(uniq))
+			idx[k] = g
+			uniq = append(uniq, k)
+		}
+		ids[i] = g
+	}
+	if m != nil {
+		m.CPUWork(threads,
+			int64(len(keys))*8+int64(len(ids))*4, 0,
+			int64(len(keys))*OpsHashGroup)
+	}
+	return &Grouping{IDs: ids, NGroups: len(uniq), Keys: uniq}
+}
+
+// CombineKeys packs two key columns into one, for multi-attribute grouping
+// (Q1 groups by l_returnflag, l_linestatus). b's values must be
+// non-negative; base must exceed every value in b.
+func CombineKeys(a, b []int64, base int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i]*base + b[i]
+	}
+	return out
+}
+
+// SplitKey reverses CombineKeys.
+func SplitKey(k, base int64) (a, b int64) { return k / base, k % base }
+
+// SumGrouped returns per-group sums of vals under the grouping.
+func SumGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64 {
+	out := make([]int64, g.NGroups)
+	for i, v := range vals {
+		out[g.IDs[i]] += v
+	}
+	charge(m, threads, len(vals), 12)
+	return out
+}
+
+// CountGrouped returns per-group tuple counts.
+func CountGrouped(m *device.Meter, threads int, g *Grouping) []int64 {
+	out := make([]int64, g.NGroups)
+	for _, id := range g.IDs {
+		out[id]++
+	}
+	charge(m, threads, len(g.IDs), 4)
+	return out
+}
+
+// MinGrouped returns per-group minima of vals under the grouping.
+func MinGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64 {
+	out := make([]int64, g.NGroups)
+	seen := make([]bool, g.NGroups)
+	for i, v := range vals {
+		id := g.IDs[i]
+		if !seen[id] || v < out[id] {
+			out[id], seen[id] = v, true
+		}
+	}
+	charge(m, threads, len(vals), 12)
+	return out
+}
+
+// MaxGrouped returns per-group maxima of vals under the grouping.
+func MaxGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64 {
+	out := make([]int64, g.NGroups)
+	seen := make([]bool, g.NGroups)
+	for i, v := range vals {
+		id := g.IDs[i]
+		if !seen[id] || v > out[id] {
+			out[id], seen[id] = v, true
+		}
+	}
+	charge(m, threads, len(vals), 12)
+	return out
+}
+
+// Sum returns the sum of vals.
+func Sum(m *device.Meter, threads int, vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	charge(m, threads, len(vals), 8)
+	return s
+}
+
+// Count is the trivial aggregate; it charges nothing.
+func Count(vals []int64) int64 { return int64(len(vals)) }
+
+// Min returns the smallest value; ok is false on empty input.
+func Min(m *device.Meter, threads int, vals []int64) (int64, bool) {
+	if len(vals) == 0 {
+		return 0, false
+	}
+	lo := vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+	}
+	charge(m, threads, len(vals), 8)
+	return lo, true
+}
+
+// Max returns the largest value; ok is false on empty input.
+func Max(m *device.Meter, threads int, vals []int64) (int64, bool) {
+	if len(vals) == 0 {
+		return 0, false
+	}
+	hi := vals[0]
+	for _, v := range vals[1:] {
+		if v > hi {
+			hi = v
+		}
+	}
+	charge(m, threads, len(vals), 8)
+	return hi, true
+}
+
+func charge(m *device.Meter, threads, n, bytesPer int) {
+	if m != nil {
+		m.CPUWork(threads, int64(n)*int64(bytesPer), 0, int64(n)*OpsAggregate)
+	}
+}
+
+// GroupByMulti hash-groups tuples by multi-column keys, returning the
+// grouping plus the per-group key values of every column.
+func GroupByMulti(m *device.Meter, threads int, cols [][]int64) (*Grouping, [][]int64) {
+	if len(cols) == 0 {
+		return &Grouping{}, nil
+	}
+	n := len(cols[0])
+	idx := make(map[string]uint32, 64)
+	ids := make([]uint32, n)
+	var order []int
+	keyBuf := make([]byte, 0, len(cols)*8)
+	for i := 0; i < n; i++ {
+		keyBuf = keyBuf[:0]
+		for k := range cols {
+			v := uint64(cols[k][i])
+			for s := 0; s < 8; s++ {
+				keyBuf = append(keyBuf, byte(v>>(8*s)))
+			}
+		}
+		g, ok := idx[string(keyBuf)]
+		if !ok {
+			g = uint32(len(order))
+			idx[string(keyBuf)] = g
+			order = append(order, i)
+		}
+		ids[i] = g
+	}
+	keys := make([][]int64, len(cols))
+	for k := range cols {
+		keys[k] = make([]int64, len(order))
+		for gi, first := range order {
+			keys[k][gi] = cols[k][first]
+		}
+	}
+	if m != nil {
+		// One group.new pass plus a group.derive pass per further column.
+		m.CPUWork(threads, int64(n)*8*int64(len(cols))+int64(n)*4, 0,
+			int64(n)*OpsHashGroup*int64(len(cols)))
+	}
+	return &Grouping{IDs: ids, NGroups: len(order)}, keys
+}

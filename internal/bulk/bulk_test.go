@@ -1,0 +1,305 @@
+package bulk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bat"
+	"repro/internal/device"
+)
+
+func intsBAT(vals ...int64) *bat.BAT { return bat.NewDense(vals, bat.Width32) }
+
+func TestSelectRange(t *testing.T) {
+	b := intsBAT(5, 1, 9, 3, 7, 3)
+	got := SelectRange(nil, 1, b, 3, 7)
+	want := []bat.OID{0, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectRangeEmptyAndAll(t *testing.T) {
+	b := intsBAT(1, 2, 3)
+	if got := SelectRange(nil, 1, b, 10, 20); len(got) != 0 {
+		t.Errorf("empty range returned %v", got)
+	}
+	if got := SelectRange(nil, 1, b, -100, 100); len(got) != 3 {
+		t.Errorf("covering range returned %d ids, want 3", len(got))
+	}
+}
+
+func TestSelectRangeOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 10000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	got := SelectRange(nil, 1, intsBAT(vals...), 100, 500)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("bulk selection must be order-preserving (§IV-A item 2)")
+		}
+	}
+}
+
+func TestSelectOIDsSubsetsCandidates(t *testing.T) {
+	b := intsBAT(10, 20, 30, 40, 50)
+	cands := []bat.OID{4, 1, 3}
+	got := SelectOIDs(nil, 1, b, cands, 20, 40)
+	want := []bat.OID{1, 3} // candidate order preserved
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestFetch(t *testing.T) {
+	b := intsBAT(100, 200, 300)
+	got := Fetch(nil, 1, b, []bat.OID{2, 0})
+	if got[0] != 300 || got[1] != 100 {
+		t.Errorf("Fetch = %v, want [300 100]", got)
+	}
+}
+
+func TestGroupByDenseFirstAppearance(t *testing.T) {
+	g := GroupBy(nil, 1, []int64{7, 3, 7, 9, 3})
+	if g.NGroups != 3 {
+		t.Fatalf("NGroups = %d, want 3", g.NGroups)
+	}
+	wantIDs := []uint32{0, 1, 0, 2, 1}
+	for i, w := range wantIDs {
+		if g.IDs[i] != w {
+			t.Errorf("IDs[%d] = %d, want %d", i, g.IDs[i], w)
+		}
+	}
+	wantKeys := []int64{7, 3, 9}
+	for i, w := range wantKeys {
+		if g.Keys[i] != w {
+			t.Errorf("Keys[%d] = %d, want %d", i, g.Keys[i], w)
+		}
+	}
+}
+
+func TestGroupByPropertyPartition(t *testing.T) {
+	f := func(keys []int64) bool {
+		g := GroupBy(nil, 1, keys)
+		if len(g.IDs) != len(keys) {
+			return false
+		}
+		for i, k := range keys {
+			if g.Keys[g.IDs[i]] != k {
+				return false // group id must map back to the original key
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineSplitKeys(t *testing.T) {
+	a := []int64{1, 2, 0}
+	b := []int64{5, 0, 9}
+	combined := CombineKeys(a, b, 10)
+	for i := range a {
+		ga, gb := SplitKey(combined[i], 10)
+		if ga != a[i] || gb != b[i] {
+			t.Errorf("SplitKey(%d) = (%d,%d), want (%d,%d)", combined[i], ga, gb, a[i], b[i])
+		}
+	}
+}
+
+func TestGroupedAggregates(t *testing.T) {
+	keys := []int64{1, 2, 1, 2, 1}
+	vals := []int64{10, 20, 30, 40, 50}
+	g := GroupBy(nil, 1, keys)
+	sums := SumGrouped(nil, 1, vals, g)
+	if sums[0] != 90 || sums[1] != 60 {
+		t.Errorf("sums = %v, want [90 60]", sums)
+	}
+	counts := CountGrouped(nil, 1, g)
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("counts = %v, want [3 2]", counts)
+	}
+	mins := MinGrouped(nil, 1, vals, g)
+	if mins[0] != 10 || mins[1] != 20 {
+		t.Errorf("mins = %v, want [10 20]", mins)
+	}
+	maxs := MaxGrouped(nil, 1, vals, g)
+	if maxs[0] != 50 || maxs[1] != 40 {
+		t.Errorf("maxs = %v, want [50 40]", maxs)
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	vals := []int64{3, -1, 7, 0}
+	if s := Sum(nil, 1, vals); s != 9 {
+		t.Errorf("Sum = %d, want 9", s)
+	}
+	if c := Count(vals); c != 4 {
+		t.Errorf("Count = %d, want 4", c)
+	}
+	if lo, ok := Min(nil, 1, vals); !ok || lo != -1 {
+		t.Errorf("Min = %d,%v, want -1,true", lo, ok)
+	}
+	if hi, ok := Max(nil, 1, vals); !ok || hi != 7 {
+		t.Errorf("Max = %d,%v, want 7,true", hi, ok)
+	}
+	if _, ok := Min(nil, 1, nil); ok {
+		t.Error("Min on empty input reported ok")
+	}
+	if _, ok := Max(nil, 1, nil); ok {
+		t.Error("Max on empty input reported ok")
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	f := func(rawL, rawR []uint8) bool {
+		left := make([]int64, len(rawL))
+		for i, v := range rawL {
+			left[i] = int64(v % 16)
+		}
+		right := make([]int64, len(rawR))
+		for i, v := range rawR {
+			right[i] = int64(v % 16)
+		}
+		lids, rids := HashJoin(nil, 1, left, right)
+		if len(lids) != len(rids) {
+			return false
+		}
+		// Count matches both ways.
+		want := 0
+		for _, l := range left {
+			for _, r := range right {
+				if l == r {
+					want++
+				}
+			}
+		}
+		if len(lids) != want {
+			return false
+		}
+		for i := range lids {
+			if left[lids[i]] != right[rids[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFKIndexAndJoin(t *testing.T) {
+	pk := []int64{100, 101, 102, 103, 104}
+	ix := BuildFKIndex(nil, 1, pk)
+	if ix == nil {
+		t.Fatal("BuildFKIndex returned nil for a valid PK")
+	}
+	fks := []int64{103, 100, 999, 104}
+	pos, hit := FKJoin(nil, 1, ix, fks)
+	wantPos := []bat.OID{3, 0, 0, 4}
+	wantHit := []bool{true, true, false, true}
+	for i := range fks {
+		if hit[i] != wantHit[i] {
+			t.Errorf("hit[%d] = %v, want %v", i, hit[i], wantHit[i])
+		}
+		if hit[i] && pos[i] != wantPos[i] {
+			t.Errorf("pos[%d] = %d, want %d", i, pos[i], wantPos[i])
+		}
+	}
+}
+
+func TestBuildFKIndexRejectsDuplicates(t *testing.T) {
+	if ix := BuildFKIndex(nil, 1, []int64{1, 2, 2}); ix != nil {
+		t.Error("duplicate keys accepted as PK")
+	}
+}
+
+func TestBuildFKIndexRejectsSparse(t *testing.T) {
+	if ix := BuildFKIndex(nil, 1, []int64{0, 1 << 40}); ix != nil {
+		t.Error("extremely sparse domain accepted")
+	}
+	if ix := BuildFKIndex(nil, 1, nil); ix != nil {
+		t.Error("empty PK accepted")
+	}
+}
+
+func TestArithMaps(t *testing.T) {
+	a := []int64{100, 200}
+	b := []int64{5, 10}
+	if got := MapAdd(nil, 1, a, b); got[0] != 105 || got[1] != 210 {
+		t.Errorf("MapAdd = %v", got)
+	}
+	if got := MapSub(nil, 1, a, b); got[0] != 95 || got[1] != 190 {
+		t.Errorf("MapSub = %v", got)
+	}
+	// Fixed-point: 1.00 * 0.05 at scale 100 = 0.05.
+	if got := MapMulScaled(nil, 1, []int64{100}, []int64{5}, 100); got[0] != 5 {
+		t.Errorf("MapMulScaled = %v, want [5]", got)
+	}
+	if got := MapAddConst(nil, 1, a, 1); got[0] != 101 {
+		t.Errorf("MapAddConst = %v", got)
+	}
+	// 1.00 - 0.05 at scale 100.
+	if got := MapSubConstRev(nil, 1, []int64{5}, 100); got[0] != 95 {
+		t.Errorf("MapSubConstRev = %v, want [95]", got)
+	}
+}
+
+func TestMeteredOperatorsCharge(t *testing.T) {
+	sys := device.PaperSystem()
+	m := device.NewMeter(sys)
+	vals := make([]int64, 100000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	b := bat.NewDense(vals, bat.Width32)
+	SelectRange(m, 1, b, 0, 1000)
+	if m.CPU == 0 {
+		t.Error("metered SelectRange charged nothing")
+	}
+	if m.GPU != 0 || m.PCI != 0 {
+		t.Error("CPU operator charged GPU/PCI time")
+	}
+	before := m.CPU
+	Fetch(m, 1, b, []bat.OID{1, 2, 3})
+	if m.CPU <= before {
+		t.Error("metered Fetch charged nothing")
+	}
+}
+
+func BenchmarkSelectRange(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]int64, 1<<20)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1 << 20))
+	}
+	bb := bat.NewDense(vals, bat.Width32)
+	b.SetBytes(int64(len(vals)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectRange(nil, 1, bb, 0, 1<<18)
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]int64, 1<<20)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(1000))
+	}
+	b.SetBytes(int64(len(keys)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupBy(nil, 1, keys)
+	}
+}

@@ -1,0 +1,211 @@
+// Package bwd implements Bitwise Decomposition/Distribution (BWD), the
+// storage model underlying the Approximate & Refine processing paradigm
+// (§II-A of the paper, and Pirk et al., DaMoN 2012).
+//
+// A column's values are vertically partitioned at the granularity of
+// individual bits. The partition holding the major bits — the
+// *approximation* — is bit-packed and placed in the fast device memory
+// (the simulated GPU); the minor bits — the *residual* — stay in CPU
+// memory. Leading zeros are removed by a global prefix compression that
+// factors out the common value base (the column minimum), which subsumes
+// the paper's "factor out the highest value byte" scheme (§VI-C2).
+//
+// The approximation of value v with r residual bits is
+//
+//	approx(v) = (v - base) >> r        (bit-packed, GPU resident)
+//	res(v)    = (v - base) & (2^r - 1) (bit-packed, CPU resident)
+//	v         = base + (approx(v) << r | res(v))
+//
+// so an approximation understates the true value by at most 2^r - 1: the
+// exact error bound that approximate operators propagate and refinement
+// operators discharge.
+package bwd
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bat"
+	"repro/internal/bitpack"
+	"repro/internal/device"
+)
+
+// Decomposition describes how a column's bits are split across devices.
+type Decomposition struct {
+	Base       int64 // prefix-compression base (column minimum)
+	TotalBits  uint  // bits needed to represent (max - Base)
+	ApproxBits uint  // major bits, device (GPU) resident
+	ResBits    uint  // minor bits, host (CPU) resident
+	Width      int   // original physical bytes per value (for data-volume comparisons)
+}
+
+// Err returns the maximum amount by which an approximation understates the
+// true value: 2^ResBits - 1.
+func (d Decomposition) Err() int64 {
+	return int64(bitpack.Mask(d.ResBits))
+}
+
+// MaxApprox returns the largest possible approximation code.
+func (d Decomposition) MaxApprox() uint64 {
+	return bitpack.Mask(d.ApproxBits)
+}
+
+func (d Decomposition) String() string {
+	return fmt.Sprintf("bwd(%d bit GPU, %d bit CPU, base %d)", d.ApproxBits, d.ResBits, d.Base)
+}
+
+// Column is a bitwise decomposed column: a GPU-resident approximation and a
+// CPU-resident residual, positionally aligned with the source column.
+type Column struct {
+	Dec      Decomposition
+	Approx   *bitpack.Array // approximation codes, shifted domain
+	Residual *bitpack.Array // residual bits
+
+	n        int
+	gpuAlloc *device.Alloc
+	cpuAlloc *device.Alloc
+}
+
+// Decompose bitwise-decomposes the tail of b, placing approxBits major bits
+// on the system's GPU and the rest on the CPU, mirroring the paper's
+// `select bwdecompose(A, approxBits) from R`. If the value range needs
+// fewer than approxBits bits, the whole column becomes GPU resident
+// (ResBits = 0) — exactly what happens to the narrow TPC-H columns in
+// §VI-D1. The GPU allocation fails with device.ErrOutOfMemory if the
+// approximation does not fit, surfacing the capacity/resolution trade-off.
+func Decompose(b *bat.BAT, approxBits uint, sys *device.System) (*Column, error) {
+	if b.Len() == 0 {
+		return nil, fmt.Errorf("bwd: cannot decompose empty column")
+	}
+	if approxBits == 0 || approxBits > 63 {
+		return nil, fmt.Errorf("bwd: approxBits %d out of range [1,63]", approxBits)
+	}
+	lo, hi := b.MinMax()
+	span := uint64(hi - lo)
+	total := uint(bits.Len64(span))
+	dec := Decomposition{Base: lo, TotalBits: total, Width: b.Width()}
+	if approxBits >= total {
+		dec.ApproxBits = total
+		dec.ResBits = 0
+	} else {
+		dec.ApproxBits = approxBits
+		dec.ResBits = total - approxBits
+	}
+	if dec.ApproxBits == 0 {
+		// Constant column: keep one bit so the approximation exists as an
+		// addressable array.
+		dec.ApproxBits = 1
+	}
+
+	n := b.Len()
+	approx := bitpack.New(dec.ApproxBits, n)
+	res := bitpack.New(dec.ResBits, n)
+	tails := b.Tails()
+	for i, v := range tails {
+		shifted := uint64(v - dec.Base)
+		approx.Set(i, shifted>>dec.ResBits)
+		if dec.ResBits > 0 {
+			res.Set(i, shifted&bitpack.Mask(dec.ResBits))
+		}
+	}
+
+	c := &Column{Dec: dec, Approx: approx, Residual: res, n: n}
+	if sys != nil {
+		ga, err := sys.GPU.Alloc(approx.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("bwd: approximation does not fit device: %w", err)
+		}
+		ca, err := sys.CPU.Alloc(res.Bytes())
+		if err != nil {
+			ga.Free()
+			return nil, fmt.Errorf("bwd: residual does not fit host: %w", err)
+		}
+		c.gpuAlloc, c.cpuAlloc = ga, ca
+	}
+	return c, nil
+}
+
+// Len returns the number of tuples in the column.
+func (c *Column) Len() int { return c.n }
+
+// Release frees the simulated device allocations.
+func (c *Column) Release() {
+	c.gpuAlloc.Free()
+	c.cpuAlloc.Free()
+}
+
+// GPUBytes returns the device-resident footprint (the approximation).
+func (c *Column) GPUBytes() int64 { return c.Approx.Bytes() }
+
+// CPUBytes returns the host-resident footprint (the residual).
+func (c *Column) CPUBytes() int64 { return c.Residual.Bytes() }
+
+// OriginalBytes returns the undecomposed column footprint.
+func (c *Column) OriginalBytes() int64 { return int64(c.n) * int64(c.Dec.Width) }
+
+// CompressionRatio returns 1 - (decomposed / original) — the cumulative
+// data-volume reduction the paper reports for the spatial data set (~25 %,
+// §VI-C2).
+func (c *Column) CompressionRatio() float64 {
+	return 1 - float64(c.GPUBytes()+c.CPUBytes())/float64(c.OriginalBytes())
+}
+
+// Reconstruct returns the exact value at position i by bitwise
+// concatenation of approximation and residual (the +bw of Algorithm 2).
+func (c *Column) Reconstruct(i int) int64 {
+	shifted := c.Approx.Get(i) << c.Dec.ResBits
+	if c.Dec.ResBits > 0 {
+		shifted |= c.Residual.Get(i)
+	}
+	return c.Dec.Base + int64(shifted)
+}
+
+// ReconstructFrom combines an approximation code and a residual code into
+// the exact value.
+func (c *Column) ReconstructFrom(approx, residual uint64) int64 {
+	return c.Dec.Base + int64(approx<<c.Dec.ResBits|residual)
+}
+
+// ApproxLow returns the smallest value consistent with the approximation
+// code at position i. The true value lies in [ApproxLow, ApproxLow+Err].
+func (c *Column) ApproxLow(i int) int64 {
+	return c.Dec.Base + int64(c.Approx.Get(i)<<c.Dec.ResBits)
+}
+
+// ValueToApprox maps a value into the approximation (shifted) domain,
+// clamping to the representable range. ok is false when the value lies
+// outside [Base, Base + 2^TotalBits).
+func (c *Column) ValueToApprox(v int64) (code uint64, ok bool) {
+	if v < c.Dec.Base {
+		return 0, false
+	}
+	shifted := uint64(v - c.Dec.Base)
+	code = shifted >> c.Dec.ResBits
+	if code > c.Dec.MaxApprox() {
+		return c.Dec.MaxApprox(), false
+	}
+	return code, true
+}
+
+// ChooseBits returns the largest device-resident bit width whose
+// bit-packed approximation of b fits within budgetBytes, or 0 if not even
+// a 1-bit approximation fits. This implements the automatic-decomposition
+// direction the paper sketches as future work (§VII-B, "Storage
+// Optimization"): given a device-memory budget, pick the resolution.
+func ChooseBits(b *bat.BAT, budgetBytes int64) uint {
+	if b.Len() == 0 || budgetBytes <= 0 {
+		return 0
+	}
+	lo, hi := b.MinMax()
+	total := uint(bits.Len64(uint64(hi - lo)))
+	if total == 0 {
+		total = 1
+	}
+	for w := total; w >= 1; w-- {
+		need := (int64(b.Len())*int64(w) + 63) / 64 * 8
+		if need <= budgetBytes {
+			return w
+		}
+	}
+	return 0
+}

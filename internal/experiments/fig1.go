@@ -1,0 +1,28 @@
+package experiments
+
+// Fig1 tabulates the background chart of the introduction: the flash-
+// memory capacity/write-bandwidth trade-off quoted from Grupp et al., "The
+// Bleak Future of NAND Flash Memory" (USENIX FAST 2012). It is not an
+// experiment of the evaluation section — the paper reproduces it to
+// motivate the capacity/performance conflict ("there is a conflict between
+// data Volume and Velocity") — so the series below are digitized
+// approximations of the cited projections, included for completeness.
+func Fig1() *Figure {
+	return &Figure{
+		ID:     "fig1",
+		Title:  "Flash Memory Capacity/Bandwidth (Grupp et al., FAST 2012)",
+		XLabel: "Capacity (GB)",
+		YLabel: "Write Bandwidth (MB/s)",
+		Series: []Series{
+			{Label: "SLC-1", X: []float64{16, 32, 64, 128}, Y: []float64{3600, 3200, 2800, 2400}},
+			{Label: "MLC-1", X: []float64{64, 128, 256, 512}, Y: []float64{2200, 1900, 1600, 1300}},
+			{Label: "MLC-2", X: []float64{256, 512, 1024, 2048}, Y: []float64{1200, 1000, 800, 650}},
+			{Label: "TLC-3", X: []float64{1024, 2048, 4096, 16384}, Y: []float64{500, 400, 300, 200}},
+		},
+		Notes: []string{
+			"background figure (intro §I), not part of the evaluation;",
+			"values digitized from the cited FAST'12 projections: denser cells and larger",
+			"devices write slower — the same capacity/velocity conflict BWD exploits on GPUs",
+		},
+	}
+}

@@ -1,0 +1,162 @@
+// Package par provides the data-parallel execution substrate that stands in
+// for the paper's massively parallel OpenCL kernels.
+//
+// Kernels in the paper are parallelized "over the number of processed
+// tuples" (§V-C). We model this with chunked worker pools: the input range
+// is split into fixed-size chunks that workers process concurrently. Two
+// gather disciplines are offered:
+//
+//   - ordered: chunk outputs are concatenated in chunk order, preserving the
+//     input permutation (the CPU-side, order-preserving discipline);
+//   - unordered: chunk outputs are concatenated in a deterministic but
+//     non-monotonic chunk permutation, modelling the fact that "a massively
+//     parallelized selection can only maintain the input order at additional
+//     costs" (§IV-A item 3). Determinism keeps tests reproducible while the
+//     output is demonstrably not input-ordered, which is exactly what forces
+//     the translucent join's general path.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultChunk is the default number of tuples per parallel chunk. It is
+// large enough to amortize scheduling and small enough to expose
+// parallelism on the simulated device's lane count.
+const DefaultChunk = 64 << 10
+
+// Workers returns the effective worker count: w if positive, else
+// GOMAXPROCS.
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn over [0,n) split into chunks of the given size (DefaultChunk
+// if chunk <= 0) using the given number of workers. fn must be safe for
+// concurrent invocation on disjoint ranges.
+func For(n, chunk, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	nchunks := (n + chunk - 1) / chunk
+	w := Workers(workers)
+	if w > nchunks {
+		w = nchunks
+	}
+	if w <= 1 {
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				c := next
+				next++
+				mu.Unlock()
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Gather runs fn over [0,n) in chunks and concatenates the per-chunk
+// results. If ordered is true the concatenation follows chunk order (the
+// output permutation equals the input permutation); otherwise chunks are
+// concatenated in the deterministic shuffled order of Permute, modelling a
+// GPU kernel whose thread blocks complete out of order.
+func Gather[T any](n, chunk, workers int, ordered bool, fn func(lo, hi int) []T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	nchunks := (n + chunk - 1) / chunk
+	parts := make([][]T, nchunks)
+	For(n, chunk, workers, func(lo, hi int) {
+		parts[lo/chunk] = fn(lo, hi)
+	})
+	order := make([]int, nchunks)
+	for i := range order {
+		order[i] = i
+	}
+	if !ordered {
+		order = Permute(nchunks)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, c := range order {
+		out = append(out, parts[c]...)
+	}
+	return out
+}
+
+// Permute returns a deterministic permutation of [0,n) that is not the
+// identity for n > 2. It visits indices with a stride that is coprime to n,
+// which scatters chunk completion order the way an unsynchronized device
+// would.
+func Permute(n int) []int {
+	p := make([]int, n)
+	if n <= 0 {
+		return p
+	}
+	stride := 1
+	if n > 2 {
+		// Pick a stride coprime to n, starting from a golden-ratio-ish
+		// fraction so neighbouring chunks land far apart.
+		stride = n*5/8 | 1
+		for gcd(stride, n) != 1 {
+			stride += 2
+			if stride >= n {
+				stride = 3
+			}
+		}
+		if stride == 1 && n > 2 {
+			stride = n - 1 // reversal as a last resort
+		}
+	}
+	at := 0
+	for i := 0; i < n; i++ {
+		p[i] = at
+		at = (at + stride) % n
+	}
+	return p
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,163 @@
+package par
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000, DefaultChunk + 3} {
+		seen := make([]int32, n)
+		For(n, 16, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForSingleWorkerSequential(t *testing.T) {
+	var order []int
+	For(10, 3, 1, func(lo, hi int) {
+		order = append(order, lo)
+	})
+	want := []int{0, 3, 6, 9}
+	if len(order) != len(want) {
+		t.Fatalf("chunk starts = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("chunk starts = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, 4, func(lo, hi int) { called = true })
+	For(-5, 4, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+func TestGatherOrderedPreservesOrder(t *testing.T) {
+	n := 1000
+	got := Gather(n, 64, 8, true, func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	})
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("ordered gather permuted output at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestGatherUnorderedIsPermutationButNotIdentity(t *testing.T) {
+	n := 1000
+	got := Gather(n, 64, 8, false, func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	})
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	identity := true
+	for i, v := range got {
+		if v != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Error("unordered gather returned identity permutation; GPU semantics not modelled")
+	}
+	sorted := append([]int(nil), got...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("unordered gather is not a permutation: sorted[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestGatherUnorderedDeterministic(t *testing.T) {
+	run := func() []int {
+		return Gather(500, 32, 8, false, func(lo, hi int) []int {
+			out := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, i)
+			}
+			return out
+		})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("unordered gather not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPermuteIsPermutation(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw%2000) + 1
+		p := Permute(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteNotIdentityForLargeN(t *testing.T) {
+	for _, n := range []int{3, 4, 10, 100, 1024} {
+		p := Permute(n)
+		identity := true
+		for i, v := range p {
+			if v != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			t.Errorf("Permute(%d) is the identity", n)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Errorf("Workers(4) = %d", Workers(4))
+	}
+	if Workers(0) < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", Workers(0))
+	}
+	if Workers(-1) < 1 {
+		t.Errorf("Workers(-1) = %d, want >= 1", Workers(-1))
+	}
+}

@@ -1,0 +1,209 @@
+// Package plan implements the query layer of the reproduction: a logical
+// query model, the bwd_pipe rewriter that turns classic bulk plans into
+// Approximate & Refine plans (§V-B, Fig 7), a rule-based optimizer that
+// pushes approximate selections down (§III-A), and two executors — the A&R
+// executor spanning the simulated GPU/CPU system and the classic
+// bulk-processing executor that serves as the paper's MonetDB baseline.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bat"
+	"repro/internal/bulk"
+	"repro/internal/bwd"
+	"repro/internal/device"
+)
+
+// Table is a named collection of positionally aligned columns.
+type Table struct {
+	Name string
+	cols map[string]column
+	n    int
+}
+
+// column pairs the stored BAT with its fixed-point scale (1 for plain
+// integers, 100 for decimal(_,2) money, 100000 for the decimal(_,5) GPS
+// coordinates). The scale lets the SQL layer align decimal literals with
+// the storage encoding.
+type column struct {
+	b     *bat.BAT
+	scale int64
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{Name: name, cols: make(map[string]column), n: -1}
+}
+
+// AddColumn adds a plain integer column (scale 1); all columns of a table
+// must have equal length.
+func (t *Table) AddColumn(name string, b *bat.BAT) error {
+	return t.AddColumnScaled(name, b, 1)
+}
+
+// AddColumnScaled adds a fixed-point column with the given decimal scale.
+func (t *Table) AddColumnScaled(name string, b *bat.BAT, scale int64) error {
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("plan: duplicate column %s.%s", t.Name, name)
+	}
+	if t.n >= 0 && b.Len() != t.n {
+		return fmt.Errorf("plan: column %s.%s has %d rows, table has %d", t.Name, name, b.Len(), t.n)
+	}
+	if scale < 1 {
+		return fmt.Errorf("plan: column %s.%s has invalid scale %d", t.Name, name, scale)
+	}
+	t.n = b.Len()
+	t.cols[name] = column{b: b, scale: scale}
+	return nil
+}
+
+// Column returns a column by name.
+func (t *Table) Column(name string) (*bat.BAT, error) {
+	c, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown column %s.%s", t.Name, name)
+	}
+	return c.b, nil
+}
+
+// ColumnScale returns the fixed-point scale of a column (1 for integers).
+func (t *Table) ColumnScale(name string) (int64, error) {
+	c, ok := t.cols[name]
+	if !ok {
+		return 0, fmt.Errorf("plan: unknown column %s.%s", t.Name, name)
+	}
+	return c.scale, nil
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	if t.n < 0 {
+		return 0
+	}
+	return t.n
+}
+
+// Columns returns the column names in sorted order.
+func (t *Table) Columns() []string {
+	out := make([]string, 0, len(t.cols))
+	for name := range t.cols {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Catalog holds tables, their bitwise decompositions, and pre-built
+// foreign-key indices, bound to one simulated device system.
+type Catalog struct {
+	sys    *device.System
+	tables map[string]*Table
+	dec    map[string]*bwd.Column   // "table.col" -> decomposition
+	fkIdx  map[string]*bulk.FKIndex // "table.col" -> PK index
+}
+
+// NewCatalog creates a catalog bound to the given simulated system.
+func NewCatalog(sys *device.System) *Catalog {
+	return &Catalog{
+		sys:    sys,
+		tables: make(map[string]*Table),
+		dec:    make(map[string]*bwd.Column),
+		fkIdx:  make(map[string]*bulk.FKIndex),
+	}
+}
+
+// System returns the catalog's simulated system.
+func (c *Catalog) System() *device.System { return c.sys }
+
+// AddTable registers a table.
+func (c *Catalog) AddTable(t *Table) error {
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("plan: duplicate table %s", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Table returns a registered table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table %s", name)
+	}
+	return t, nil
+}
+
+// Decompose bitwise-decomposes table.col with approxBits device-resident
+// bits — the engine-level equivalent of the paper's
+// `select bwdecompose(col, approxBits) from table` (§V-A). Decomposing an
+// already decomposed column replaces the previous decomposition.
+func (c *Catalog) Decompose(table, col string, approxBits uint) (*bwd.Column, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	b, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	key := table + "." + col
+	if old, ok := c.dec[key]; ok {
+		old.Release()
+		delete(c.dec, key)
+	}
+	d, err := bwd.Decompose(b, approxBits, c.sys)
+	if err != nil {
+		return nil, fmt.Errorf("plan: bwdecompose(%s, %d): %w", key, approxBits, err)
+	}
+	c.dec[key] = d
+	return d, nil
+}
+
+// Decomposition returns the decomposition of table.col, or an error if the
+// column was never decomposed (A&R plans require explicit decomposition,
+// like an index).
+func (c *Catalog) Decomposition(table, col string) (*bwd.Column, error) {
+	d, ok := c.dec[table+"."+col]
+	if !ok {
+		return nil, fmt.Errorf("plan: column %s.%s is not bitwise decomposed; call Decompose first", table, col)
+	}
+	return d, nil
+}
+
+// ReleaseDecompositions frees all device allocations held by the catalog.
+func (c *Catalog) ReleaseDecompositions() {
+	for k, d := range c.dec {
+		d.Release()
+		delete(c.dec, k)
+	}
+}
+
+// BuildFKIndex pre-builds the foreign-key (primary-key) index over
+// table.col on the CPU, as the paper does for joins (§IV-D).
+func (c *Catalog) BuildFKIndex(table, col string) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	b, err := t.Column(col)
+	if err != nil {
+		return err
+	}
+	ix := bulk.BuildFKIndex(nil, 1, b.Tails())
+	if ix == nil {
+		return fmt.Errorf("plan: %s.%s is not a dense unique key", table, col)
+	}
+	c.fkIdx[table+"."+col] = ix
+	return nil
+}
+
+// FKIndex returns the pre-built index over table.col.
+func (c *Catalog) FKIndex(table, col string) (*bulk.FKIndex, error) {
+	ix, ok := c.fkIdx[table+"."+col]
+	if !ok {
+		return nil, fmt.Errorf("plan: no FK index on %s.%s; call BuildFKIndex first", table, col)
+	}
+	return ix, nil
+}

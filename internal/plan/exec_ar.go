@@ -1,0 +1,487 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/ar"
+	"repro/internal/bat"
+	"repro/internal/bulk"
+	"repro/internal/bwd"
+	"repro/internal/device"
+)
+
+// ExecOpts tunes execution.
+type ExecOpts struct {
+	// Threads is the CPU thread count used by refinement (and by the whole
+	// classic plan). Defaults to 1, the paper's per-query baseline setup.
+	Threads int
+}
+
+func (o ExecOpts) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return 1
+}
+
+// ExecAR executes the query under the Approximate & Refine paradigm:
+// the approximation subplan runs entirely on the simulated device first
+// (its intermediate results never leave device memory), the candidate set
+// and device-side projections are shipped across the bus once, and the
+// refinement subplan discharges false positives and reconstructs exact
+// values on the CPU. The returned Result carries the exact rows, the
+// phase-A approximate answer, and the simulated GPU/CPU/PCI breakdown.
+func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
+	if err := q.validate(c); err != nil {
+		return nil, err
+	}
+	threads := opts.threads()
+	m := device.NewMeter(c.sys)
+	res := &Result{Meter: m}
+	res.InputBytes = c.queryInputBytes(q)
+	trace := func(format string, args ...any) {
+		res.Plan = append(res.Plan, fmt.Sprintf(format, args...))
+	}
+
+	// ---- Rule-based optimization: push the most selective approximate
+	// selections down (§III-A).
+	filters, err := orderFilters(c, q.Table, q.Filters)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase A: the approximation subplan on the device.
+	var cands *ar.Candidates
+	if len(filters) > 0 {
+		d, _ := c.Decomposition(q.Table, filters[0].Col)
+		cands = ar.SelectApprox(m, d, d.Relax(filters[0].Lo, filters[0].Hi))
+		trace("bwd.uselectapproximate(%s.%s)", q.Table, filters[0].Col)
+		for _, f := range filters[1:] {
+			d, _ := c.Decomposition(q.Table, f.Col)
+			cands = ar.SelectApproxOver(m, d, d.Relax(f.Lo, f.Hi), cands)
+			trace("bwd.uselectapproximate(%s.%s)", q.Table, f.Col)
+		}
+	} else {
+		anchor, ok := q.anchorColumn()
+		if !ok {
+			return nil, fmt.Errorf("plan: query references no fact columns")
+		}
+		d, _ := c.Decomposition(q.Table, anchor)
+		cands = ar.SelectApprox(m, d, bwd.ApproxRange{Full: true})
+		trace("bwd.scanapproximate(%s.%s)", q.Table, anchor)
+	}
+
+	// Foreign-key join and dimension-side approximate selections.
+	var dimPos []bat.OID
+	var dimLen int
+	if q.Join != nil {
+		fkd, _ := c.Decomposition(q.Table, q.Join.FKCol)
+		dim, _ := c.Table(q.Join.Dim)
+		dimLen = dim.Len()
+		pk, err := dim.Column(q.Join.DimPK)
+		if err != nil {
+			return nil, err
+		}
+		pkBase := pk.Tail(0)
+		dimPos, err = ar.FKPositionsApprox(m, fkd, cands, pkBase, dimLen)
+		if err != nil {
+			return nil, err
+		}
+		trace("bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
+		for _, f := range q.Join.DimFilters {
+			dd, _ := c.Decomposition(q.Join.Dim, f.Col)
+			cands, dimPos = ar.SelectApproxAt(m, dd, dd.Relax(f.Lo, f.Hi), cands, dimPos)
+			trace("bwd.uselectapproximate(%s.%s)", q.Join.Dim, f.Col)
+		}
+	}
+
+	// Device-side pre-grouping.
+	var mg *ar.MultiGrouping
+	if len(q.GroupBy) > 0 {
+		cols := make([]*bwd.Column, len(q.GroupBy))
+		for i, g := range q.GroupBy {
+			cols[i], _ = c.Decomposition(q.Table, g)
+		}
+		mg = ar.GroupApproxMulti(m, cols, cands)
+		trace("bwd.groupapproximate(%s)", join(q.GroupBy))
+	}
+
+	// Approximate projections for every column the aggregates reference.
+	projections := map[ColRef]*ar.Projection{}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			if _, done := projections[ref]; done {
+				continue
+			}
+			if ref.Dim {
+				dd, _ := c.Decomposition(q.Join.Dim, ref.Name)
+				projections[ref] = ar.ProjectApproxAt(m, dd, cands, dimPos)
+				trace("bwd.leftjoinapproximate(%s.%s)", q.Join.Dim, ref.Name)
+			} else {
+				fd, _ := c.Decomposition(q.Table, ref.Name)
+				projections[ref] = ar.ProjectApprox(m, fd, cands)
+				trace("bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
+			}
+		}
+	}
+
+	// Phase-A approximate answer: strict bounds from approximations only.
+	res.Approx = c.approxAnswer(m, q, cands, projections)
+	res.Candidates = cands.Len()
+	for _, a := range q.Aggs {
+		trace("bwd.%sapproximate(%s)", a.Func, a.Name)
+	}
+
+	// ---- Ship: one bus crossing for candidates, projections, groupings.
+	cands.Ship(m)
+	for _, p := range projections {
+		p.Ship(m)
+	}
+	if mg != nil {
+		mg.Ship(m)
+	}
+	if dimPos != nil {
+		m.Transfer(int64(len(dimPos)) * 4)
+	}
+
+	// ---- Phase R: the refinement subplan on the CPU.
+	refined := cands
+	atRefined := dimPos
+	for _, f := range filters {
+		d, _ := c.Decomposition(q.Table, f.Col)
+		if atRefined == nil {
+			refined, _ = ar.SelectRefine(m, threads, d, f.Lo, f.Hi, refined)
+		} else {
+			// Keep the joined positions aligned while filtering.
+			var keepPos []bat.OID
+			refined, keepPos = refineKeepingAt(m, threads, d, f.Lo, f.Hi, refined, atRefined)
+			atRefined = keepPos
+		}
+		trace("bwd.uselectrefine(%s.%s)", q.Table, f.Col)
+	}
+	if q.Join != nil {
+		trace("bwd.leftjoinrefine(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
+		for _, f := range q.Join.DimFilters {
+			dd, _ := c.Decomposition(q.Join.Dim, f.Col)
+			refined, atRefined, _ = ar.SelectRefineAt(m, threads, dd, f.Lo, f.Hi, refined, atRefined)
+			trace("bwd.uselectrefine(%s.%s)", q.Join.Dim, f.Col)
+		}
+	}
+	res.Refined = refined.Len()
+
+	// Exact values for every referenced column.
+	ctx := &exprCtx{n: refined.Len(), fact: map[string][]int64{}, dim: map[string][]int64{}}
+	for ref, p := range projections {
+		var vals []int64
+		var err error
+		if ref.Dim {
+			vals, err = ar.ProjectRefineAt(m, threads, p, refined, atRefined)
+		} else {
+			vals, err = ar.ProjectRefine(m, threads, p, refined)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ref.Dim {
+			ctx.dim[ref.Name] = vals
+		} else {
+			ctx.fact[ref.Name] = vals
+		}
+		trace("bwd.leftjoinrefine(%s)", ref.Name)
+	}
+
+	// Exact grouping.
+	var grouping *bulk.Grouping
+	var groupKeys [][]int64
+	if mg != nil {
+		grouping, groupKeys, err = ar.GroupRefineMulti(m, threads, mg, refined)
+		if err != nil {
+			return nil, err
+		}
+		trace("bwd.grouprefine(%s)", join(q.GroupBy))
+	}
+
+	// Aggregation (§IV-F; sums of products are recomputed on the CPU due
+	// to destructive distributivity, §IV-G). The refinement aggregation is
+	// a fused, statically expanded loop (§V-C) reading each input column
+	// once — unlike the classic engine, which materializes every
+	// arithmetic intermediate (§II-B).
+	rows, err := aggregateRows(m, threads, q, ctx, grouping, groupKeys, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range q.Aggs {
+		trace("bwd.%srefine(%s)", a.Func, a.Name)
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// refineKeepingAt runs a fact-side selection refinement while keeping an
+// auxiliary position list aligned with the surviving candidates.
+func refineKeepingAt(m *device.Meter, threads int, d *bwd.Column, lo, hi int64, in *ar.Candidates, at []bat.OID) (*ar.Candidates, []bat.OID) {
+	refined, _ := ar.SelectRefine(m, threads, d, lo, hi, in)
+	pos, err := ar.TranslucentJoin(in.IDs, refined.IDs)
+	if err != nil {
+		// The refinement is an order-preserving subset by construction.
+		panic("plan: refinement broke candidate order: " + err.Error())
+	}
+	keep := make([]bat.OID, len(pos))
+	for i, p := range pos {
+		keep[i] = at[p]
+	}
+	return refined, keep
+}
+
+// approxAnswer derives the phase-A bounds: candidate-count interval and
+// per-aggregate sum/min/max bounds from approximate projections.
+func (c *Catalog) approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, projections map[ColRef]*ar.Projection) ApproxAnswer {
+	out := ApproxAnswer{Count: ar.CountApprox(m, cands)}
+	bctx := &boundsCtx{n: cands.Len(), fact: map[string][]ar.Interval{}, dim: map[string][]ar.Interval{}}
+	for ref, p := range projections {
+		ivs := make([]ar.Interval, p.Len())
+		err := p.Col.Dec.Err()
+		for i := range ivs {
+			lo := p.ApproxLow(i)
+			ivs[i] = ar.Interval{Lo: lo, Hi: lo + err}
+		}
+		if ref.Dim {
+			bctx.dim[ref.Name] = ivs
+		} else {
+			bctx.fact[ref.Name] = ivs
+		}
+	}
+	for _, a := range q.Aggs {
+		switch a.Func {
+		case Count:
+			out.Aggs = append(out.Aggs, out.Count)
+		case Sum, Avg:
+			ivs := a.Expr.Bounds(bctx)
+			var total ar.Interval
+			for i, iv := range ivs {
+				if !cands.Certain(i) {
+					// A false positive contributes nothing.
+					if iv.Lo > 0 {
+						iv.Lo = 0
+					}
+					if iv.Hi < 0 {
+						iv.Hi = 0
+					}
+				}
+				total.Lo += iv.Lo
+				total.Hi += iv.Hi
+			}
+			if a.Func == Avg {
+				cnt := out.Count
+				if cnt.Lo > 0 {
+					total = ar.Interval{Lo: total.Lo / cnt.Hi, Hi: total.Hi / cnt.Lo}
+				}
+			}
+			out.Aggs = append(out.Aggs, total)
+		case Min, Max:
+			ivs := a.Expr.Bounds(bctx)
+			var total ar.Interval
+			for i, iv := range ivs {
+				if i == 0 {
+					total = iv
+					continue
+				}
+				if a.Func == Min {
+					if iv.Lo < total.Lo {
+						total.Lo = iv.Lo
+					}
+					if iv.Hi < total.Hi {
+						total.Hi = iv.Hi
+					}
+				} else {
+					if iv.Hi > total.Hi {
+						total.Hi = iv.Hi
+					}
+					if iv.Lo > total.Lo {
+						total.Lo = iv.Lo
+					}
+				}
+			}
+			out.Aggs = append(out.Aggs, total)
+		}
+	}
+	return out
+}
+
+// aggregateRows evaluates the aggregate expressions over the exact values
+// and groups them.
+func aggregateRows(m *device.Meter, threads int, q Query, ctx *exprCtx, grouping *bulk.Grouping, groupKeys [][]int64, fused bool) ([]Row, error) {
+	bulkMeter := m
+	if m != nil && fused {
+		// A&R refinement: one fused pass evaluates all expressions and
+		// aggregates, reading each referenced column once (§V-C static
+		// type expansion). Charge it here and run the arithmetic below
+		// unmetered.
+		uniq := map[ColRef]bool{}
+		var nodes int
+		for _, a := range q.Aggs {
+			nodes++ // the aggregate update itself
+			if a.Expr == nil {
+				continue
+			}
+			nodes += a.Expr.Ops()
+			for _, ref := range a.Expr.Cols() {
+				uniq[ref] = true
+			}
+		}
+		n := int64(ctx.n)
+		bytes := n * 8 * int64(len(uniq))
+		if grouping != nil {
+			bytes += n * 4 // group ids
+		}
+		m.CPUWork(threads, bytes, 0, n*int64(nodes)*bulk.OpsArith)
+		bulkMeter = nil
+	} else if m != nil {
+		// Classic bulk evaluation fully materializes one intermediate per
+		// arithmetic node (§II-B); the aggregate passes below charge
+		// separately through bulkMeter.
+		for _, a := range q.Aggs {
+			if a.Expr == nil {
+				continue
+			}
+			if ops := a.Expr.Ops(); ops > 0 {
+				n := int64(ctx.n)
+				m.CPUWork(threads, n*24*int64(ops), 0, n*int64(ops)*bulk.OpsArith)
+			}
+		}
+	}
+	m = bulkMeter
+	if grouping == nil {
+		row := Row{}
+		for _, a := range q.Aggs {
+			v, err := globalAgg(m, threads, a, ctx)
+			if err != nil {
+				return nil, err
+			}
+			row.Vals = append(row.Vals, v)
+		}
+		return []Row{row}, nil
+	}
+	rows := make([]Row, grouping.NGroups)
+	for g := 0; g < grouping.NGroups; g++ {
+		keys := make([]int64, len(groupKeys))
+		for k := range groupKeys {
+			keys[k] = groupKeys[k][g]
+		}
+		rows[g].Keys = keys
+	}
+	for _, a := range q.Aggs {
+		var per []int64
+		switch a.Func {
+		case Count:
+			per = bulk.CountGrouped(m, threads, grouping)
+		case Sum:
+			per = bulk.SumGrouped(m, threads, a.Expr.Eval(ctx), grouping)
+		case Min:
+			per = bulk.MinGrouped(m, threads, a.Expr.Eval(ctx), grouping)
+		case Max:
+			per = bulk.MaxGrouped(m, threads, a.Expr.Eval(ctx), grouping)
+		case Avg:
+			sums := bulk.SumGrouped(m, threads, a.Expr.Eval(ctx), grouping)
+			counts := bulk.CountGrouped(m, threads, grouping)
+			per = make([]int64, len(sums))
+			for i := range per {
+				if counts[i] > 0 {
+					per[i] = sums[i] / counts[i]
+				}
+			}
+		default:
+			return nil, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
+		}
+		for g := range rows {
+			rows[g].Vals = append(rows[g].Vals, per[g])
+		}
+	}
+	sortRows(rows)
+	return rows, nil
+}
+
+func globalAgg(m *device.Meter, threads int, a AggSpec, ctx *exprCtx) (int64, error) {
+	switch a.Func {
+	case Count:
+		return int64(ctx.n), nil
+	case Sum:
+		return bulk.Sum(m, threads, a.Expr.Eval(ctx)), nil
+	case Min:
+		v, _ := bulk.Min(m, threads, a.Expr.Eval(ctx))
+		return v, nil
+	case Max:
+		v, _ := bulk.Max(m, threads, a.Expr.Eval(ctx))
+		return v, nil
+	case Avg:
+		vals := a.Expr.Eval(ctx)
+		if len(vals) == 0 {
+			return 0, nil
+		}
+		return bulk.Sum(m, threads, vals) / int64(len(vals)), nil
+	default:
+		return 0, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
+	}
+}
+
+// queryInputBytes sums the physical footprint of every column the query
+// reads — the stream-baseline input volume.
+func (c *Catalog) queryInputBytes(q Query) int64 {
+	seen := map[string]bool{}
+	var total int64
+	add := func(table, col string) {
+		key := table + "." + col
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		t, err := c.Table(table)
+		if err != nil {
+			return
+		}
+		b, err := t.Column(col)
+		if err != nil {
+			return
+		}
+		total += b.TailBytes()
+	}
+	for _, f := range q.Filters {
+		add(q.Table, f.Col)
+	}
+	for _, g := range q.GroupBy {
+		add(q.Table, g)
+	}
+	if q.Join != nil {
+		add(q.Table, q.Join.FKCol)
+		for _, f := range q.Join.DimFilters {
+			add(q.Join.Dim, f.Col)
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			if ref.Dim {
+				add(q.Join.Dim, ref.Name)
+			} else {
+				add(q.Table, ref.Name)
+			}
+		}
+	}
+	return total
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/bulk"
+	"repro/internal/device"
+)
+
+// ExecClassic executes the query with the classic bulk-processing model on
+// the CPU only — the paper's "MonetDB" baseline. Operators are the
+// fully-materializing tight loops of package bulk; no device or bus time
+// is ever charged.
+func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
+	if err := q.validateClassic(c); err != nil {
+		return nil, err
+	}
+	threads := opts.threads()
+	m := device.NewMeter(c.sys)
+	res := &Result{Meter: m}
+	res.InputBytes = c.queryInputBytes(q)
+	trace := func(format string, args ...any) {
+		res.Plan = append(res.Plan, fmt.Sprintf(format, args...))
+	}
+
+	fact, _ := c.Table(q.Table)
+
+	// Selections: first a full scan, then progressively narrower
+	// candidate-list filters (MonetDB's uselect chains).
+	var ids []bat.OID
+	if len(q.Filters) > 0 {
+		b, err := fact.Column(q.Filters[0].Col)
+		if err != nil {
+			return nil, err
+		}
+		ids = bulk.SelectRange(m, threads, b, q.Filters[0].Lo, q.Filters[0].Hi)
+		trace("algebra.uselect(%s.%s)", q.Table, q.Filters[0].Col)
+		for _, f := range q.Filters[1:] {
+			b, err := fact.Column(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			ids = bulk.SelectOIDs(m, threads, b, ids, f.Lo, f.Hi)
+			trace("algebra.uselect(%s.%s)", q.Table, f.Col)
+		}
+	} else {
+		ids = make([]bat.OID, fact.Len())
+		for i := range ids {
+			ids[i] = bat.OID(i)
+		}
+		m.CPUWork(threads, int64(len(ids))*4, 0, int64(len(ids)))
+		trace("algebra.scan(%s)", q.Table)
+	}
+
+	// Foreign-key join through the pre-built index.
+	var dimPos []bat.OID
+	if q.Join != nil {
+		fkBAT, err := fact.Column(q.Join.FKCol)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := c.FKIndex(q.Join.Dim, q.Join.DimPK)
+		if err != nil {
+			return nil, err
+		}
+		fkVals := bulk.Fetch(m, threads, fkBAT, ids)
+		pos, hit := bulk.FKJoin(m, threads, ix, fkVals)
+		trace("algebra.leftjoin(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
+		keptIDs := make([]bat.OID, 0, len(ids))
+		dimPos = make([]bat.OID, 0, len(ids))
+		for i := range ids {
+			if hit[i] {
+				keptIDs = append(keptIDs, ids[i])
+				dimPos = append(dimPos, pos[i])
+			}
+		}
+		ids = keptIDs
+		dim, _ := c.Table(q.Join.Dim)
+		for _, f := range q.Join.DimFilters {
+			db, err := dim.Column(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			vals := bulk.Fetch(m, threads, db, dimPos)
+			keptIDs = ids[:0:0]
+			keptPos := dimPos[:0:0]
+			for i, v := range vals {
+				if v >= f.Lo && v <= f.Hi {
+					keptIDs = append(keptIDs, ids[i])
+					keptPos = append(keptPos, dimPos[i])
+				}
+			}
+			m.CPUWork(threads, int64(len(vals))*8, 0, int64(len(vals)))
+			ids, dimPos = keptIDs, keptPos
+			trace("algebra.uselect(%s.%s)", q.Join.Dim, f.Col)
+		}
+	}
+	res.Candidates = len(ids)
+	res.Refined = len(ids)
+
+	// Materialize referenced columns at the qualifying positions.
+	ctx := &exprCtx{n: len(ids), fact: map[string][]int64{}, dim: map[string][]int64{}}
+	need := map[ColRef]bool{}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			need[ref] = true
+		}
+	}
+	for ref := range need {
+		if ref.Dim {
+			dim, _ := c.Table(q.Join.Dim)
+			db, err := dim.Column(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			ctx.dim[ref.Name] = bulk.Fetch(m, threads, db, dimPos)
+		} else {
+			fb, err := fact.Column(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			ctx.fact[ref.Name] = bulk.Fetch(m, threads, fb, ids)
+		}
+		trace("algebra.leftjoin(%s)", ref.Name)
+	}
+
+	// Grouping.
+	var grouping *bulk.Grouping
+	var groupKeys [][]int64
+	if len(q.GroupBy) > 0 {
+		cols := make([][]int64, len(q.GroupBy))
+		for k, g := range q.GroupBy {
+			gb, err := fact.Column(g)
+			if err != nil {
+				return nil, err
+			}
+			cols[k] = bulk.Fetch(m, threads, gb, ids)
+		}
+		grouping, groupKeys = bulk.GroupByMulti(m, threads, cols)
+		trace("group.new(%s)", join(q.GroupBy))
+	}
+
+	rows, err := aggregateRows(m, threads, q, ctx, grouping, groupKeys, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range q.Aggs {
+		trace("aggr.%s(%s)", a.Func, a.Name)
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// validateClassic checks table/column references without requiring
+// decompositions.
+func (q *Query) validateClassic(c *Catalog) error {
+	fact, err := c.Table(q.Table)
+	if err != nil {
+		return err
+	}
+	for _, f := range q.Filters {
+		if _, err := fact.Column(f.Col); err != nil {
+			return err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if _, err := fact.Column(g); err != nil {
+			return err
+		}
+	}
+	if q.Join != nil {
+		if _, err := fact.Column(q.Join.FKCol); err != nil {
+			return err
+		}
+		dim, err := c.Table(q.Join.Dim)
+		if err != nil {
+			return err
+		}
+		for _, f := range q.Join.DimFilters {
+			if _, err := dim.Column(f.Col); err != nil {
+				return err
+			}
+		}
+	}
+	if len(q.Filters) == 0 && len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
+		return fmt.Errorf("plan: empty query")
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bwd"
+)
+
+// orderFilters implements the rule-based optimizer of §III-A: approximate
+// selections are pushed down (executed first) in order of estimated
+// selectivity, so the cheapest, most selective approximate scans shrink
+// the candidate set before the more expensive operators run. The estimate
+// is the relaxed code-range fraction of the column's code domain — derived
+// purely from the decomposition metadata, no data statistics needed.
+func orderFilters(c *Catalog, table string, filters []Filter) ([]Filter, error) {
+	type ranked struct {
+		f   Filter
+		sel float64
+	}
+	rs := make([]ranked, 0, len(filters))
+	for _, f := range filters {
+		d, err := c.Decomposition(table, f.Col)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, ranked{f, estimateSelectivity(d, f)})
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].sel < rs[j].sel })
+	out := make([]Filter, len(rs))
+	for i, r := range rs {
+		out[i] = r.f
+	}
+	return out, nil
+}
+
+// estimateSelectivity returns the fraction of the code domain admitted by
+// the relaxed predicate.
+func estimateSelectivity(d *bwd.Column, f Filter) float64 {
+	r := d.Relax(f.Lo, f.Hi)
+	switch {
+	case r.Empty:
+		return 0
+	case r.Full:
+		return 1
+	default:
+		span := float64(d.Dec.MaxApprox()) + 1
+		return float64(r.Hi-r.Lo+1) / span
+	}
+}
+
+// validate checks that the query references only known tables/columns and
+// that every column an A&R plan touches is decomposed.
+func (q *Query) validate(c *Catalog) error {
+	if _, err := c.Table(q.Table); err != nil {
+		return err
+	}
+	for _, f := range q.Filters {
+		if _, err := c.Decomposition(q.Table, f.Col); err != nil {
+			return err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if _, err := c.Decomposition(q.Table, g); err != nil {
+			return err
+		}
+	}
+	if q.Join != nil {
+		if _, err := c.Decomposition(q.Table, q.Join.FKCol); err != nil {
+			return err
+		}
+		if _, err := c.Table(q.Join.Dim); err != nil {
+			return err
+		}
+		for _, f := range q.Join.DimFilters {
+			if _, err := c.Decomposition(q.Join.Dim, f.Col); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			if a.Func != Count {
+				return fmt.Errorf("plan: aggregate %s needs an expression", a.Func)
+			}
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			tbl := q.Table
+			if ref.Dim {
+				if q.Join == nil {
+					return fmt.Errorf("plan: dimension column %s referenced without a join", ref.Name)
+				}
+				tbl = q.Join.Dim
+			}
+			if _, err := c.Decomposition(tbl, ref.Name); err != nil {
+				return err
+			}
+		}
+	}
+	if len(q.Filters) == 0 && len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
+		return fmt.Errorf("plan: empty query")
+	}
+	return nil
+}
+
+// anchorColumn picks the column whose approximation the full-table scan
+// uses when the query has no filters (pure grouping/aggregation).
+func (q *Query) anchorColumn() (string, bool) {
+	if len(q.GroupBy) > 0 {
+		return q.GroupBy[0], true
+	}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			if !ref.Dim {
+				return ref.Name, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,313 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ar"
+)
+
+// Query is the logical query model: a conjunctive range selection over a
+// fact table, an optional foreign-key join into one dimension table with
+// further dimension-side selections, a grouping, and a list of aggregates
+// over arithmetic expressions. This shape covers the paper's entire
+// workload — the microbenchmarks, the spatial range queries (Table I) and
+// TPC-H Q1, Q6 and Q14 — and is exactly the class of plans the A&R
+// operator set supports (§IV).
+type Query struct {
+	Table   string
+	Filters []Filter
+	Join    *JoinSpec
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// Filter is a closed-range predicate lo <= col <= hi. Open-ended and
+// strict comparisons are canonicalized into this form at integer
+// granularity (v < x  ≡  v <= x-1), matching the paper's f(x) coverage.
+type Filter struct {
+	Col    string
+	Lo, Hi int64
+}
+
+// NoLo and NoHi are the open bounds for one-sided filters.
+const (
+	NoLo = math.MinInt64
+	NoHi = math.MaxInt64
+)
+
+// JoinSpec joins the fact table to one dimension table over a pre-indexed
+// foreign key; DimFilters are applied to the joined dimension rows.
+type JoinSpec struct {
+	FKCol      string // fact-side foreign-key column
+	Dim        string // dimension table name
+	DimPK      string // dimension primary-key column (dense)
+	DimFilters []Filter
+}
+
+// AggFunc enumerates the supported aggregation functions.
+type AggFunc int
+
+// Aggregation functions.
+const (
+	Sum AggFunc = iota
+	Count
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// AggSpec is one output aggregate: Func applied to Expr (Expr may be nil
+// for Count).
+type AggSpec struct {
+	Name string
+	Func AggFunc
+	Expr Expr
+}
+
+// exprCtx provides the exact column values (positionally aligned with the
+// refined tuple set) to expression evaluation. Dim columns are the joined
+// dimension attributes.
+type exprCtx struct {
+	n    int
+	fact map[string][]int64
+	dim  map[string][]int64
+}
+
+// boundsCtx provides per-tuple value intervals derived from approximations
+// for the approximate (phase-A) answer.
+type boundsCtx struct {
+	n    int
+	fact map[string][]ar.Interval
+	dim  map[string][]ar.Interval
+}
+
+// Expr is an arithmetic expression over column values. Eval computes exact
+// values; Bounds computes conservative per-tuple intervals from
+// approximations (used for the approximate query answer and predicate
+// relaxation, §III). Cols reports the referenced columns.
+type Expr interface {
+	Eval(ctx *exprCtx) []int64
+	Bounds(ctx *boundsCtx) []ar.Interval
+	Cols() []ColRef
+	// Ops counts the bulk-operator passes the expression costs: one fully
+	// materialized map per arithmetic/case node (§II-B).
+	Ops() int
+	String() string
+}
+
+// ColRef names a column, either on the fact table or the joined dimension.
+type ColRef struct {
+	Name string
+	Dim  bool
+}
+
+// Col references a fact-table column.
+func Col(name string) Expr { return colExpr{ColRef{Name: name}} }
+
+// DimCol references a joined dimension column.
+func DimCol(name string) Expr { return colExpr{ColRef{Name: name, Dim: true}} }
+
+type colExpr struct{ ref ColRef }
+
+func (e colExpr) Eval(ctx *exprCtx) []int64 {
+	if e.ref.Dim {
+		return ctx.dim[e.ref.Name]
+	}
+	return ctx.fact[e.ref.Name]
+}
+
+func (e colExpr) Bounds(ctx *boundsCtx) []ar.Interval {
+	if e.ref.Dim {
+		return ctx.dim[e.ref.Name]
+	}
+	return ctx.fact[e.ref.Name]
+}
+
+func (e colExpr) Cols() []ColRef { return []ColRef{e.ref} }
+
+func (e colExpr) Ops() int { return 0 }
+
+func (e colExpr) String() string {
+	if e.ref.Dim {
+		return "dim." + e.ref.Name
+	}
+	return e.ref.Name
+}
+
+// Const is a constant expression.
+func Const(v int64) Expr { return constExpr(v) }
+
+type constExpr int64
+
+func (e constExpr) Eval(ctx *exprCtx) []int64 {
+	out := make([]int64, ctx.n)
+	for i := range out {
+		out[i] = int64(e)
+	}
+	return out
+}
+
+func (e constExpr) Bounds(ctx *boundsCtx) []ar.Interval {
+	out := make([]ar.Interval, ctx.n)
+	for i := range out {
+		out[i] = ar.Exact(int64(e))
+	}
+	return out
+}
+
+func (e constExpr) Cols() []ColRef { return nil }
+
+func (e constExpr) Ops() int { return 0 }
+
+func (e constExpr) String() string { return fmt.Sprintf("%d", int64(e)) }
+
+type binExpr struct {
+	op    string
+	a, b  Expr
+	scale int64 // for fixed-point mul
+}
+
+// Add returns a+b.
+func Add(a, b Expr) Expr { return binExpr{op: "add", a: a, b: b} }
+
+// Sub returns a-b.
+func Sub(a, b Expr) Expr { return binExpr{op: "sub", a: a, b: b} }
+
+// MulScaled returns the fixed-point product (a*b)/scale. Per §IV-G this
+// operation is destructively distributive: its exact value is always
+// recomputed on the CPU from reconstructed inputs, never refined from the
+// approximate product.
+func MulScaled(a, b Expr, scale int64) Expr { return binExpr{op: "mul", a: a, b: b, scale: scale} }
+
+func (e binExpr) Eval(ctx *exprCtx) []int64 {
+	av, bv := e.a.Eval(ctx), e.b.Eval(ctx)
+	out := make([]int64, len(av))
+	switch e.op {
+	case "add":
+		for i := range out {
+			out[i] = av[i] + bv[i]
+		}
+	case "sub":
+		for i := range out {
+			out[i] = av[i] - bv[i]
+		}
+	case "mul":
+		for i := range out {
+			out[i] = av[i] * bv[i] / e.scale
+		}
+	}
+	return out
+}
+
+func (e binExpr) Bounds(ctx *boundsCtx) []ar.Interval {
+	av, bv := e.a.Bounds(ctx), e.b.Bounds(ctx)
+	out := make([]ar.Interval, len(av))
+	switch e.op {
+	case "add":
+		for i := range out {
+			out[i] = av[i].Add(bv[i])
+		}
+	case "sub":
+		for i := range out {
+			out[i] = av[i].Sub(bv[i])
+		}
+	case "mul":
+		for i := range out {
+			out[i] = av[i].MulScaled(bv[i], e.scale)
+		}
+	}
+	return out
+}
+
+func (e binExpr) Cols() []ColRef { return append(e.a.Cols(), e.b.Cols()...) }
+
+func (e binExpr) Ops() int { return e.a.Ops() + e.b.Ops() + 1 }
+
+func (e binExpr) String() string {
+	sym := map[string]string{"add": "+", "sub": "-", "mul": "*"}[e.op]
+	return fmt.Sprintf("(%s %s %s)", e.a, sym, e.b)
+}
+
+// CaseRange returns `then` where lo <= cond <= hi and `els` elsewhere —
+// the dictionary-range CASE of TPC-H Q14 after the paper's prefix-to-range
+// rewrite (§VI-D1).
+func CaseRange(cond Expr, lo, hi int64, then, els Expr) Expr {
+	return caseExpr{cond: cond, lo: lo, hi: hi, then: then, els: els}
+}
+
+type caseExpr struct {
+	cond   Expr
+	lo, hi int64
+	then   Expr
+	els    Expr
+}
+
+func (e caseExpr) Eval(ctx *exprCtx) []int64 {
+	cv := e.cond.Eval(ctx)
+	tv := e.then.Eval(ctx)
+	ev := e.els.Eval(ctx)
+	out := make([]int64, len(cv))
+	for i := range out {
+		if cv[i] >= e.lo && cv[i] <= e.hi {
+			out[i] = tv[i]
+		} else {
+			out[i] = ev[i]
+		}
+	}
+	return out
+}
+
+func (e caseExpr) Bounds(ctx *boundsCtx) []ar.Interval {
+	cv := e.cond.Bounds(ctx)
+	tv := e.then.Bounds(ctx)
+	ev := e.els.Bounds(ctx)
+	out := make([]ar.Interval, len(cv))
+	for i := range out {
+		switch {
+		case cv[i].Lo >= e.lo && cv[i].Hi <= e.hi:
+			out[i] = tv[i] // certainly inside
+		case cv[i].Hi < e.lo || cv[i].Lo > e.hi:
+			out[i] = ev[i] // certainly outside
+		default: // undecidable from the approximation: union of branches
+			lo, hi := tv[i].Lo, tv[i].Hi
+			if ev[i].Lo < lo {
+				lo = ev[i].Lo
+			}
+			if ev[i].Hi > hi {
+				hi = ev[i].Hi
+			}
+			out[i] = ar.Interval{Lo: lo, Hi: hi}
+		}
+	}
+	return out
+}
+
+func (e caseExpr) Cols() []ColRef {
+	out := e.cond.Cols()
+	out = append(out, e.then.Cols()...)
+	return append(out, e.els.Cols()...)
+}
+
+func (e caseExpr) Ops() int { return e.cond.Ops() + e.then.Ops() + e.els.Ops() + 1 }
+
+func (e caseExpr) String() string {
+	return fmt.Sprintf("case(%d<=%s<=%d ? %s : %s)", e.lo, e.cond, e.hi, e.then, e.els)
+}

@@ -1,0 +1,100 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ar"
+	"repro/internal/device"
+)
+
+// Row is one output row: the grouping key values (empty for global
+// aggregation) and one value per aggregate.
+type Row struct {
+	Keys []int64
+	Vals []int64
+}
+
+// ApproxAnswer is the phase-A result: after the approximation subplan has
+// run on the device — and before any refinement work — the system can
+// report strict bounds on the query answer "without wasting resources"
+// (§III item 4).
+type ApproxAnswer struct {
+	Count ar.Interval   // bounds on the number of qualifying tuples
+	Aggs  []ar.Interval // bounds per aggregate, over all groups
+}
+
+// Result is the outcome of executing a query.
+type Result struct {
+	Rows   []Row
+	Approx ApproxAnswer
+	// Meter holds the simulated device-time breakdown (GPU/CPU/PCI).
+	Meter *device.Meter
+	// Candidates and Refined are the candidate-set sizes before and after
+	// refinement; their difference is the false-positive count.
+	Candidates int
+	Refined    int
+	// InputBytes is the footprint of every input column the query reads —
+	// the quantity a streaming GPU system would have to push through the
+	// bus (the paper's "Stream (Hypothetical)" baseline).
+	InputBytes int64
+	// Plan is the MAL-style physical plan listing (Fig 7).
+	Plan []string
+}
+
+// StreamHypothetical returns the paper's streaming-baseline time for this
+// query's input.
+func (r *Result) StreamHypothetical() float64 {
+	return r.Meter.StreamHypothetical(r.InputBytes).Seconds()
+}
+
+// sortRows orders rows by their key tuples for deterministic output.
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Keys, rows[j].Keys
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// FormatRows renders rows for diagnostics and examples.
+func FormatRows(rows []Row) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		if len(r.Keys) > 0 {
+			fmt.Fprintf(&sb, "%v -> %v\n", r.Keys, r.Vals)
+		} else {
+			fmt.Fprintf(&sb, "%v\n", r.Vals)
+		}
+	}
+	return sb.String()
+}
+
+// EqualResults reports whether two result row sets are identical (used by
+// tests asserting A&R == classic).
+func EqualResults(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Keys) != len(b[i].Keys) || len(a[i].Vals) != len(b[i].Vals) {
+			return false
+		}
+		for k := range a[i].Keys {
+			if a[i].Keys[k] != b[i].Keys[k] {
+				return false
+			}
+		}
+		for k := range a[i].Vals {
+			if a[i].Vals[k] != b[i].Vals[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

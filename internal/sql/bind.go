@@ -1,0 +1,293 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plan"
+)
+
+// Bind resolves a parsed SELECT against the catalog into a plan.Query.
+// bwdecompose pseudo-queries are reported through the Decompose field of
+// the returned Binding instead.
+type Binding struct {
+	Query     plan.Query
+	Explain   bool
+	Decompose []DecomposeSpec // non-empty for bwdecompose statements
+}
+
+// DecomposeSpec is one bwdecompose(col, bits) request.
+type DecomposeSpec struct {
+	Table string
+	Col   string
+	Bits  uint
+}
+
+// Bind validates names and shapes the statement into the engine's query
+// model.
+func Bind(stmt *Stmt, c *plan.Catalog) (*Binding, error) {
+	sel := stmt.Select
+	b := &Binding{Explain: stmt.Explain}
+	if _, err := c.Table(sel.From); err != nil {
+		return nil, err
+	}
+
+	// bwdecompose statements: every item must be a bwdecompose call.
+	if len(sel.Items) > 0 && sel.Items[0].Agg == "bwdecompose" {
+		for _, item := range sel.Items {
+			if item.Agg != "bwdecompose" {
+				return nil, fmt.Errorf("sql: bwdecompose cannot be mixed with other select items")
+			}
+			if item.DBits <= 0 || item.DBits > 63 {
+				return nil, fmt.Errorf("sql: bwdecompose bits %d out of range", item.DBits)
+			}
+			tbl := sel.From
+			if item.DCol.Table != "" {
+				tbl = item.DCol.Table
+			}
+			b.Decompose = append(b.Decompose, DecomposeSpec{Table: tbl, Col: item.DCol.Name, Bits: uint(item.DBits)})
+		}
+		return b, nil
+	}
+
+	q := plan.Query{Table: sel.From}
+	var dimTable string
+	if sel.Join != nil {
+		fkSide, pkSide := sel.Join.LeftCol, sel.Join.RightCol
+		// Normalize: the fact side is sel.From.
+		if fkSide.Table == sel.Join.Table || pkSide.Table == sel.From {
+			fkSide, pkSide = pkSide, fkSide
+		}
+		if fkSide.Table != "" && fkSide.Table != sel.From {
+			return nil, fmt.Errorf("sql: join condition must relate %s to %s", sel.From, sel.Join.Table)
+		}
+		if pkSide.Table != "" && pkSide.Table != sel.Join.Table {
+			return nil, fmt.Errorf("sql: join condition must relate %s to %s", sel.From, sel.Join.Table)
+		}
+		dimTable = sel.Join.Table
+		q.Join = &plan.JoinSpec{FKCol: fkSide.Name, Dim: dimTable, DimPK: pkSide.Name}
+	}
+
+	onDim := func(col QualCol) (bool, error) {
+		switch col.Table {
+		case "", sel.From:
+			return false, nil
+		case dimTable:
+			if dimTable == "" {
+				return false, fmt.Errorf("sql: unknown table %q", col.Table)
+			}
+			return true, nil
+		default:
+			return false, fmt.Errorf("sql: unknown table %q", col.Table)
+		}
+	}
+
+	// WHERE: conjunctive predicates canonicalized to closed ranges, with
+	// decimal literals aligned to the column's fixed-point scale.
+	for _, p := range sel.Preds {
+		dim, err := onDim(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		tbl := sel.From
+		if dim {
+			tbl = dimTable
+		}
+		lo, err := alignScale(c, tbl, p.Col.Name, p.Lo, p.LoScale)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := alignScale(c, tbl, p.Col.Name, p.Hi, p.HiScale)
+		if err != nil {
+			return nil, err
+		}
+		f := plan.Filter{Col: p.Col.Name}
+		switch p.Op {
+		case "=":
+			f.Lo, f.Hi = lo, lo
+		case "<":
+			f.Lo, f.Hi = plan.NoLo, lo-1
+		case "<=":
+			f.Lo, f.Hi = plan.NoLo, lo
+		case ">":
+			f.Lo, f.Hi = lo+1, plan.NoHi
+		case ">=":
+			f.Lo, f.Hi = lo, plan.NoHi
+		case "between":
+			f.Lo, f.Hi = lo, hi
+		default:
+			return nil, fmt.Errorf("sql: unsupported predicate %q", p.Op)
+		}
+		if dim {
+			q.Join.DimFilters = append(q.Join.DimFilters, f)
+		} else {
+			q.Filters = append(q.Filters, f)
+		}
+	}
+
+	// GROUP BY columns (fact side only, like the engine).
+	groupSet := map[string]bool{}
+	for _, g := range sel.GroupBy {
+		if dim, err := onDim(g); err != nil {
+			return nil, err
+		} else if dim {
+			return nil, fmt.Errorf("sql: grouping by dimension columns is not supported")
+		}
+		q.GroupBy = append(q.GroupBy, g.Name)
+		groupSet[g.Name] = true
+	}
+
+	// SELECT items: plain grouped columns or aggregates.
+	for i, item := range sel.Items {
+		name := item.Alias
+		if name == "" {
+			name = fmt.Sprintf("col%d", i+1)
+		}
+		if item.Agg == "" {
+			// A bare expression must be a grouped column reference.
+			if item.Expr == nil || item.Expr.Op != "col" || !groupSet[item.Expr.Col.Name] {
+				return nil, fmt.Errorf("sql: select item %d is neither an aggregate nor a grouped column", i+1)
+			}
+			continue // grouped columns appear as result keys automatically
+		}
+		spec := plan.AggSpec{Name: name}
+		switch item.Agg {
+		case "count":
+			spec.Func = plan.Count
+			if !item.Star && item.Expr != nil {
+				// count(col) == count(*) in this NULL-free engine.
+				if _, err := bindArith(item.Expr, onDim); err != nil {
+					return nil, err
+				}
+			}
+		case "sum", "min", "max", "avg":
+			spec.Func = map[string]plan.AggFunc{
+				"sum": plan.Sum, "min": plan.Min, "max": plan.Max, "avg": plan.Avg,
+			}[item.Agg]
+			if item.Expr == nil {
+				return nil, fmt.Errorf("sql: %s needs an argument", item.Agg)
+			}
+			expr, err := bindArith(item.Expr, onDim)
+			if err != nil {
+				return nil, err
+			}
+			spec.Expr = expr
+		default:
+			return nil, fmt.Errorf("sql: unknown aggregate %q", item.Agg)
+		}
+		q.Aggs = append(q.Aggs, spec)
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("sql: query computes no aggregates (projection-only queries are not supported)")
+	}
+	b.Query = q
+	return b, nil
+}
+
+// alignScale converts a literal parsed at litScale (10^fractional digits)
+// into the column's storage scale. A literal with more fractional digits
+// than the column stores is rejected.
+func alignScale(c *plan.Catalog, table, col string, v, litScale int64) (int64, error) {
+	if litScale <= 1 {
+		litScale = 1
+	}
+	t, err := c.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	colScale, err := t.ColumnScale(col)
+	if err != nil {
+		return 0, err
+	}
+	if litScale > colScale {
+		return 0, fmt.Errorf("sql: literal has more fractional digits than column %s.%s (scale %d)", table, col, colScale)
+	}
+	return v * (colScale / litScale), nil
+}
+
+// bindArith lowers an AST expression into the plan expression model.
+// Multiplication of two decimal literals/columns is fixed-point: the scale
+// divisor is taken from the literal's own fractional digits (integer
+// operands multiply at scale 1).
+func bindArith(e *ArithE, onDim func(QualCol) (bool, error)) (plan.Expr, error) {
+	switch e.Op {
+	case "col":
+		dim, err := onDim(e.Col)
+		if err != nil {
+			return nil, err
+		}
+		if dim {
+			return plan.DimCol(e.Col.Name), nil
+		}
+		return plan.Col(e.Col.Name), nil
+	case "lit":
+		return plan.Const(e.Lit), nil
+	case "+", "-", "*":
+		l, err := bindArith(e.L, onDim)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindArith(e.R, onDim)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "+":
+			return plan.Add(l, r), nil
+		case "-":
+			return plan.Sub(l, r), nil
+		default:
+			scale := int64(1)
+			if e.L.Op == "lit" && e.L.Scale > 1 {
+				scale = e.L.Scale
+			}
+			if e.R.Op == "lit" && e.R.Scale > 1 {
+				scale = e.R.Scale
+			}
+			return plan.MulScaled(l, r, scale), nil
+		}
+	default:
+		return nil, fmt.Errorf("sql: unknown expression op %q", e.Op)
+	}
+}
+
+// Run parses, binds and executes a statement. bwdecompose statements apply
+// the decomposition and return nil; EXPLAIN returns a Result carrying only
+// the plan listing.
+func Run(c *plan.Catalog, src string, opts plan.ExecOpts) (*plan.Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Bind(stmt, c)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Decompose) > 0 {
+		for _, d := range b.Decompose {
+			if _, err := c.Decompose(d.Table, d.Col, d.Bits); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	res, err := c.ExecAR(b.Query, opts)
+	if err != nil {
+		return nil, err
+	}
+	if b.Explain {
+		return &plan.Result{Plan: res.Plan, Meter: res.Meter}, nil
+	}
+	return res, nil
+}
+
+// Format renders a result like a small SQL client.
+func Format(res *plan.Result) string {
+	if res == nil {
+		return "ok\n"
+	}
+	if res.Rows == nil && len(res.Plan) > 0 {
+		return strings.Join(res.Plan, "\n") + "\n"
+	}
+	return plan.FormatRows(res.Rows)
+}

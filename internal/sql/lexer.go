@@ -1,0 +1,127 @@
+// Package sql implements a small SQL subset over the plan layer — enough
+// to express every query the paper evaluates:
+//
+//	SELECT sum(l_extendedprice * l_discount) AS revenue
+//	FROM lineitem
+//	WHERE l_shipdate BETWEEN 731 AND 1095
+//	  AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24
+//
+//	SELECT l_returnflag, l_linestatus, sum(l_quantity), count(*)
+//	FROM lineitem WHERE l_shipdate <= 2436
+//	GROUP BY l_returnflag, l_linestatus
+//
+//	SELECT count(lon) FROM trips
+//	WHERE lon BETWEEN 268288 AND 270228 AND lat BETWEEN 5042220 AND 5044850
+//
+//	SELECT bwdecompose(lon, 24) FROM trips
+//
+// plus single-dimension foreign-key joins
+// (FROM fact JOIN dim ON fact.fk = dim.pk) and EXPLAIN. Values are the
+// engine's canonical scaled integers (decimal literals are scaled by their
+// own fractional digits, e.g. 2.68288 -> 268288).
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * + -
+	tokOp     // = < > <= >= <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer scans SQL text into tokens. Keywords are case-insensitive and
+// reported as upper-case identifiers.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) error(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: position %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		sawDot := false
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || (l.src[l.pos] == '.' && !sawDot && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]))) {
+			if l.src[l.pos] == '.' {
+				sawDot = true
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.error(start, "unterminated string literal")
+		}
+		l.pos++
+		return token{kind: tokString, text: l.src[start+1 : l.pos-1], pos: start}, nil
+	case c == '<' || c == '>':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.src[start:l.pos], pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case strings.IndexByte("(),.*+-", c) >= 0:
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	default:
+		return token{}, l.error(start, "unexpected character %q", c)
+	}
+}
+
+func isSpace(c byte) bool      { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// tokenize scans the whole input.
+func tokenize(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

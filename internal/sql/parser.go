@@ -1,0 +1,462 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AST types. The grammar (keywords case-insensitive):
+//
+//	stmt      := [EXPLAIN] select
+//	select    := SELECT item {, item} FROM name [join] [where] [groupby]
+//	item      := expr [AS name]
+//	join      := JOIN name ON qualcol = qualcol
+//	where     := WHERE pred {AND pred}
+//	pred      := qualcol cmp literal
+//	           | qualcol BETWEEN literal AND literal
+//	groupby   := GROUP BY qualcol {, qualcol}
+//	expr      := aggcall | arith
+//	aggcall   := (SUM|COUNT|MIN|MAX|AVG) '(' (arith | '*') ')'
+//	           | BWDECOMPOSE '(' qualcol ',' number ')'
+//	arith     := term {(+|-) term}
+//	term      := factor {'*' factor}
+//	factor    := qualcol | literal | '(' arith ')'
+//	qualcol   := name ['.' name]
+//	literal   := number (decimal literals scale by fractional digits)
+
+// Stmt is a parsed statement.
+type Stmt struct {
+	Explain bool
+	Select  *SelectStmt
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    string
+	Join    *JoinClause
+	Preds   []Pred
+	GroupBy []QualCol
+}
+
+// SelectItem is one output expression.
+type SelectItem struct {
+	Agg   string   // "", "sum", "count", "min", "max", "avg", "bwdecompose"
+	Star  bool     // count(*)
+	Expr  *ArithE  // nil for count(*) and bwdecompose
+	DCol  *QualCol // bwdecompose target
+	DBits int64    // bwdecompose bits
+	Alias string
+}
+
+// JoinClause is a single FK join.
+type JoinClause struct {
+	Table    string
+	LeftCol  QualCol
+	RightCol QualCol
+}
+
+// Pred is a (possibly one-sided) range predicate in SQL form. LoScale and
+// HiScale record the decimal scale of each literal (1 for integers) so the
+// binder can align them to the column's fixed-point encoding.
+type Pred struct {
+	Col              QualCol
+	Op               string // "=", "<", "<=", ">", ">=", "between"
+	Lo, Hi           int64  // Hi used by BETWEEN
+	LoScale, HiScale int64
+}
+
+// QualCol is a possibly table-qualified column name.
+type QualCol struct {
+	Table string // empty when unqualified
+	Name  string
+}
+
+func (q QualCol) String() string {
+	if q.Table == "" {
+		return q.Name
+	}
+	return q.Table + "." + q.Name
+}
+
+// ArithE is an arithmetic expression tree.
+type ArithE struct {
+	Op    string  // "col", "lit", "+", "-", "*"
+	Col   QualCol // when Op == "col"
+	Lit   int64   // when Op == "lit"
+	Scale int64   // literal scale (1, 10, 100, ...) for fixed-point mul
+	L, R  *ArithE
+}
+
+type parser struct {
+	toks []token
+	at   int
+}
+
+// Parse parses one statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt := &Stmt{}
+	if p.acceptKeyword("EXPLAIN") {
+		stmt.Explain = true
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	stmt.Select = sel
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.at] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.at]
+	if t.kind != tokEOF {
+		p.at++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if (t.kind == tokSymbol || t.kind == tokOp) && t.text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{}
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, *item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = tbl
+	if p.acceptKeyword("JOIN") {
+		join := &JoinClause{}
+		if join.Table, err = p.parseName(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		if join.LeftCol, err = p.parseQualCol(); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		if join.RightCol, err = p.parseQualCol(); err != nil {
+			return nil, err
+		}
+		sel.Join = join
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			sel.Preds = append(sel.Preds, *pred)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseQualCol()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return sel, nil
+}
+
+var aggNames = map[string]bool{
+	"sum": true, "count": true, "min": true, "max": true, "avg": true,
+}
+
+func (p *parser) parseItem() (*SelectItem, error) {
+	t := p.peek()
+	item := &SelectItem{}
+	if t.kind == tokIdent {
+		lower := strings.ToLower(t.text)
+		if strings.EqualFold(t.text, "bwdecompose") {
+			p.advance()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			col, err := p.parseQualCol()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(","); err != nil {
+				return nil, err
+			}
+			bits, _, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			item.Agg = "bwdecompose"
+			item.DCol = &col
+			item.DBits = bits
+			return item, p.parseAlias(item)
+		}
+		if aggNames[lower] && p.toks[p.at+1].kind == tokSymbol && p.toks[p.at+1].text == "(" {
+			p.advance()
+			p.advance() // '('
+			item.Agg = lower
+			if p.acceptSymbol("*") {
+				if lower != "count" {
+					return nil, fmt.Errorf("sql: %s(*) is not valid", lower)
+				}
+				item.Star = true
+			} else {
+				expr, err := p.parseArith()
+				if err != nil {
+					return nil, err
+				}
+				item.Expr = expr
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return item, p.parseAlias(item)
+		}
+	}
+	expr, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	item.Expr = expr
+	return item, p.parseAlias(item)
+}
+
+func (p *parser) parseAlias(item *SelectItem) error {
+	if p.acceptKeyword("AS") {
+		name, err := p.parseName()
+		if err != nil {
+			return err
+		}
+		item.Alias = name
+	}
+	return nil
+}
+
+func (p *parser) parsePred() (*Pred, error) {
+	col, err := p.parseQualCol()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, loScale, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, hiScale, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return &Pred{Col: col, Op: "between", Lo: lo, Hi: hi, LoScale: loScale, HiScale: hiScale}, nil
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return nil, fmt.Errorf("sql: expected comparison after %s, found %q", col, t.text)
+	}
+	p.advance()
+	v, vScale, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	switch t.text {
+	case "=", "<", "<=", ">", ">=":
+		return &Pred{Col: col, Op: t.text, Lo: v, LoScale: vScale}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported operator %q", t.text)
+	}
+}
+
+func (p *parser) parseArith() (*ArithE, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &ArithE{Op: "+", L: left, R: right}
+		case p.acceptSymbol("-"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = &ArithE{Op: "-", L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (*ArithE, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSymbol("*") {
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &ArithE{Op: "*", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (*ArithE, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		v, scale, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return &ArithE{Op: "lit", Lit: v, Scale: scale}, nil
+	case t.kind == tokIdent:
+		col, err := p.parseQualCol()
+		if err != nil {
+			return nil, err
+		}
+		return &ArithE{Op: "col", Col: col}, nil
+	case p.acceptSymbol("("):
+		inner, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected %q in expression", t.text)
+	}
+}
+
+func (p *parser) parseName() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected name, found %q", t.text)
+	}
+	p.advance()
+	return strings.ToLower(t.text), nil
+}
+
+func (p *parser) parseQualCol() (QualCol, error) {
+	first, err := p.parseName()
+	if err != nil {
+		return QualCol{}, err
+	}
+	if p.acceptSymbol(".") {
+		second, err := p.parseName()
+		if err != nil {
+			return QualCol{}, err
+		}
+		return QualCol{Table: first, Name: second}, nil
+	}
+	return QualCol{Name: first}, nil
+}
+
+// parseNumber parses an integer or decimal literal, returning the scaled
+// integer value and the scale (10^fractional digits).
+func (p *parser) parseNumber() (value, scale int64, err error) {
+	neg := p.acceptSymbol("-")
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, 0, fmt.Errorf("sql: expected number, found %q", t.text)
+	}
+	p.advance()
+	text := t.text
+	scale = 1
+	intPart := text
+	if dot := strings.IndexByte(text, '.'); dot >= 0 {
+		frac := text[dot+1:]
+		intPart = text[:dot] + frac
+		for range frac {
+			scale *= 10
+		}
+	}
+	var v int64
+	for _, c := range intPart {
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, scale, nil
+}

@@ -1,0 +1,115 @@
+package tpch
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// The three queries the paper selects as "representative for many
+// relational workloads such as relational and multidimensional OLAP"
+// (§VI-D). Dates are encoded as days since Epoch, money in cents,
+// discounts/taxes in hundredths.
+
+// Q1 is TPC-H Query 1 (pricing summary report):
+//
+//	select l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice),
+//	       sum(l_extendedprice*(1-l_discount)),
+//	       sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//	       avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+//	from lineitem
+//	where l_shipdate <= date '1998-12-01' - interval ':delta' day
+//	group by l_returnflag, l_linestatus
+//
+// Its cost in the paper splits between selection, grouping and
+// aggregation; the sums of products suffer destructive distributivity
+// (§IV-G), capping the speed-up near 3x.
+func Q1(deltaDays int) plan.Query {
+	cutoff := Day(1998, 12, 1) - int64(deltaDays)
+	discPrice := plan.MulScaled(plan.Col("l_extendedprice"),
+		plan.Sub(plan.Const(100), plan.Col("l_discount")), 100)
+	charge := plan.MulScaled(discPrice,
+		plan.Add(plan.Const(100), plan.Col("l_tax")), 100)
+	return plan.Query{
+		Table:   "lineitem",
+		Filters: []plan.Filter{{Col: "l_shipdate", Lo: plan.NoLo, Hi: cutoff}},
+		GroupBy: []string{"l_returnflag", "l_linestatus"},
+		Aggs: []plan.AggSpec{
+			{Name: "sum_qty", Func: plan.Sum, Expr: plan.Col("l_quantity")},
+			{Name: "sum_base_price", Func: plan.Sum, Expr: plan.Col("l_extendedprice")},
+			{Name: "sum_disc_price", Func: plan.Sum, Expr: discPrice},
+			{Name: "sum_charge", Func: plan.Sum, Expr: charge},
+			{Name: "avg_qty", Func: plan.Avg, Expr: plan.Col("l_quantity")},
+			{Name: "avg_price", Func: plan.Avg, Expr: plan.Col("l_extendedprice")},
+			{Name: "avg_disc", Func: plan.Avg, Expr: plan.Col("l_discount")},
+			{Name: "count_order", Func: plan.Count},
+		},
+	}
+}
+
+// Q6 is TPC-H Query 6 (forecasting revenue change):
+//
+//	select sum(l_extendedprice*l_discount) as revenue
+//	from lineitem
+//	where l_shipdate >= date ':year-01-01'
+//	  and l_shipdate < date ':year+1-01-01'
+//	  and l_discount between :d - 0.01 and :d + 0.01
+//	  and l_quantity < :qty
+func Q6(year int, discount int64, qty int64) plan.Query {
+	return plan.Query{
+		Table: "lineitem",
+		Filters: []plan.Filter{
+			{Col: "l_shipdate", Lo: Day(year, 1, 1), Hi: Day(year+1, 1, 1) - 1},
+			{Col: "l_discount", Lo: discount - 1, Hi: discount + 1},
+			{Col: "l_quantity", Lo: plan.NoLo, Hi: qty - 1},
+		},
+		Aggs: []plan.AggSpec{
+			{Name: "revenue", Func: plan.Sum,
+				Expr: plan.MulScaled(plan.Col("l_extendedprice"), plan.Col("l_discount"), 100)},
+		},
+	}
+}
+
+// Q14 is TPC-H Query 14 (promotion effect), with the paper's ordered-
+// dictionary rewrite of the `p_type like 'PROMO%'` prefix predicate into a
+// range selection (§VI-D1):
+//
+//	select 100.00 * sum(case when p_type like 'PROMO%'
+//	                         then l_extendedprice*(1-l_discount) else 0 end)
+//	             / sum(l_extendedprice*(1-l_discount)) as promo_revenue
+//	from lineitem, part
+//	where l_partkey = p_partkey
+//	  and l_shipdate >= date ':month-01' and l_shipdate < next month
+func Q14(year, month int) (plan.Query, error) {
+	lo, hi, ok := PrefixRange("PROMO")
+	if !ok {
+		return plan.Query{}, fmt.Errorf("tpch: PROMO prefix not in dictionary")
+	}
+	nextY, nextM := year, month+1
+	if nextM > 12 {
+		nextY, nextM = year+1, 1
+	}
+	discPrice := plan.MulScaled(plan.Col("l_extendedprice"),
+		plan.Sub(plan.Const(100), plan.Col("l_discount")), 100)
+	return plan.Query{
+		Table: "lineitem",
+		Filters: []plan.Filter{
+			{Col: "l_shipdate", Lo: Day(year, month, 1), Hi: Day(nextY, nextM, 1) - 1},
+		},
+		Join: &plan.JoinSpec{FKCol: "l_partkey", Dim: "part", DimPK: "p_partkey"},
+		Aggs: []plan.AggSpec{
+			{Name: "promo_revenue", Func: plan.Sum,
+				Expr: plan.CaseRange(plan.DimCol("p_type"), lo, hi, discPrice, plan.Const(0))},
+			{Name: "total_revenue", Func: plan.Sum, Expr: discPrice},
+		},
+	}, nil
+}
+
+// Q14Ratio derives the query's headline number — promo revenue as a
+// percentage of total — from the two sums in the result row.
+func Q14Ratio(r *plan.Result) float64 {
+	if len(r.Rows) == 0 || len(r.Rows[0].Vals) < 2 || r.Rows[0].Vals[1] == 0 {
+		return 0
+	}
+	return 100 * float64(r.Rows[0].Vals[0]) / float64(r.Rows[0].Vals[1])
+}
