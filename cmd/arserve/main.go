@@ -1,0 +1,76 @@
+// Command arserve serves the A&R engine as a concurrent SQL query service.
+// It pre-loads the TPC-H subset and the spatial trips table (decomposed, so
+// A&R routing works immediately) and speaks the line protocol of package
+// server: one statement per line, responses terminated by "ok" or
+// "error: ...".
+//
+//	$ go run ./cmd/arserve -addr :7483 &
+//	$ nc localhost 7483
+//	select count(lon) from trips where lon between 2.68288 and 2.70228 and lat between 50.4222 and 50.4485
+//	[3942]
+//	ok
+//	\stats
+//	...
+//
+// Meta commands: \cost, \mode [auto|ar|classic], \tables, \stats,
+// \prepare <name> <sql>, \run <name>, \q.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/spatial"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7483", "listen address")
+		sf       = flag.Float64("sf", 0.002, "TPC-H scale factor preloaded")
+		spatialN = flag.Int("spatial", 200_000, "spatial fixes preloaded")
+		cpu      = flag.Int("cpu", 0, "CPU worker pool size (default: simulated hardware threads)")
+		gpu      = flag.Int("gpu", 1, "concurrent GPU (A&R) streams")
+		arQueue  = flag.Int("ar-queue", 0, "A&R admission queue bound (default 2x streams)")
+		cache    = flag.Int("cache", 128, "plan cache entries (negative disables)")
+		threads  = flag.Int("threads", 1, "CPU threads per query")
+	)
+	flag.Parse()
+
+	sys := device.PaperSystem()
+	catalog := plan.NewCatalog(sys)
+	tpchData := tpch.Generate(*sf, 42)
+	if err := tpchData.Load(catalog); err != nil {
+		fail(err)
+	}
+	if err := tpchData.DecomposeAll(catalog, false); err != nil {
+		fail(err)
+	}
+	spatialData := spatial.Generate(*spatialN, 7)
+	if err := spatialData.Load(catalog); err != nil {
+		fail(err)
+	}
+	if err := spatialData.Decompose(catalog); err != nil {
+		fail(err)
+	}
+
+	srv := server.New(catalog, server.Config{
+		Sched:     server.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
+		CacheSize: *cache,
+		Threads:   *threads,
+	})
+	fmt.Printf("arserve: lineitem (SF-%g), part, trips (%d fixes) loaded and decomposed\n", *sf, *spatialN)
+	fmt.Printf("arserve: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "arserve:", err)
+	os.Exit(1)
+}

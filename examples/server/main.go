@@ -1,0 +1,87 @@
+// Example server: an in-process query service under concurrent load.
+//
+// It starts a server over the spatial data set, runs two concurrent client
+// streams against it — classic CPU queries and A&R GPU queries, the §VI-E
+// setup — and prints the resulting \stats block: plan-cache hits, peak
+// concurrency per device, and the simulated meter totals.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/plan"
+	"repro/internal/server"
+	"repro/internal/spatial"
+)
+
+func main() {
+	catalog := plan.NewCatalog(device.PaperSystem())
+	data := spatial.Generate(200_000, 7)
+	if err := data.Load(catalog); err != nil {
+		fail(err)
+	}
+	if err := data.Decompose(catalog); err != nil {
+		fail(err)
+	}
+
+	// ARQueue is sized for the forced-A&R client count: the example pins
+	// half its clients to \mode ar, which does not spill on overload the
+	// way auto mode does.
+	srv := server.New(catalog, server.Config{Sched: server.SchedConfig{CPUWorkers: 8, ARQueue: 256}})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	addr := l.Addr().String()
+
+	const q = "select count(lon) from trips where lon between 2.68288 and 2.70228 and lat between 50.4222 and 50.4485"
+	const clients, perClient = 8, 16
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		mode := map[bool]string{true: "classic", false: "ar"}[i%2 == 0]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := server.Dial(addr)
+			if err != nil {
+				fail(err)
+			}
+			defer cl.Close()
+			if _, err := cl.Query(`\mode ` + mode); err != nil {
+				fail(err)
+			}
+			for j := 0; j < perClient; j++ {
+				if _, err := cl.Query(q); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	cl, err := server.Dial(addr)
+	if err != nil {
+		fail(err)
+	}
+	defer cl.Close()
+	lines, err := cl.Query(`\stats`)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("ran %d clients x %d queries (half classic, half A&R)\n", clients, perClient)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "example server:", err)
+	os.Exit(1)
+}

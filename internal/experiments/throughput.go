@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/plan"
+	"repro/internal/server"
 	"repro/internal/spatial"
+	"repro/internal/sql"
 )
 
 // Fig11 reproduces "A Gap in the Memory Wall" (§VI-E): two parallel query
@@ -14,11 +16,14 @@ import (
 // wall; the GPU stream, working out of its own memory, stacks almost
 // additively on top.
 //
-// Throughput is derived from the simulated single-stream query times and
-// the device bandwidth-saturation law: t concurrent classic queries see
-// min(t·perThread, aggregate) memory bandwidth; the combined experiment
-// additionally deducts the bandwidth the A&R stream's refinement phase and
-// DMA transfers draw from the host memory system.
+// The harness is expressed through the server's device-aware scheduler —
+// the same admission and contention layer cmd/arserve serves traffic with —
+// so the figure is reproducible from the running service: the single-stream
+// query times come from scheduler-routed executions, and the sweep applies
+// the scheduler's own memory-wall law (server.ClassicStretch): t concurrent
+// classic queries see min(t·perThread, aggregate) memory bandwidth, and the
+// combined experiment additionally deducts the host bandwidth the A&R
+// stream's refinement phase and DMA transfers draw (server.HostDraw).
 func Fig11(opts Options) (*Figure, error) {
 	scale := float64(PaperSpatialN) / float64(opts.SpatialN)
 	sys := device.ScaledSystem(scale)
@@ -31,14 +36,22 @@ func Fig11(opts Options) (*Figure, error) {
 		return nil, err
 	}
 	q := spatial.RangeCountQuery()
+	b := &sql.Binding{Query: q}
+	sched := server.NewScheduler(c, server.SchedConfig{})
 
-	clRes, err := c.ExecClassic(q, plan.ExecOpts{Threads: 1})
+	clRes, route, err := sched.Exec(b, plan.ExecOpts{Threads: 1}, server.ModeClassic)
 	if err != nil {
 		return nil, err
 	}
-	arRes, err := c.ExecAR(q, plan.ExecOpts{Threads: 1})
+	if route != server.RouteClassic {
+		return nil, fmt.Errorf("fig11: classic query routed to %v", route)
+	}
+	arRes, route, err := sched.Exec(b, plan.ExecOpts{Threads: 1}, server.ModeAR)
 	if err != nil {
 		return nil, err
+	}
+	if route != server.RouteAR {
+		return nil, fmt.Errorf("fig11: A&R query routed to %v", route)
 	}
 
 	t1 := clRes.Meter.Total().Seconds() // classic single-thread query time
@@ -46,37 +59,31 @@ func Fig11(opts Options) (*Figure, error) {
 	arQPS := 1 / arTotal
 
 	// Classic stream at t threads: per-query time stretches by the
-	// bandwidth stolen once the memory wall is hit.
-	perThread := sys.CPU.PerThreadBW
-	classicQPS := func(t int, hostBWAvailable float64) float64 {
-		bwPer := hostBWAvailable / float64(t)
-		if bwPer > perThread {
-			bwPer = perThread
-		}
-		return float64(t) / (t1 * perThread / bwPer)
+	// scheduler's memory-wall law once the wall is hit.
+	classicQPS := func(t int, arDraw float64) float64 {
+		return float64(t) / (t1 * server.ClassicStretch(sys, t, arDraw))
 	}
 
 	threadSweep := []int{1, 2, 4, 8, 16, 32}
 	classic := Series{Label: "Classic CPU (parallel streams)"}
 	for _, t := range threadSweep {
 		classic.X = append(classic.X, float64(t))
-		classic.Y = append(classic.Y, classicQPS(t, sys.CPU.AggregateBW))
+		classic.Y = append(classic.Y, classicQPS(t, 0))
 	}
 
-	// Host-bandwidth draw of one saturated A&R stream: its CPU refinement
-	// runs (CPU fraction of the query) of the time at per-thread speed,
-	// and DMA transfers read/write host memory during the PCI fraction.
+	// Host-bandwidth draw of one saturated A&R stream, as the scheduler
+	// charges it to concurrently running classic streams.
+	hostDraw := server.HostDraw(sys, arRes.Meter)
 	cpuFrac := arRes.Meter.CPU.Seconds() / arTotal
 	pciFrac := arRes.Meter.PCI.Seconds() / arTotal
-	hostDraw := cpuFrac*perThread + pciFrac*sys.Bus.BW
-	cpuWithAR := classicQPS(32, sys.CPU.AggregateBW-hostDraw)
+	cpuWithAR := classicQPS(32, hostDraw)
 
 	return &Figure{
 		ID: "fig11", Title: "A Gap in the Memory Wall",
 		XLabel: "CPU threads", YLabel: "Queries per s",
 		Series: []Series{classic},
 		Bars: []Bar{
-			{Label: "CPU only (32 threads)", Total: classicQPS(32, sys.CPU.AggregateBW)},
+			{Label: "CPU only (32 threads)", Total: classicQPS(32, 0)},
 			{Label: "A&R only", Total: arQPS},
 			{Label: "CPU parallel w/ A&R", Total: cpuWithAR},
 			{Label: "A&R parallel w/ CPU", Total: arQPS},

@@ -9,6 +9,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bat"
 	"repro/internal/bulk"
@@ -97,8 +98,17 @@ func (t *Table) Columns() []string {
 
 // Catalog holds tables, their bitwise decompositions, and pre-built
 // foreign-key indices, bound to one simulated device system.
+//
+// A Catalog is safe for concurrent use: the registry maps are guarded by an
+// RWMutex, so queries (ExecAR/ExecClassic) may run concurrently with each
+// other and with DDL (AddTable/Decompose/BuildFKIndex). The stored Table,
+// bwd.Column and bulk.FKIndex values are immutable once registered; a
+// concurrent re-Decompose swaps in a fresh decomposition while in-flight
+// queries keep reading the one they resolved.
 type Catalog struct {
-	sys    *device.System
+	sys *device.System
+
+	mu     sync.RWMutex
 	tables map[string]*Table
 	dec    map[string]*bwd.Column   // "table.col" -> decomposition
 	fkIdx  map[string]*bulk.FKIndex // "table.col" -> PK index
@@ -119,6 +129,8 @@ func (c *Catalog) System() *device.System { return c.sys }
 
 // AddTable registers a table.
 func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.tables[t.Name]; dup {
 		return fmt.Errorf("plan: duplicate table %s", t.Name)
 	}
@@ -128,11 +140,25 @@ func (c *Catalog) AddTable(t *Table) error {
 
 // Table returns a registered table.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("plan: unknown table %s", name)
 	}
 	return t, nil
+}
+
+// TableNames returns the registered table names in sorted order.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		out = append(out, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // Decompose bitwise-decomposes table.col with approxBits device-resident
@@ -149,15 +175,21 @@ func (c *Catalog) Decompose(table, col string, approxBits uint) (*bwd.Column, er
 		return nil, err
 	}
 	key := table + "." + col
-	if old, ok := c.dec[key]; ok {
-		old.Release()
-		delete(c.dec, key)
-	}
+	// Build first, then swap and release the old decomposition in one
+	// critical section: readers either see the old version or the new one,
+	// never a missing entry, and racing re-Decomposes release each other's
+	// losers instead of leaking device memory. Replacement transiently
+	// holds both allocations.
 	d, err := bwd.Decompose(b, approxBits, c.sys)
 	if err != nil {
 		return nil, fmt.Errorf("plan: bwdecompose(%s, %d): %w", key, approxBits, err)
 	}
+	c.mu.Lock()
+	if old, ok := c.dec[key]; ok {
+		old.Release()
+	}
 	c.dec[key] = d
+	c.mu.Unlock()
 	return d, nil
 }
 
@@ -165,7 +197,9 @@ func (c *Catalog) Decompose(table, col string, approxBits uint) (*bwd.Column, er
 // column was never decomposed (A&R plans require explicit decomposition,
 // like an index).
 func (c *Catalog) Decomposition(table, col string) (*bwd.Column, error) {
+	c.mu.RLock()
 	d, ok := c.dec[table+"."+col]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("plan: column %s.%s is not bitwise decomposed; call Decompose first", table, col)
 	}
@@ -174,6 +208,8 @@ func (c *Catalog) Decomposition(table, col string) (*bwd.Column, error) {
 
 // ReleaseDecompositions frees all device allocations held by the catalog.
 func (c *Catalog) ReleaseDecompositions() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for k, d := range c.dec {
 		d.Release()
 		delete(c.dec, k)
@@ -195,13 +231,17 @@ func (c *Catalog) BuildFKIndex(table, col string) error {
 	if ix == nil {
 		return fmt.Errorf("plan: %s.%s is not a dense unique key", table, col)
 	}
+	c.mu.Lock()
 	c.fkIdx[table+"."+col] = ix
+	c.mu.Unlock()
 	return nil
 }
 
 // FKIndex returns the pre-built index over table.col.
 func (c *Catalog) FKIndex(table, col string) (*bulk.FKIndex, error) {
+	c.mu.RLock()
 	ix, ok := c.fkIdx[table+"."+col]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("plan: no FK index on %s.%s; call BuildFKIndex first", table, col)
 	}

@@ -32,7 +32,10 @@ func (o ExecOpts) threads() int {
 // values on the CPU. The returned Result carries the exact rows, the
 // phase-A approximate answer, and the simulated GPU/CPU/PCI breakdown.
 func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
-	if err := q.validate(c); err != nil {
+	// Validation doubles as the decomposition snapshot: the whole
+	// execution works against the pointers resolved here (see decSnapshot).
+	snap, err := q.validate(c)
+	if err != nil {
 		return nil, err
 	}
 	threads := opts.threads()
@@ -45,19 +48,16 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 
 	// ---- Rule-based optimization: push the most selective approximate
 	// selections down (§III-A).
-	filters, err := orderFilters(c, q.Table, q.Filters)
-	if err != nil {
-		return nil, err
-	}
+	filters := orderFilters(snap, q.Table, q.Filters)
 
 	// ---- Phase A: the approximation subplan on the device.
 	var cands *ar.Candidates
 	if len(filters) > 0 {
-		d, _ := c.Decomposition(q.Table, filters[0].Col)
+		d := snap.get(q.Table, filters[0].Col)
 		cands = ar.SelectApprox(m, d, d.Relax(filters[0].Lo, filters[0].Hi))
 		trace("bwd.uselectapproximate(%s.%s)", q.Table, filters[0].Col)
 		for _, f := range filters[1:] {
-			d, _ := c.Decomposition(q.Table, f.Col)
+			d := snap.get(q.Table, f.Col)
 			cands = ar.SelectApproxOver(m, d, d.Relax(f.Lo, f.Hi), cands)
 			trace("bwd.uselectapproximate(%s.%s)", q.Table, f.Col)
 		}
@@ -66,7 +66,7 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("plan: query references no fact columns")
 		}
-		d, _ := c.Decomposition(q.Table, anchor)
+		d := snap.get(q.Table, anchor)
 		cands = ar.SelectApprox(m, d, bwd.ApproxRange{Full: true})
 		trace("bwd.scanapproximate(%s.%s)", q.Table, anchor)
 	}
@@ -75,7 +75,7 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	var dimPos []bat.OID
 	var dimLen int
 	if q.Join != nil {
-		fkd, _ := c.Decomposition(q.Table, q.Join.FKCol)
+		fkd := snap.get(q.Table, q.Join.FKCol)
 		dim, _ := c.Table(q.Join.Dim)
 		dimLen = dim.Len()
 		pk, err := dim.Column(q.Join.DimPK)
@@ -89,7 +89,7 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 		}
 		trace("bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
 		for _, f := range q.Join.DimFilters {
-			dd, _ := c.Decomposition(q.Join.Dim, f.Col)
+			dd := snap.get(q.Join.Dim, f.Col)
 			cands, dimPos = ar.SelectApproxAt(m, dd, dd.Relax(f.Lo, f.Hi), cands, dimPos)
 			trace("bwd.uselectapproximate(%s.%s)", q.Join.Dim, f.Col)
 		}
@@ -100,7 +100,7 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	if len(q.GroupBy) > 0 {
 		cols := make([]*bwd.Column, len(q.GroupBy))
 		for i, g := range q.GroupBy {
-			cols[i], _ = c.Decomposition(q.Table, g)
+			cols[i] = snap.get(q.Table, g)
 		}
 		mg = ar.GroupApproxMulti(m, cols, cands)
 		trace("bwd.groupapproximate(%s)", join(q.GroupBy))
@@ -117,11 +117,11 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 				continue
 			}
 			if ref.Dim {
-				dd, _ := c.Decomposition(q.Join.Dim, ref.Name)
+				dd := snap.get(q.Join.Dim, ref.Name)
 				projections[ref] = ar.ProjectApproxAt(m, dd, cands, dimPos)
 				trace("bwd.leftjoinapproximate(%s.%s)", q.Join.Dim, ref.Name)
 			} else {
-				fd, _ := c.Decomposition(q.Table, ref.Name)
+				fd := snap.get(q.Table, ref.Name)
 				projections[ref] = ar.ProjectApprox(m, fd, cands)
 				trace("bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
 			}
@@ -151,7 +151,7 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	refined := cands
 	atRefined := dimPos
 	for _, f := range filters {
-		d, _ := c.Decomposition(q.Table, f.Col)
+		d := snap.get(q.Table, f.Col)
 		if atRefined == nil {
 			refined, _ = ar.SelectRefine(m, threads, d, f.Lo, f.Hi, refined)
 		} else {
@@ -165,7 +165,7 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	if q.Join != nil {
 		trace("bwd.leftjoinrefine(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
 		for _, f := range q.Join.DimFilters {
-			dd, _ := c.Decomposition(q.Join.Dim, f.Col)
+			dd := snap.get(q.Join.Dim, f.Col)
 			refined, atRefined, _ = ar.SelectRefineAt(m, threads, dd, f.Lo, f.Hi, refined, atRefined)
 			trace("bwd.uselectrefine(%s.%s)", q.Join.Dim, f.Col)
 		}

@@ -12,26 +12,23 @@ import (
 // selectivity, so the cheapest, most selective approximate scans shrink
 // the candidate set before the more expensive operators run. The estimate
 // is the relaxed code-range fraction of the column's code domain — derived
-// purely from the decomposition metadata, no data statistics needed.
-func orderFilters(c *Catalog, table string, filters []Filter) ([]Filter, error) {
+// purely from the decomposition metadata (taken from the execution's
+// snapshot), no data statistics needed.
+func orderFilters(snap decSnapshot, table string, filters []Filter) []Filter {
 	type ranked struct {
 		f   Filter
 		sel float64
 	}
 	rs := make([]ranked, 0, len(filters))
 	for _, f := range filters {
-		d, err := c.Decomposition(table, f.Col)
-		if err != nil {
-			return nil, err
-		}
-		rs = append(rs, ranked{f, estimateSelectivity(d, f)})
+		rs = append(rs, ranked{f, estimateSelectivity(snap.get(table, f.Col), f)})
 	}
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].sel < rs[j].sel })
 	out := make([]Filter, len(rs))
 	for i, r := range rs {
 		out[i] = r.f
 	}
-	return out, nil
+	return out
 }
 
 // estimateSelectivity returns the fraction of the code domain admitted by
@@ -49,39 +46,63 @@ func estimateSelectivity(d *bwd.Column, f Filter) float64 {
 	}
 }
 
+// decSnapshot is the set of decompositions one A&R execution works
+// against, resolved from the catalog exactly once at query start. A&R
+// operators key candidate code columns on bwd.Column pointer identity, so
+// the approximate and refine phases must see the same pointer even if a
+// concurrent bwdecompose swaps the catalog entry mid-query.
+type decSnapshot map[string]*bwd.Column
+
+func (s decSnapshot) get(table, col string) *bwd.Column { return s[table+"."+col] }
+
 // validate checks that the query references only known tables/columns and
-// that every column an A&R plan touches is decomposed.
-func (q *Query) validate(c *Catalog) error {
+// that every column an A&R plan touches is decomposed, returning the
+// resolved decompositions as the execution's snapshot. One walk does both,
+// so validation and snapshot can never cover different column sets.
+func (q *Query) validate(c *Catalog) (decSnapshot, error) {
+	snap := decSnapshot{}
+	add := func(table, col string) error {
+		key := table + "." + col
+		if _, done := snap[key]; done {
+			return nil
+		}
+		d, err := c.Decomposition(table, col)
+		if err != nil {
+			return err
+		}
+		snap[key] = d
+		return nil
+	}
 	if _, err := c.Table(q.Table); err != nil {
-		return err
+		return nil, err
 	}
 	for _, f := range q.Filters {
-		if _, err := c.Decomposition(q.Table, f.Col); err != nil {
-			return err
+		if err := add(q.Table, f.Col); err != nil {
+			return nil, err
 		}
 	}
 	for _, g := range q.GroupBy {
-		if _, err := c.Decomposition(q.Table, g); err != nil {
-			return err
+		if err := add(q.Table, g); err != nil {
+			return nil, err
 		}
 	}
 	if q.Join != nil {
-		if _, err := c.Decomposition(q.Table, q.Join.FKCol); err != nil {
-			return err
+		if err := add(q.Table, q.Join.FKCol); err != nil {
+			return nil, err
 		}
 		if _, err := c.Table(q.Join.Dim); err != nil {
-			return err
+			return nil, err
 		}
 		for _, f := range q.Join.DimFilters {
-			if _, err := c.Decomposition(q.Join.Dim, f.Col); err != nil {
-				return err
+			if err := add(q.Join.Dim, f.Col); err != nil {
+				return nil, err
 			}
 		}
 	}
 	for _, a := range q.Aggs {
 		if a.Expr == nil {
 			if a.Func != Count {
-				return fmt.Errorf("plan: aggregate %s needs an expression", a.Func)
+				return nil, fmt.Errorf("plan: aggregate %s needs an expression", a.Func)
 			}
 			continue
 		}
@@ -89,19 +110,43 @@ func (q *Query) validate(c *Catalog) error {
 			tbl := q.Table
 			if ref.Dim {
 				if q.Join == nil {
-					return fmt.Errorf("plan: dimension column %s referenced without a join", ref.Name)
+					return nil, fmt.Errorf("plan: dimension column %s referenced without a join", ref.Name)
 				}
 				tbl = q.Join.Dim
 			}
-			if _, err := c.Decomposition(tbl, ref.Name); err != nil {
-				return err
+			if err := add(tbl, ref.Name); err != nil {
+				return nil, err
 			}
 		}
 	}
 	if len(q.Filters) == 0 && len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
-		return fmt.Errorf("plan: empty query")
+		return nil, fmt.Errorf("plan: empty query")
 	}
-	return nil
+	if len(q.Filters) == 0 {
+		// The approximation subplan needs a fact-side column to scan.
+		// Rejecting here keeps CanExecAR aligned with what ExecAR can
+		// actually run, so auto-mode routing falls back to classic.
+		if _, ok := q.anchorColumn(); !ok {
+			return nil, fmt.Errorf("plan: A&R plan needs a fact-side column to scan (add a filter, grouping, or fact-column aggregate)")
+		}
+	}
+	return snap, nil
+}
+
+// ARValidate reports why the query cannot run as an A&R plan against this
+// catalog (typically: a touched column is not bitwise decomposed), or nil
+// if it can.
+func (c *Catalog) ARValidate(q Query) error {
+	_, err := q.validate(c)
+	return err
+}
+
+// CanExecAR reports whether the query can run as an A&R plan against this
+// catalog — i.e. every column it touches is bitwise decomposed. The server's
+// device-aware scheduler uses it to route statements: A&R-capable plans go
+// to the GPU stream, the rest to the classic CPU pool.
+func (c *Catalog) CanExecAR(q Query) bool {
+	return c.ARValidate(q) == nil
 }
 
 // anchorColumn picks the column whose approximation the full-table scan

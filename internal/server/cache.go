@@ -1,0 +1,87 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/sql"
+)
+
+// PlanCache is a bounded LRU cache of compiled bindings keyed on
+// sql.Normalize'd statement text. A hit skips the lex/parse/bind/optimize
+// front end entirely; bindings are immutable after compilation, so one
+// cached entry may be executed by any number of sessions concurrently.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	b   *sql.Binding
+}
+
+// NewPlanCache returns a cache holding up to capacity bindings. A zero or
+// negative capacity disables caching (every Get misses, Put is a no-op).
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{cap: capacity, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the cached binding for key, marking it most recently used.
+func (p *PlanCache) Get(key string) (*sql.Binding, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.byKey[key]
+	if !ok {
+		p.misses++
+		return nil, false
+	}
+	p.hits++
+	p.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).b, true
+}
+
+// Put inserts a binding, evicting the least recently used entry when the
+// cache is full. Re-putting an existing key refreshes its binding.
+func (p *PlanCache) Put(key string, b *sql.Binding) {
+	if p.cap <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		el.Value.(*cacheEntry).b = b
+		p.lru.MoveToFront(el)
+		return
+	}
+	if p.lru.Len() >= p.cap {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.byKey, oldest.Value.(*cacheEntry).key)
+		p.evictions++
+	}
+	p.byKey[key] = p.lru.PushFront(&cacheEntry{key: key, b: b})
+}
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Len, Cap                int
+}
+
+// Stats returns the current counters.
+func (p *PlanCache) Stats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return CacheStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Len: p.lru.Len(), Cap: p.cap}
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("plan cache: %d hits, %d misses, %d evictions, %d/%d entries",
+		s.Hits, s.Misses, s.Evictions, s.Len, s.Cap)
+}

@@ -1,0 +1,335 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// ErrOverloaded is returned when the GPU stream's admission control rejects
+// an A&R query: the stream is busy and the bounded wait queue is full.
+// Clients are expected to back off and retry (or fall back to classic).
+var ErrOverloaded = errors.New("server: A&R stream overloaded, try again")
+
+// Route records which execution path the scheduler chose for a statement.
+type Route int
+
+// Routes.
+const (
+	RouteAR      Route = iota // A&R plan on the GPU stream
+	RouteClassic              // classic bulk plan on the CPU worker pool
+	RouteDDL                  // bwdecompose, executed inline under catalog locks
+)
+
+func (r Route) String() string {
+	switch r {
+	case RouteAR:
+		return "ar"
+	case RouteClassic:
+		return "classic"
+	case RouteDDL:
+		return "ddl"
+	default:
+		return fmt.Sprintf("Route(%d)", int(r))
+	}
+}
+
+// Mode is a session's executor preference.
+type Mode int
+
+// Modes.
+const (
+	ModeAuto    Mode = iota // A&R when every touched column is decomposed
+	ModeAR                  // force the A&R executor (errors if not decomposed)
+	ModeClassic             // force the classic executor
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeAR:
+		return "ar"
+	case ModeClassic:
+		return "classic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Scheduler is the device-aware admission layer between sessions and the
+// catalog. It reproduces the paper's §VI-E concurrency setup (Fig 11, "A
+// Gap in the Memory Wall") as serving policy:
+//
+//   - Classic plans go to a bounded CPU worker pool. Each running stream is
+//     charged the memory-wall contention of its neighbours: with t classic
+//     streams active and g A&R streams drawing host bandwidth, a stream's
+//     simulated CPU time stretches by ClassicStretch.
+//   - A&R plans go to a GPU stream (usually one — the simulated device
+//     executes one kernel sequence at a time) guarded by admission control:
+//     at most ARQueue queries may wait; beyond that Exec fails fast with
+//     ErrOverloaded instead of building an unbounded backlog. The A&R
+//     stream itself is not stretched — it works out of GPU memory, which is
+//     exactly the gap in the memory wall the paper measures.
+//   - bwdecompose statements execute inline; the catalog's own locks make
+//     the decomposition swap safe against in-flight queries.
+type Scheduler struct {
+	cat      *plan.Catalog
+	cpuSlots chan struct{}
+	gpuSlots chan struct{}
+	arQueue  int
+
+	// Totals aggregates the (contention-adjusted) meters of every query
+	// the scheduler ran.
+	Totals device.SharedMeter
+
+	mu            sync.Mutex
+	activeClassic int
+	activeAR      int
+	waitingAR     int
+	peakClassic   int
+	peakAR        int
+	classicRun    int64
+	arRun         int64
+	ddlRun        int64
+	rejectedAR    int64
+	drawSum       float64 // sum of HostDraw over finished A&R queries
+	drawN         int64
+}
+
+// SchedConfig sizes the scheduler.
+type SchedConfig struct {
+	// CPUWorkers bounds the classic worker pool. Defaults to the simulated
+	// CPU's hardware thread count.
+	CPUWorkers int
+	// GPUStreams bounds concurrently executing A&R plans. Defaults to 1:
+	// the paper's single GPU query stream.
+	GPUStreams int
+	// ARQueue bounds A&R queries waiting for a stream before admission
+	// control rejects with ErrOverloaded. Defaults to 2×GPUStreams.
+	ARQueue int
+}
+
+func (c SchedConfig) withDefaults(sys *device.System) SchedConfig {
+	if c.CPUWorkers <= 0 {
+		c.CPUWorkers = sys.CPU.Threads
+	}
+	if c.GPUStreams <= 0 {
+		c.GPUStreams = 1
+	}
+	if c.ARQueue <= 0 {
+		c.ARQueue = 2 * c.GPUStreams
+	}
+	return c
+}
+
+// NewScheduler returns a scheduler over the catalog's simulated system.
+func NewScheduler(cat *plan.Catalog, cfg SchedConfig) *Scheduler {
+	cfg = cfg.withDefaults(cat.System())
+	return &Scheduler{
+		cat:      cat,
+		cpuSlots: make(chan struct{}, cfg.CPUWorkers),
+		gpuSlots: make(chan struct{}, cfg.GPUStreams),
+		arQueue:  cfg.ARQueue,
+	}
+}
+
+// Exec routes one compiled binding to its device and executes it. The
+// returned result's meter already includes the memory-wall contention
+// charge for classic plans.
+func (s *Scheduler) Exec(b *sql.Binding, opts plan.ExecOpts, mode Mode) (*plan.Result, Route, error) {
+	switch {
+	case len(b.Decompose) > 0:
+		return s.execDDL(b, opts)
+	case mode == ModeClassic:
+		return s.execClassic(b, opts)
+	case mode == ModeAR:
+		// No pre-validation: ExecAR validates as it builds its
+		// decomposition snapshot and surfaces the same precise error.
+		return s.execAR(b, opts)
+	case s.cat.CanExecAR(b.Query):
+		res, route, err := s.execAR(b, opts)
+		if errors.Is(err, ErrOverloaded) {
+			// Auto mode degrades gracefully: an overloaded GPU stream spills
+			// the query to the CPU pool instead of failing the client.
+			return s.execClassic(b, opts)
+		}
+		return res, route, err
+	default:
+		return s.execClassic(b, opts)
+	}
+}
+
+func (s *Scheduler) execDDL(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
+	res, err := sql.Exec(s.cat, b, opts, false)
+	if err != nil {
+		return nil, RouteDDL, err
+	}
+	s.mu.Lock()
+	s.ddlRun++
+	s.mu.Unlock()
+	s.Totals.Merge(nil)
+	return res, RouteDDL, nil
+}
+
+func (s *Scheduler) execClassic(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
+	s.cpuSlots <- struct{}{}
+	defer func() { <-s.cpuSlots }()
+
+	s.mu.Lock()
+	s.activeClassic++
+	if s.activeClassic > s.peakClassic {
+		s.peakClassic = s.activeClassic
+	}
+	t := s.activeClassic
+	arDraw := float64(s.activeAR) * s.avgDrawLocked()
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.activeClassic--
+		s.classicRun++
+		s.mu.Unlock()
+	}()
+
+	res, err := sql.Exec(s.cat, b, opts, true)
+	if err != nil {
+		return nil, RouteClassic, err
+	}
+	if res.Meter != nil {
+		stretch := ClassicStretchThreads(s.cat.System(), t, opts.Threads, arDraw)
+		res.Meter.CPU = time.Duration(float64(res.Meter.CPU) * stretch)
+	}
+	s.Totals.Merge(res.Meter)
+	return res, RouteClassic, nil
+}
+
+func (s *Scheduler) execAR(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
+	// Admission control: bound the wait queue, fail fast beyond it.
+	s.mu.Lock()
+	if s.waitingAR >= s.arQueue {
+		s.rejectedAR++
+		s.mu.Unlock()
+		return nil, RouteAR, ErrOverloaded
+	}
+	s.waitingAR++
+	s.mu.Unlock()
+
+	s.gpuSlots <- struct{}{}
+	s.mu.Lock()
+	s.waitingAR--
+	s.activeAR++
+	if s.activeAR > s.peakAR {
+		s.peakAR = s.activeAR
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.activeAR--
+		s.arRun++
+		s.mu.Unlock()
+		<-s.gpuSlots
+	}()
+
+	res, err := sql.Exec(s.cat, b, opts, false)
+	if err != nil {
+		return nil, RouteAR, err
+	}
+	if res.Meter != nil {
+		s.mu.Lock()
+		s.drawSum += HostDraw(s.cat.System(), res.Meter)
+		s.drawN++
+		s.mu.Unlock()
+	}
+	s.Totals.Merge(res.Meter)
+	return res, RouteAR, nil
+}
+
+func (s *Scheduler) avgDrawLocked() float64 {
+	if s.drawN == 0 {
+		// Warm-up seed: no A&R query has completed yet, but active A&R
+		// streams still draw host bandwidth. Assume one per-thread share
+		// (refinement) plus half the bus (DMA) — the upper end of what one
+		// stream sustains, so warm-up over-charges contention slightly
+		// rather than omitting it; the estimate converges to the measured
+		// average after the first completion.
+		sys := s.cat.System()
+		return sys.CPU.PerThreadBW + 0.5*sys.Bus.BW
+	}
+	return s.drawSum / float64(s.drawN)
+}
+
+// SchedStats is a point-in-time snapshot of scheduler counters.
+type SchedStats struct {
+	ClassicRun, ARRun, DDLRun, RejectedAR int64
+	ActiveClassic, ActiveAR, WaitingAR    int
+	PeakClassic, PeakAR                   int
+	AvgARHostDraw                         float64 // bytes/s one A&R stream draws from host memory
+}
+
+// Stats returns the current counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedStats{
+		ClassicRun: s.classicRun, ARRun: s.arRun, DDLRun: s.ddlRun, RejectedAR: s.rejectedAR,
+		ActiveClassic: s.activeClassic, ActiveAR: s.activeAR, WaitingAR: s.waitingAR,
+		PeakClassic: s.peakClassic, PeakAR: s.peakAR,
+		AvgARHostDraw: s.avgDrawLocked(),
+	}
+}
+
+func (st SchedStats) String() string {
+	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d",
+		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR)
+}
+
+// ClassicStretch returns the factor by which one single-threaded classic
+// stream's CPU time stretches when t such streams share the memory wall
+// with arHostDraw bytes/s of A&R host traffic (§VI-E). With one stream and
+// no A&R draw the factor is 1; past the wall it grows as
+// t·perThread/(aggregate−draw). The available bandwidth never drops below
+// one per-thread share, so a lone stream always makes progress.
+func ClassicStretch(sys *device.System, t int, arHostDraw float64) float64 {
+	return ClassicStretchThreads(sys, t, 1, arHostDraw)
+}
+
+// ClassicStretchThreads generalizes ClassicStretch to streams running w
+// threads each: a stream alone sees min(w·perThread, aggregate) (the
+// bandwidth its own meter already charged), while t such streams sharing
+// the wall each get a 1/t share of what the A&R draw leaves. The stretch
+// is the ratio, so concurrent multi-threaded streams can never collectively
+// exceed the aggregate bandwidth.
+func ClassicStretchThreads(sys *device.System, t, w int, arHostDraw float64) float64 {
+	if t < 1 {
+		t = 1
+	}
+	alone := sys.CPU.EffectiveBW(w)
+	avail := sys.CPU.AggregateBW - arHostDraw
+	if avail < sys.CPU.PerThreadBW {
+		avail = sys.CPU.PerThreadBW
+	}
+	shared := avail / float64(t)
+	if shared > alone {
+		shared = alone
+	}
+	return alone / shared
+}
+
+// HostDraw returns the host-memory bandwidth (bytes/s) one saturated A&R
+// stream with the given per-query meter draws from the CPU's memory system:
+// its refinement phase consumes a per-thread share for the CPU fraction of
+// the query, and DMA reads/writes host memory during the PCI fraction.
+func HostDraw(sys *device.System, m *device.Meter) float64 {
+	total := m.Total().Seconds()
+	if total <= 0 {
+		return 0
+	}
+	cpuFrac := m.CPU.Seconds() / total
+	pciFrac := m.PCI.Seconds() / total
+	return cpuFrac*sys.CPU.PerThreadBW + pciFrac*sys.Bus.BW
+}

@@ -1,0 +1,379 @@
+// Package server turns the single-user A&R engine into a concurrent query
+// service: a line-protocol TCP server with per-connection sessions, a
+// device-aware scheduler that routes classic plans to a bounded CPU worker
+// pool and A&R plans to an admission-controlled GPU stream (charging the
+// §VI-E memory-wall contention between them), and an LRU plan cache that
+// skips the SQL front end for repeated statement texts.
+//
+// # Protocol
+//
+// The wire protocol is line-oriented text, like a stripped-down psql. The
+// client sends one statement (or meta command) per line; the server
+// responds with zero or more payload lines followed by exactly one
+// terminator line, either "ok" or "error: <message>". Meta commands:
+//
+//	\cost                toggle the per-query simulated cost report
+//	\mode [auto|ar|classic]   show or set the executor routing mode
+//	\tables              list tables and columns
+//	\stats               plan cache, scheduler, and meter totals
+//	\prepare <name> <sql>     compile and store a statement
+//	\run <name>          execute a prepared statement
+//	\q                   close the connection
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Sched sizes the device-aware scheduler.
+	Sched SchedConfig
+	// CacheSize bounds the LRU plan cache (entries). Defaults to 128;
+	// negative disables caching.
+	CacheSize int
+	// Threads is the CPU thread count each query executes with (classic
+	// plan or A&R refinement). Defaults to 1, one stream per worker —
+	// cross-stream parallelism comes from the pool, as in Fig 11.
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+// Server serves SQL statements over a catalog.
+type Server struct {
+	cat   *plan.Catalog
+	sched *Scheduler
+	cache *PlanCache
+	cfg   Config
+
+	mu       sync.Mutex
+	sessions map[int64]*Session
+	nextID   int64
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New returns a server over the catalog. The catalog's tables should be
+// loaded (and columns decomposed, for A&R routing) before serving, though
+// clients can also issue bwdecompose statements at runtime.
+func New(cat *plan.Catalog, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cat:      cat,
+		sched:    NewScheduler(cat, cfg.Sched),
+		cache:    NewPlanCache(cfg.CacheSize),
+		cfg:      cfg,
+		sessions: make(map[int64]*Session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Scheduler exposes the server's scheduler (for stats and experiments).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Cache exposes the server's plan cache.
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until Close. It returns nil after Close,
+// or the first accept error otherwise.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("server: already closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.nextID++
+		sess := newSession(s.nextID)
+		s.sessions[sess.ID] = sess
+		s.conns[conn] = struct{}{}
+		// Register with the WaitGroup before releasing the lock: Close
+		// holds the lock while it observes `closed`, so it can never pass
+		// wg.Wait between this conn's registration and its Add.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn, sess)
+		}()
+	}
+}
+
+// Addr returns the listen address, once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn, sess *Session) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, sess.ID)
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(conn)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		quit := s.handleLine(out, sess, line)
+		if out.Flush() != nil || quit {
+			return
+		}
+	}
+	if err := in.Err(); err != nil {
+		// e.g. a statement line over the scanner buffer: terminate the
+		// response properly so the client sees why instead of a bare EOF.
+		writeError(out, err)
+		out.Flush()
+	}
+}
+
+// handleLine serves one request line and reports whether the connection
+// should close.
+func (s *Server) handleLine(out *bufio.Writer, sess *Session, line string) (quit bool) {
+	if strings.HasPrefix(line, `\`) {
+		return s.handleMeta(out, sess, line)
+	}
+	s.execSQL(out, sess, line)
+	return false
+}
+
+func (s *Server) handleMeta(out *bufio.Writer, sess *Session, line string) (quit bool) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case `\q`:
+		writeOK(out)
+		return true
+	case `\cost`:
+		writePayload(out, fmt.Sprintf("cost report %s", onOff(sess.ToggleCost())))
+		writeOK(out)
+	case `\mode`:
+		if rest != "" {
+			if err := sess.SetMode(rest); err != nil {
+				writeError(out, err)
+				return false
+			}
+		}
+		writePayload(out, "mode "+sess.Mode().String())
+		writeOK(out)
+	case `\tables`:
+		for _, name := range s.cat.TableNames() {
+			t, err := s.cat.Table(name)
+			if err != nil {
+				continue
+			}
+			writePayload(out, fmt.Sprintf("%s (%d rows): %s", name, t.Len(), strings.Join(t.Columns(), ", ")))
+		}
+		writeOK(out)
+	case `\stats`:
+		for _, l := range s.statsLines(sess) {
+			writePayload(out, l)
+		}
+		writeOK(out)
+	case `\prepare`:
+		name, stmt, ok := strings.Cut(rest, " ")
+		stmt = strings.TrimSpace(stmt)
+		if !ok || name == "" || stmt == "" {
+			writeError(out, errors.New(`server: usage: \prepare <name> <sql>`))
+			return false
+		}
+		b, err := s.compile(stmt)
+		if err != nil {
+			writeError(out, err)
+			return false
+		}
+		sess.Prepare(name, b)
+		writePayload(out, "prepared "+name)
+		writeOK(out)
+	case `\run`:
+		b, ok := sess.Prepared(rest)
+		if !ok {
+			writeError(out, fmt.Errorf("server: no prepared statement %q", rest))
+			return false
+		}
+		s.execBinding(out, sess, b)
+	default:
+		writeError(out, fmt.Errorf("server: unknown meta command %s", cmd))
+	}
+	return false
+}
+
+// compile resolves a statement through the plan cache, compiling and
+// inserting on miss. bwdecompose statements are never cached: they are DDL
+// with side effects, and re-running a stale binding silently would be
+// surprising.
+func (s *Server) compile(stmt string) (*sql.Binding, error) {
+	key := sql.Normalize(stmt)
+	if b, ok := s.cache.Get(key); ok {
+		return b, nil
+	}
+	b, err := sql.Compile(s.cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Decompose) == 0 {
+		s.cache.Put(key, b)
+	}
+	return b, nil
+}
+
+func (s *Server) execSQL(out *bufio.Writer, sess *Session, stmt string) {
+	b, err := s.compile(stmt)
+	if err != nil {
+		writeError(out, err)
+		return
+	}
+	s.execBinding(out, sess, b)
+}
+
+func (s *Server) execBinding(out *bufio.Writer, sess *Session, b *sql.Binding) {
+	res, route, err := s.sched.Exec(b, plan.ExecOpts{Threads: s.cfg.Threads}, sess.Mode())
+	if err != nil {
+		writeError(out, err)
+		return
+	}
+	// The scheduler already merged the meter into its server-wide totals;
+	// the session keeps its own running tally.
+	var meter *device.Meter
+	if res != nil {
+		meter = res.Meter
+	}
+	sess.Totals.Merge(meter)
+	switch {
+	case res == nil:
+		writePayload(out, "decomposed")
+	case res.Rows == nil && len(res.Plan) > 0:
+		for _, l := range res.Plan {
+			writePayload(out, l)
+		}
+	default:
+		for _, l := range strings.Split(strings.TrimRight(plan.FormatRows(res.Rows), "\n"), "\n") {
+			if l != "" {
+				writePayload(out, l)
+			}
+		}
+	}
+	if sess.Cost() && res != nil && res.Meter != nil {
+		writePayload(out, fmt.Sprintf("-- %s; simulated %v; candidates %d -> refined %d; approx count %v",
+			route, res.Meter, res.Candidates, res.Refined, res.Approx.Count))
+	}
+	writeOK(out)
+}
+
+func (s *Server) statsLines(sess *Session) []string {
+	s.mu.Lock()
+	nsess := len(s.sessions)
+	s.mu.Unlock()
+	return []string{
+		fmt.Sprintf("sessions: %d active", nsess),
+		s.cache.Stats().String(),
+		s.sched.Stats().String(),
+		"server totals: " + s.sched.Totals.String(),
+		fmt.Sprintf("session %d totals: %s", sess.ID, sess.Totals.String()),
+	}
+}
+
+// writePayload emits one payload line, guaranteeing it can never be
+// mistaken for a terminator.
+func writePayload(out *bufio.Writer, line string) {
+	if line == "ok" || strings.HasPrefix(line, "error:") {
+		line = " " + line
+	}
+	out.WriteString(line)
+	out.WriteByte('\n')
+}
+
+func writeOK(out *bufio.Writer) { out.WriteString("ok\n") }
+
+func writeError(out *bufio.Writer, err error) {
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	fmt.Fprintf(out, "error: %s\n", msg)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

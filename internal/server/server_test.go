@@ -1,0 +1,390 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/plan"
+	"repro/internal/spatial"
+	"repro/internal/sql"
+)
+
+// testCatalog builds a small spatial catalog with decomposed columns.
+func testCatalog(t testing.TB) *plan.Catalog {
+	t.Helper()
+	c := plan.NewCatalog(device.PaperSystem())
+	d := spatial.Generate(50_000, 7)
+	if err := d.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Decompose(c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// startServer serves a fresh catalog on a loopback port and returns the
+// address.
+func startServer(t testing.TB, c *plan.Catalog, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(c, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String()
+}
+
+// trip queries with distinct bounds, so concurrent clients exercise both
+// distinct plans and shared cached plans.
+func tripQuery(i int) string {
+	lonLo := 2_00000 + int64(i%8)*10_000
+	return fmt.Sprintf("select count(lon) from trips where lon between %d and %d and lat between 5042220 and 5044850",
+		lonLo, lonLo+40_000)
+}
+
+// TestConcurrentClientsMatchDirectExecution is the acceptance check: 32
+// concurrent clients, half forced classic and half A&R, must each see
+// exactly the rows direct single-threaded Catalog execution produces.
+func TestConcurrentClientsMatchDirectExecution(t *testing.T) {
+	c := testCatalog(t)
+	_, addr := startServer(t, c, Config{Sched: SchedConfig{CPUWorkers: 8, GPUStreams: 2, ARQueue: 64}})
+
+	// Reference answers from direct execution.
+	want := make(map[string][]string)
+	for i := 0; i < 8; i++ {
+		q := tripQuery(i)
+		b, err := sql.Compile(c, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arRes, err := c.ExecAR(b.Query, plan.ExecOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clRes, err := c.ExecClassic(b.Query, plan.ExecOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.EqualResults(arRes.Rows, clRes.Rows) {
+			t.Fatalf("engine disagreement on %q", q)
+		}
+		want[q] = strings.Split(strings.TrimRight(plan.FormatRows(arRes.Rows), "\n"), "\n")
+	}
+
+	const clients = 32
+	const perClient = 12
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		mode := `\mode classic`
+		if i%2 == 1 {
+			mode = `\mode ar`
+		}
+		wg.Add(1)
+		go func(i int, mode string) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			if _, err := cl.Query(mode); err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < perClient; j++ {
+				q := tripQuery(i + j)
+				got, err := cl.Query(q)
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+				if strings.Join(got, "|") != strings.Join(want[q], "|") {
+					errs <- fmt.Errorf("client %d query %q: got %v want %v", i, q, got, want[q])
+					return
+				}
+			}
+			errs <- nil
+		}(i, mode)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlanCacheLRUAndEviction(t *testing.T) {
+	pc := NewPlanCache(2)
+	a, b, c := &sql.Binding{}, &sql.Binding{}, &sql.Binding{}
+	pc.Put("a", a)
+	pc.Put("b", b)
+	if got, ok := pc.Get("a"); !ok || got != a {
+		t.Fatal("expected hit on a")
+	}
+	pc.Put("c", c) // evicts b (least recently used)
+	if _, ok := pc.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if got, ok := pc.Get("a"); !ok || got != a {
+		t.Fatal("a should have survived eviction")
+	}
+	if got, ok := pc.Get("c"); !ok || got != c {
+		t.Fatal("c should be cached")
+	}
+	st := pc.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	// Zero capacity disables caching.
+	off := NewPlanCache(0)
+	off.Put("x", a)
+	if _, ok := off.Get("x"); ok {
+		t.Fatal("disabled cache must miss")
+	}
+}
+
+// TestPlanCacheHitsObservableInStats runs the same statement text (in
+// varying case/whitespace) repeatedly and checks the \stats endpoint
+// reports the hits.
+func TestPlanCacheHitsObservableInStats(t *testing.T) {
+	c := testCatalog(t)
+	_, addr := startServer(t, c, Config{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	variants := []string{
+		"select count(lon) from trips where lon between 200000 and 240000",
+		"SELECT count(lon) FROM trips WHERE lon BETWEEN 200000 AND 240000",
+		"select  count(lon)  from trips  where lon between 200000 and 240000",
+	}
+	var first []string
+	for i, q := range variants {
+		got, err := cl.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = got
+		} else if strings.Join(got, "|") != strings.Join(first, "|") {
+			t.Fatalf("variant %d returned %v, want %v", i, got, first)
+		}
+	}
+	stats, err := cl.Query(`\stats`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(stats, "\n")
+	if !strings.Contains(joined, "plan cache: 2 hits, 1 misses") {
+		t.Fatalf("expected 2 hits / 1 miss in stats, got:\n%s", joined)
+	}
+	if !strings.Contains(joined, "server totals: 3 queries") {
+		t.Fatalf("expected 3 queries in server totals, got:\n%s", joined)
+	}
+}
+
+// TestSchedulerAdmissionControl occupies the single GPU stream, fills the
+// bounded wait queue, and checks that (a) a forced-A&R query is rejected
+// with ErrOverloaded and (b) an auto-mode query spills to the classic pool
+// instead of failing.
+func TestSchedulerAdmissionControl(t *testing.T) {
+	c := testCatalog(t)
+	s := NewScheduler(c, SchedConfig{CPUWorkers: 2, GPUStreams: 1, ARQueue: 1})
+	b, err := sql.Compile(c, tripQuery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.gpuSlots <- struct{}{} // occupy the GPU stream
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Exec(b, plan.ExecOpts{}, ModeAR)
+		waiterDone <- err
+	}()
+	// Wait for the queued query to register.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().WaitingAR == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued A&R query never registered as waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, _, err := s.Exec(b, plan.ExecOpts{}, ModeAR); err != ErrOverloaded {
+		t.Fatalf("queue full: want ErrOverloaded, got %v", err)
+	}
+	res, route, err := s.Exec(b, plan.ExecOpts{}, ModeAuto)
+	if err != nil {
+		t.Fatalf("auto mode should spill to classic, got %v", err)
+	}
+	if route != RouteClassic {
+		t.Fatalf("auto-mode spill: want RouteClassic, got %v", route)
+	}
+	if res == nil || len(res.Rows) == 0 {
+		t.Fatal("spilled query returned no rows")
+	}
+
+	<-s.gpuSlots // release the stream; the waiter may now run
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("queued A&R query failed after release: %v", err)
+	}
+	st := s.Stats()
+	if st.RejectedAR == 0 {
+		t.Fatal("expected at least one rejected A&R admission")
+	}
+	if st.ARRun != 1 {
+		t.Fatalf("expected exactly 1 A&R run, got %d", st.ARRun)
+	}
+}
+
+// TestSchedulerChargesMemoryWallContention checks the Fig 11 law: a classic
+// query that runs while other classic streams saturate the wall must be
+// charged more simulated CPU time than a lone query.
+func TestSchedulerChargesMemoryWallContention(t *testing.T) {
+	sys := device.PaperSystem()
+	if ClassicStretch(sys, 1, 0) != 1 {
+		t.Fatal("a lone stream must not stretch")
+	}
+	agg := sys.CPU.AggregateBW / sys.CPU.PerThreadBW // streams at the wall
+	if s := ClassicStretch(sys, 32, 0); s <= 1 || s < 32/agg*0.99 {
+		t.Fatalf("32 streams should stretch by ~%.1f, got %.2f", 32/agg, s)
+	}
+	// A&R host draw shrinks the available bandwidth further.
+	m := device.NewMeter(sys)
+	m.CPU, m.PCI = 500_000_000, 500_000_000 // 50% CPU / 50% PCI
+	draw := HostDraw(sys, m)
+	wantDraw := 0.5*sys.CPU.PerThreadBW + 0.5*sys.Bus.BW
+	if diff := draw - wantDraw; diff > 1 || diff < -1 {
+		t.Fatalf("host draw %.3g, want %.3g", draw, wantDraw)
+	}
+	if ClassicStretch(sys, 32, draw) <= ClassicStretch(sys, 32, 0) {
+		t.Fatal("A&R draw must stretch contended classic streams further")
+	}
+	// Multi-threaded streams: one 16-thread stream alone saturates the wall
+	// (its own meter charges that), so 8 such streams each get 1/8 of the
+	// aggregate and must stretch by 8x — they can never collectively exceed
+	// the wall.
+	if s := ClassicStretchThreads(sys, 8, 16, 0); s < 7.99 || s > 8.01 {
+		t.Fatalf("8 wall-saturating streams should stretch 8x, got %.2f", s)
+	}
+	if ClassicStretchThreads(sys, 1, 16, 0) != 1 {
+		t.Fatal("a lone multi-threaded stream must not stretch")
+	}
+}
+
+// TestSessionMetaCommands drives the session-facing protocol surface.
+func TestSessionMetaCommands(t *testing.T) {
+	c := testCatalog(t)
+	_, addr := startServer(t, c, Config{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if got, err := cl.Query(`\cost`); err != nil || got[0] != "cost report on" {
+		t.Fatalf("\\cost: %v %v", got, err)
+	}
+	// With cost on, a query reports its route and meter.
+	got, err := cl.Query(tripQuery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !strings.HasPrefix(got[1], "-- ar; simulated") {
+		t.Fatalf("expected cost line with ar route, got %v", got)
+	}
+	if _, err := cl.Query(`\mode classic`); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cl.Query(tripQuery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !strings.HasPrefix(got[1], "-- classic; simulated") {
+		t.Fatalf("expected cost line with classic route, got %v", got)
+	}
+	if _, err := cl.Query(`\mode sideways`); err == nil {
+		t.Fatal("bad mode must error")
+	}
+	if got, err := cl.Query(`\tables`); err != nil || !strings.Contains(strings.Join(got, " "), "trips") {
+		t.Fatalf("\\tables: %v %v", got, err)
+	}
+	if _, err := cl.Query(`\prepare p1 ` + tripQuery(2)); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := cl.Query(`\run p1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cl.Query(tripQuery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep[0] != direct[0] {
+		t.Fatalf("prepared result %v != direct %v", prep, direct)
+	}
+	if _, err := cl.Query(`\run nope`); err == nil {
+		t.Fatal("\\run of unknown statement must error")
+	}
+	if _, err := cl.Query(`\bogus`); err == nil {
+		t.Fatal("unknown meta command must error")
+	}
+	if _, err := cl.Query("select nothing from nowhere"); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+}
+
+// TestRuntimeDecompose checks bwdecompose statements work through the
+// server (routed as DDL) and enable A&R routing afterwards.
+func TestRuntimeDecompose(t *testing.T) {
+	c := plan.NewCatalog(device.PaperSystem())
+	d := spatial.Generate(10_000, 7)
+	if err := d.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, c, Config{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	q := "select count(lon) from trips where lon between 200000 and 240000"
+	if _, err := cl.Query(`\mode ar`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Query(q); err == nil {
+		t.Fatal("A&R before decomposition must error")
+	}
+	if got, err := cl.Query("select bwdecompose(lon, 24) from trips"); err != nil || got[0] != "decomposed" {
+		t.Fatalf("bwdecompose: %v %v", got, err)
+	}
+	if _, err := cl.Query(q); err != nil {
+		t.Fatalf("A&R after decomposition: %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := sql.Normalize("SELECT  count(lon) FROM trips  WHERE lon BETWEEN 1 AND 2")
+	b := sql.Normalize("select count ( lon ) from trips where lon between 1 and 2")
+	if a != b {
+		t.Fatalf("normalization mismatch: %q vs %q", a, b)
+	}
+	if x := sql.Normalize("select !!"); x != "select !!" {
+		t.Fatalf("unlexable text should normalize to itself, got %q", x)
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/sql"
+)
+
+// Session is the per-connection state: an executor-mode and cost-report
+// toggle, named prepared statements, and running meter totals over every
+// statement the connection ran. All methods are safe for concurrent use
+// (the \stats handler of one connection may snapshot another's totals).
+type Session struct {
+	ID int64
+
+	// Totals accumulates the contention-adjusted meters of this session's
+	// queries.
+	Totals device.SharedMeter
+
+	mu       sync.Mutex
+	cost     bool
+	mode     Mode
+	prepared map[string]*sql.Binding
+}
+
+func newSession(id int64) *Session {
+	return &Session{ID: id, prepared: make(map[string]*sql.Binding)}
+}
+
+// ToggleCost flips the cost-report toggle and returns the new state.
+func (s *Session) ToggleCost() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cost = !s.cost
+	return s.cost
+}
+
+// Cost reports whether cost reporting is on.
+func (s *Session) Cost() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cost
+}
+
+// Mode returns the session's executor mode.
+func (s *Session) Mode() Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// SetMode sets the executor mode from its text form.
+func (s *Session) SetMode(name string) error {
+	var m Mode
+	switch name {
+	case "auto":
+		m = ModeAuto
+	case "ar":
+		m = ModeAR
+	case "classic":
+		m = ModeClassic
+	default:
+		return fmt.Errorf("server: unknown mode %q (auto, ar, classic)", name)
+	}
+	s.mu.Lock()
+	s.mode = m
+	s.mu.Unlock()
+	return nil
+}
+
+// Prepare stores a compiled binding under a name.
+func (s *Session) Prepare(name string, b *sql.Binding) {
+	s.mu.Lock()
+	s.prepared[name] = b
+	s.mu.Unlock()
+}
+
+// Prepared returns a previously prepared binding.
+func (s *Session) Prepared(name string) (*sql.Binding, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.prepared[name]
+	return b, ok
+}

@@ -251,18 +251,24 @@ func bindArith(e *ArithE, onDim func(QualCol) (bool, error)) (plan.Expr, error) 
 	}
 }
 
-// Run parses, binds and executes a statement. bwdecompose statements apply
-// the decomposition and return nil; EXPLAIN returns a Result carrying only
-// the plan listing.
-func Run(c *plan.Catalog, src string, opts plan.ExecOpts) (*plan.Result, error) {
+// Compile parses and binds a statement into an executable Binding — the
+// reusable front half of Run. A Binding is immutable once compiled:
+// executing it never mutates it, so compiled bindings may be cached (the
+// server's plan cache stores them keyed on Normalize'd text) and executed
+// concurrently.
+func Compile(c *plan.Catalog, src string) (*Binding, error) {
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	b, err := Bind(stmt, c)
-	if err != nil {
-		return nil, err
-	}
+	return Bind(stmt, c)
+}
+
+// Exec runs a compiled binding. bwdecompose statements apply the
+// decomposition and return nil; EXPLAIN returns a Result carrying only the
+// plan listing. Classic controls which executor runs the query (the A&R
+// executor by default, matching Run).
+func Exec(c *plan.Catalog, b *Binding, opts plan.ExecOpts, classic bool) (*plan.Result, error) {
 	if len(b.Decompose) > 0 {
 		for _, d := range b.Decompose {
 			if _, err := c.Decompose(d.Table, d.Col, d.Bits); err != nil {
@@ -271,7 +277,13 @@ func Run(c *plan.Catalog, src string, opts plan.ExecOpts) (*plan.Result, error) 
 		}
 		return nil, nil
 	}
-	res, err := c.ExecAR(b.Query, opts)
+	var res *plan.Result
+	var err error
+	if classic {
+		res, err = c.ExecClassic(b.Query, opts)
+	} else {
+		res, err = c.ExecAR(b.Query, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +291,46 @@ func Run(c *plan.Catalog, src string, opts plan.ExecOpts) (*plan.Result, error) 
 		return &plan.Result{Plan: res.Plan, Meter: res.Meter}, nil
 	}
 	return res, nil
+}
+
+// Run parses, binds and executes a statement under the A&R executor.
+func Run(c *plan.Catalog, src string, opts plan.ExecOpts) (*plan.Result, error) {
+	b, err := Compile(c, src)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(c, b, opts, false)
+}
+
+// Normalize canonicalizes statement text for plan-cache keying: tokens are
+// re-serialized with single spaces and identifiers are lower-cased (the
+// parser lower-cases names anyway), so queries differing only in whitespace
+// or keyword case share one cache entry. Unlexable text normalizes to its
+// trimmed self and will miss the cache — the parser reports the error.
+func Normalize(src string) string {
+	toks, err := tokenize(src)
+	if err != nil {
+		return strings.TrimSpace(src)
+	}
+	var sb strings.Builder
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		if t.kind == tokIdent {
+			sb.WriteString(strings.ToLower(t.text))
+		} else if t.kind == tokString {
+			sb.WriteByte('\'')
+			sb.WriteString(t.text)
+			sb.WriteByte('\'')
+		} else {
+			sb.WriteString(t.text)
+		}
+	}
+	return sb.String()
 }
 
 // Format renders a result like a small SQL client.
