@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/spatial"
@@ -27,7 +28,9 @@ func BenchmarkServerConcurrentStreams(b *testing.B) {
 	if err := d.Decompose(catalog); err != nil {
 		b.Fatal(err)
 	}
-	srv := server.New(catalog, server.Config{Sched: server.SchedConfig{CPUWorkers: 16, GPUStreams: 2, ARQueue: 1 << 20}})
+	srv := server.New(engine.New(catalog, engine.Options{
+		Sched: engine.SchedConfig{CPUWorkers: 16, GPUStreams: 2, ARQueue: 1 << 20},
+	}))
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -81,7 +84,7 @@ func BenchmarkServerConcurrentStreams(b *testing.B) {
 	}
 
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
-	gpu, cpu, pci, queries := srv.Scheduler().Totals.Totals()
+	gpu, cpu, pci, queries := srv.Engine().Totals().Totals()
 	if queries > clients { // skip the warm-up-sized runs
 		simTotal := (gpu + cpu + pci).Seconds()
 		if simTotal > 0 {

@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -16,11 +17,20 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/plan"
 	"repro/internal/spatial"
 	"repro/internal/tpch"
 )
+
+// benchSessions opens one forced-A&R and one forced-classic session over a
+// catalog — end-to-end benches drive the same engine facade the shell and
+// server use, so the serving path itself is under the clock.
+func benchSessions(c *plan.Catalog) (arSess, clSess *engine.Session) {
+	eng := engine.New(c, engine.Options{})
+	return eng.SessionFor(engine.ModeAR), eng.SessionFor(engine.ModeClassic)
+}
 
 func benchFigure(b *testing.B, fn func(experiments.Options) (*experiments.Figure, error)) {
 	b.Helper()
@@ -226,9 +236,11 @@ func BenchmarkAblationFilterPushdown(b *testing.B) {
 		},
 		Aggs: []plan.AggSpec{{Name: "n", Func: plan.Count}},
 	}
+	arSess, _ := benchSessions(c)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.ExecAR(q, plan.ExecOpts{}); err != nil {
+		if _, err := arSess.QueryPlan(ctx, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -249,20 +261,22 @@ func BenchmarkEndToEndTPCH(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	arSess, clSess := benchSessions(c)
+	ctx := context.Background()
 	for _, entry := range []struct {
 		name string
 		q    plan.Query
 	}{{"Q1", tpch.Q1(90)}, {"Q6", tpch.Q6(1994, 6, 24)}, {"Q14", q14}} {
 		b.Run(entry.name+"/AR", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := c.ExecAR(entry.q, plan.ExecOpts{}); err != nil {
+				if _, err := arSess.QueryPlan(ctx, entry.q); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(entry.name+"/Classic", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := c.ExecClassic(entry.q, plan.ExecOpts{}); err != nil {
+				if _, err := clSess.QueryPlan(ctx, entry.q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -282,16 +296,18 @@ func BenchmarkEndToEndSpatial(b *testing.B) {
 		b.Fatal(err)
 	}
 	q := spatial.RangeCountQuery()
+	arSess, clSess := benchSessions(c)
+	ctx := context.Background()
 	b.Run("AR", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := c.ExecAR(q, plan.ExecOpts{}); err != nil {
+			if _, err := arSess.QueryPlan(ctx, q); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Classic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := c.ExecClassic(q, plan.ExecOpts{}); err != nil {
+			if _, err := clSess.QueryPlan(ctx, q); err != nil {
 				b.Fatal(err)
 			}
 		}

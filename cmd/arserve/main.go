@@ -13,7 +13,7 @@
 //	...
 //
 // Meta commands: \cost, \mode [auto|ar|classic], \tables, \stats,
-// \prepare <name> <sql>, \run <name>, \q.
+// \prepare <name> <sql>, \run <name> [params...], \q.
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/spatial"
@@ -58,11 +59,14 @@ func main() {
 		fail(err)
 	}
 
-	srv := server.New(catalog, server.Config{
-		Sched:     server.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
+	// The server is a thin protocol adapter over one shared engine; any
+	// other front-end could embed the same engine value concurrently.
+	eng := engine.New(catalog, engine.Options{
+		Sched:     engine.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
 		CacheSize: *cache,
 		Threads:   *threads,
 	})
+	srv := server.New(eng)
 	fmt.Printf("arserve: lineitem (SF-%g), part, trips (%d fixes) loaded and decomposed\n", *sf, *spatialN)
 	fmt.Printf("arserve: listening on %s\n", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {

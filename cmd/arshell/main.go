@@ -9,20 +9,24 @@
 //	ar> explain select count(*) from trips where lon between 268288 and 270228
 //	ar> \q
 //
-// Meta commands: \tables, \cost (toggle cost report), \q.
+// The shell is a thin REPL over an engine session — the same
+// internal/engine facade the TCP server adapts — so its meta-command
+// surface is identical to the server's: \cost, \mode [auto|ar|classic],
+// \tables, \stats, \prepare <name> <sql>, \run <name> [params...], \q.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/spatial"
-	"repro/internal/sql"
 	"repro/internal/tpch"
 )
 
@@ -30,6 +34,7 @@ func main() {
 	var (
 		sf       = flag.Float64("sf", 0.002, "TPC-H scale factor preloaded")
 		spatialN = flag.Int("spatial", 200_000, "spatial fixes preloaded")
+		threads  = flag.Int("threads", 1, "CPU threads per query")
 	)
 	flag.Parse()
 
@@ -44,10 +49,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	eng := engine.New(catalog, engine.Options{Threads: *threads})
+	sess := eng.Session()
+	defer sess.Close()
+	sess.ToggleCost() // the shell reports simulated costs by default
+
 	fmt.Printf("A&R shell — lineitem (SF-%g), part, trips (%d fixes) loaded.\n", *sf, *spatialN)
 	fmt.Println(`Decompose columns first: select bwdecompose(col, bits) from table. \q quits.`)
 
-	showCost := true
+	ctx := context.Background()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -57,34 +67,32 @@ func main() {
 			return
 		}
 		line := strings.TrimSpace(in.Text())
-		switch {
-		case line == "":
+		if line == "" {
 			continue
-		case line == `\q` || line == "quit" || line == "exit":
+		}
+		if line == "quit" || line == "exit" {
 			return
-		case line == `\cost`:
-			showCost = !showCost
-			fmt.Printf("cost report %v\n", map[bool]string{true: "on", false: "off"}[showCost])
-			continue
-		case line == `\tables`:
-			for _, name := range []string{"lineitem", "part", "trips"} {
-				t, err := catalog.Table(name)
-				if err != nil {
-					continue
-				}
-				fmt.Printf("%s (%d rows): %s\n", name, t.Len(), strings.Join(t.Columns(), ", "))
+		}
+		if lines, quit, handled, err := sess.Meta(ctx, line); handled || quit {
+			if quit {
+				return
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, l := range lines {
+				fmt.Println(l)
 			}
 			continue
 		}
-		res, err := sql.Run(catalog, line, plan.ExecOpts{})
+		res, err := sess.Query(ctx, line)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
-		fmt.Print(sql.Format(res))
-		if res != nil && showCost && res.Meter != nil {
-			fmt.Printf("-- simulated %v; candidates %d -> refined %d; approx count %v\n",
-				res.Meter, res.Candidates, res.Refined, res.Approx.Count)
+		for _, l := range engine.RenderResult(res, sess.Cost()) {
+			fmt.Println(l)
 		}
 	}
 }

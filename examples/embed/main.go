@@ -1,0 +1,66 @@
+// Embedding the engine as a library: the ten-line path from a loaded
+// catalog to query results — no shell, no server, no scheduler wiring.
+// The same engine.Engine value also powers cmd/arshell and cmd/arserve;
+// an application embeds it the way go-mysql-server is embedded.
+//
+//	go run ./examples/embed
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/spatial"
+)
+
+func main() {
+	// Load data into a catalog (any loader works; this one generates GPS
+	// fixes as the trips table).
+	catalog := plan.NewCatalog(device.PaperSystem())
+	if err := spatial.Generate(200_000, 7).Load(catalog); err != nil {
+		log.Fatal(err)
+	}
+
+	// The embeddable facade: everything below is the public engine API.
+	eng := engine.New(catalog, engine.Options{})
+	ctx := context.Background()
+	mustQuery(eng, ctx, "select bwdecompose(lon, 24), bwdecompose(lat, 24) from trips")
+	res := mustQuery(eng, ctx,
+		"select count(lon) from trips where lon between 2.68288 and 2.70228 and lat between 50.4222 and 50.4485")
+	fmt.Printf("count = %d (route %s, simulated %v)\n", res.Rows[0].Vals[0], res.Route, res.Meter)
+
+	// Prepared statements take $1..$9 literal parameters, validated at
+	// prepare time and substituted at each Exec.
+	stmt, err := eng.Prepare(ctx, "select count(lon) from trips where lon between $1 and $2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bounds := range [][2]string{{"2.68288", "2.70228"}, {"2.60000", "2.80000"}} {
+		r, err := stmt.Exec(ctx, bounds[0], bounds[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("lon in [%s, %s]: %d fixes\n", bounds[0], bounds[1], r.Rows[0].Vals[0])
+	}
+
+	// Every execution is context-aware: a cancelled ctx aborts the query
+	// at its next pipeline checkpoint and frees its scheduler slot.
+	expired, cancel := context.WithTimeout(ctx, -time.Second)
+	defer cancel()
+	if _, err := eng.Query(expired, "select count(lon) from trips where lon between 2.6 and 2.8"); err != nil {
+		fmt.Println("cancelled query returned:", err)
+	}
+}
+
+func mustQuery(eng *engine.Engine, ctx context.Context, src string) *engine.Result {
+	res, err := eng.Query(ctx, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

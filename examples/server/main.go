@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/server"
 	"repro/internal/spatial"
@@ -31,7 +32,9 @@ func main() {
 	// ARQueue is sized for the forced-A&R client count: the example pins
 	// half its clients to \mode ar, which does not spill on overload the
 	// way auto mode does.
-	srv := server.New(catalog, server.Config{Sched: server.SchedConfig{CPUWorkers: 8, ARQueue: 256}})
+	srv := server.New(engine.New(catalog, engine.Options{
+		Sched: engine.SchedConfig{CPUWorkers: 8, ARQueue: 256},
+	}))
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fail(err)

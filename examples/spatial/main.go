@@ -7,10 +7,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/fixed"
 	"repro/internal/plan"
 	"repro/internal/spatial"
@@ -40,7 +42,11 @@ func main() {
 		fixed.Format(spatial.QueryLonLo, fixed.Scale5), fixed.Format(spatial.QueryLonHi, fixed.Scale5),
 		fixed.Format(spatial.QueryLatLo, fixed.Scale5), fixed.Format(spatial.QueryLatHi, fixed.Scale5))
 
-	arRes, err := catalog.ExecAR(q, plan.ExecOpts{})
+	// Both executions go through the embeddable engine facade: one session
+	// per executor mode, like two differently configured clients.
+	eng := engine.New(catalog, engine.Options{})
+	ctx := context.Background()
+	arRes, err := eng.SessionFor(engine.ModeAR).QueryPlan(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +54,7 @@ func main() {
 	fmt.Printf("          approximate count bounds (before refinement): %v\n", arRes.Approx.Count)
 	fmt.Printf("          candidates %d -> refined %d\n", arRes.Candidates, arRes.Refined)
 
-	clRes, err := catalog.ExecClassic(q, plan.ExecOpts{})
+	clRes, err := eng.SessionFor(engine.ModeClassic).QueryPlan(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

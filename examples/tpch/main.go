@@ -6,10 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/fixed"
 	"repro/internal/plan"
 	"repro/internal/tpch"
@@ -42,13 +44,18 @@ func main() {
 		{"Q14", q14},
 	}
 
+	eng := engine.New(catalog, engine.Options{})
+	ctx := context.Background()
+	arSess := eng.SessionFor(engine.ModeAR)
+	clSess := eng.SessionFor(engine.ModeClassic)
+
 	for _, entry := range queries {
 		fmt.Printf("\n=== TPC-H %s ===\n", entry.name)
-		arRes, err := catalog.ExecAR(entry.q, plan.ExecOpts{})
+		arRes, err := arSess.QueryPlan(ctx, entry.q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		clRes, err := catalog.ExecClassic(entry.q, plan.ExecOpts{})
+		clRes, err := clSess.QueryPlan(ctx, entry.q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +78,7 @@ func main() {
 				fixed.Format(arRes.Approx.Aggs[0].Lo, fixed.Scale2),
 				fixed.Format(arRes.Approx.Aggs[0].Hi, fixed.Scale2))
 		case "Q14":
-			fmt.Printf("promo_revenue = %.2f%%\n", tpch.Q14Ratio(arRes))
+			fmt.Printf("promo_revenue = %.2f%%\n", tpch.Q14Ratio(arRes.Result))
 		}
 	}
 }

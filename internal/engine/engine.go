@@ -1,0 +1,243 @@
+// Package engine is the public, embeddable facade over the A&R query
+// system: one context-aware API that every front-end — the interactive
+// shell, the TCP server, the benchmark harnesses, the experiment runners,
+// and any future adapter (HTTP, replication, batching) — sits on instead
+// of wiring the SQL front end, plan cache, device-aware scheduler and
+// executors together itself.
+//
+// The shape follows the embeddable-engine pattern of go-mysql-server:
+// construct one Engine over a catalog, open a Session per caller, and run
+// statements through Query / Prepare+Exec. The engine owns the LRU plan
+// cache and the scheduler; protocol adapters stay thin.
+//
+//	eng := engine.New(catalog, engine.Options{})
+//	sess := eng.Session()
+//	res, err := sess.Query(ctx, "select count(lon) from trips where ...")
+//
+// Every execution takes a context.Context and honors it end to end:
+// waiting for a CPU-pool or GPU-stream slot aborts when ctx is cancelled,
+// and running queries stop at the executors' cooperative stage checkpoints
+// (see plan.Stage), returning ctx.Err() with their slot released.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Options tunes an Engine.
+type Options struct {
+	// Sched sizes the device-aware scheduler.
+	Sched SchedConfig
+	// CacheSize bounds the LRU plan cache (entries). Defaults to 128;
+	// negative disables caching.
+	CacheSize int
+	// Threads is the CPU thread count each query executes with (classic
+	// plan or A&R refinement). Defaults to 1, one stream per worker —
+	// cross-stream parallelism comes from the pool, as in Fig 11.
+	Threads int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize == 0 {
+		o.CacheSize = 128
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	return o
+}
+
+// Engine is the embeddable query engine: catalog + plan cache + scheduler
+// behind a context-aware API. One Engine is shared by any number of
+// concurrent sessions.
+type Engine struct {
+	cat   *plan.Catalog
+	sched *Scheduler
+	cache *PlanCache
+	opts  Options
+
+	mu       sync.Mutex
+	sessions map[int64]*Session
+	nextID   int64
+	def      *Session
+}
+
+// New returns an engine over the catalog. The catalog's tables should be
+// loaded (and columns decomposed, for A&R routing) before serving, though
+// callers can also issue bwdecompose statements at runtime.
+func New(cat *plan.Catalog, opts Options) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		cat:      cat,
+		sched:    NewScheduler(cat, opts.Sched),
+		cache:    NewPlanCache(opts.CacheSize),
+		opts:     opts,
+		sessions: make(map[int64]*Session),
+	}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *plan.Catalog { return e.cat }
+
+// Scheduler exposes the engine's scheduler (for stats and experiments).
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
+
+// Cache exposes the engine's plan cache.
+func (e *Engine) Cache() *PlanCache { return e.cache }
+
+// Session opens a new session. Callers should Close it when done so the
+// active-session count stays accurate.
+func (e *Engine) Session() *Session {
+	e.mu.Lock()
+	e.nextID++
+	s := &Session{ID: e.nextID, eng: e, prepared: make(map[string]*Stmt)}
+	e.sessions[s.ID] = s
+	e.mu.Unlock()
+	return s
+}
+
+// SessionFor opens a new session with its executor mode already set — the
+// common shape for callers that pin a session to one executor (benchmark
+// streams, experiment configurations, forced-mode clients).
+func (e *Engine) SessionFor(mode Mode) *Session {
+	s := e.Session()
+	s.SetMode(mode)
+	return s
+}
+
+// SessionCount returns the number of open sessions.
+func (e *Engine) SessionCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+func (e *Engine) dropSession(id int64) {
+	e.mu.Lock()
+	delete(e.sessions, id)
+	e.mu.Unlock()
+}
+
+// defaultSession returns the engine-owned session behind Engine.Query /
+// Engine.Prepare — the ten-line embedding path that doesn't want to manage
+// sessions. It is unregistered, so it never counts as an active session.
+func (e *Engine) defaultSession() *Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.def == nil {
+		e.def = &Session{eng: e, prepared: make(map[string]*Stmt)}
+	}
+	return e.def
+}
+
+// Query compiles and executes one statement on the engine's default
+// session. Callers needing per-caller mode, cost or totals state open
+// their own Session instead.
+func (e *Engine) Query(ctx context.Context, src string) (*Result, error) {
+	return e.defaultSession().Query(ctx, src)
+}
+
+// Prepare compiles a statement on the engine's default session.
+func (e *Engine) Prepare(ctx context.Context, src string) (*Stmt, error) {
+	return e.defaultSession().Prepare(ctx, src)
+}
+
+// QueryPlan executes a logical plan.Query on the engine's default session.
+func (e *Engine) QueryPlan(ctx context.Context, q plan.Query) (*Result, error) {
+	return e.defaultSession().QueryPlan(ctx, q)
+}
+
+// Totals returns the engine-wide meter totals across all sessions.
+func (e *Engine) Totals() *device.SharedMeter { return &e.sched.Totals }
+
+// compile resolves a statement through the plan cache, compiling and
+// inserting on miss. bwdecompose statements are never cached: they are DDL
+// with side effects, and re-running a stale binding silently would be
+// surprising.
+func (e *Engine) compile(src string) (*sql.Binding, error) {
+	key := sql.Normalize(src)
+	if b, ok := e.cache.Get(key); ok {
+		return b, nil
+	}
+	b, err := sql.Compile(e.cat, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Decompose) == 0 {
+		e.cache.Put(key, b)
+	}
+	return b, nil
+}
+
+// exec routes one compiled binding through the scheduler on behalf of a
+// session and folds the (contention-adjusted) meter into the session's
+// totals. The scheduler already merged it into the engine-wide totals.
+func (e *Engine) exec(ctx context.Context, sess *Session, b *sql.Binding) (*Result, error) {
+	res, route, err := e.sched.Exec(ctx, b, plan.ExecOpts{Threads: e.opts.Threads}, sess.Mode())
+	if err != nil {
+		return nil, err
+	}
+	var meter *device.Meter
+	if res != nil {
+		meter = res.Meter
+	}
+	sess.Totals.Merge(meter)
+	return &Result{Result: res, Route: route}, nil
+}
+
+// Result is the outcome of one engine execution: the plan-level result
+// (nil for DDL statements such as bwdecompose) plus the route the
+// scheduler chose.
+type Result struct {
+	*plan.Result
+	Route Route
+}
+
+// StatsLines renders the engine's observable state — active sessions, plan
+// cache, scheduler, engine-wide totals, and (if sess is non-nil) the
+// session's own totals — as the lines both the server's \stats command and
+// the shell print. Sharing the renderer keeps the two surfaces identical.
+func (e *Engine) StatsLines(sess *Session) []string {
+	lines := []string{
+		fmt.Sprintf("sessions: %d active", e.SessionCount()),
+		e.cache.Stats().String(),
+		e.sched.Stats().String(),
+		"engine totals: " + e.sched.Totals.String(),
+	}
+	if sess != nil {
+		lines = append(lines, fmt.Sprintf("session %d totals: %s", sess.ID, sess.Totals.String()))
+	}
+	return lines
+}
+
+// RenderResult formats an execution result as display lines: "decomposed"
+// for DDL, the plan listing for EXPLAIN, formatted rows otherwise, plus
+// the per-query cost report when showCost is set. Both the server protocol
+// and the shell render through this, so their output cannot drift.
+func RenderResult(res *Result, showCost bool) []string {
+	var lines []string
+	switch {
+	case res.Result == nil:
+		lines = []string{"decomposed"}
+	case res.Rows == nil && len(res.Plan) > 0:
+		lines = append(lines, res.Plan...)
+	default:
+		for _, l := range strings.Split(strings.TrimRight(plan.FormatRows(res.Rows), "\n"), "\n") {
+			if l != "" {
+				lines = append(lines, l)
+			}
+		}
+	}
+	if showCost && res.Result != nil && res.Meter != nil {
+		lines = append(lines, fmt.Sprintf("-- %s; simulated %v; candidates %d -> refined %d; approx count %v",
+			res.Route, res.Meter, res.Candidates, res.Refined, res.Approx.Count))
+	}
+	return lines
+}

@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded is the sentinel for admission-control rejections: match it
+// with errors.Is to detect overload regardless of the queue-depth detail
+// the concrete *OverloadedError carries. Callers are expected to back off
+// and retry, or to fall back to the classic executor.
+var ErrOverloaded = errors.New("engine: A&R stream overloaded")
+
+// OverloadedError is returned when the GPU stream's admission control
+// rejects an A&R query: every stream is busy and the bounded wait queue is
+// full. It carries the queue state observed at rejection time so clients
+// (and protocol adapters) can surface an informed retry hint.
+type OverloadedError struct {
+	// Waiting is the number of queries already queued for a GPU stream
+	// when this one was rejected.
+	Waiting int
+	// Queue is the admission queue capacity (SchedConfig.ARQueue).
+	Queue int
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("engine: A&R stream overloaded (%d waiting, queue capacity %d): retry after backoff or use the classic executor",
+		e.Waiting, e.Queue)
+}
+
+// Is reports sentinel equality so errors.Is(err, ErrOverloaded) matches any
+// *OverloadedError.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }

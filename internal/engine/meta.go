@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Meta executes one backslash meta command against the session and returns
+// the display lines. It is the single implementation behind both the
+// shell's and the server's meta surface (\cost, \mode, \tables, \stats,
+// \prepare, \run, \q), which is what keeps the two front-ends at parity.
+//
+// handled is false when line is not a meta command (no backslash prefix) —
+// the caller should execute it as SQL. quit is true for \q. Unknown meta
+// commands report handled=true with an error.
+func (s *Session) Meta(ctx context.Context, line string) (out []string, quit, handled bool, err error) {
+	if !strings.HasPrefix(line, `\`) {
+		return nil, false, false, nil
+	}
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case `\q`:
+		return nil, true, true, nil
+	case `\cost`:
+		return []string{fmt.Sprintf("cost report %s", onOff(s.ToggleCost()))}, false, true, nil
+	case `\mode`:
+		if rest != "" {
+			if err := s.SetModeName(rest); err != nil {
+				return nil, false, true, err
+			}
+		}
+		return []string{"mode " + s.Mode().String()}, false, true, nil
+	case `\tables`:
+		cat := s.eng.Catalog()
+		for _, name := range cat.TableNames() {
+			t, err := cat.Table(name)
+			if err != nil {
+				continue
+			}
+			out = append(out, fmt.Sprintf("%s (%d rows): %s", name, t.Len(), strings.Join(t.Columns(), ", ")))
+		}
+		return out, false, true, nil
+	case `\stats`:
+		return s.eng.StatsLines(s), false, true, nil
+	case `\prepare`:
+		name, stmt, ok := strings.Cut(rest, " ")
+		stmt = strings.TrimSpace(stmt)
+		if !ok || name == "" || stmt == "" {
+			return nil, false, true, errors.New(`engine: usage: \prepare <name> <sql>`)
+		}
+		if _, err := s.PrepareNamed(ctx, name, stmt); err != nil {
+			return nil, false, true, err
+		}
+		return []string{"prepared " + name}, false, true, nil
+	case `\run`:
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return nil, false, true, errors.New(`engine: usage: \run <name> [params...]`)
+		}
+		st, ok := s.Stmt(fields[0])
+		if !ok {
+			return nil, false, true, fmt.Errorf("engine: no prepared statement %q", fields[0])
+		}
+		params := make([]any, len(fields)-1)
+		for i, f := range fields[1:] {
+			params[i] = f
+		}
+		res, err := st.Exec(ctx, params...)
+		if err != nil {
+			return nil, false, true, err
+		}
+		return RenderResult(res, s.Cost()), false, true, nil
+	default:
+		return nil, false, true, fmt.Errorf("engine: unknown meta command %s", cmd)
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

@@ -1,6 +1,7 @@
-package server
+package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,11 +11,6 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sql"
 )
-
-// ErrOverloaded is returned when the GPU stream's admission control rejects
-// an A&R query: the stream is busy and the bounded wait queue is full.
-// Clients are expected to back off and retry (or fall back to classic).
-var ErrOverloaded = errors.New("server: A&R stream overloaded, try again")
 
 // Route records which execution path the scheduler chose for a statement.
 type Route int
@@ -62,6 +58,20 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode parses a mode from its text form.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "auto":
+		return ModeAuto, nil
+	case "ar":
+		return ModeAR, nil
+	case "classic":
+		return ModeClassic, nil
+	default:
+		return ModeAuto, fmt.Errorf("engine: unknown mode %q (auto, ar, classic)", name)
+	}
+}
+
 // Scheduler is the device-aware admission layer between sessions and the
 // catalog. It reproduces the paper's §VI-E concurrency setup (Fig 11, "A
 // Gap in the Memory Wall") as serving policy:
@@ -72,12 +82,17 @@ func (m Mode) String() string {
 //     simulated CPU time stretches by ClassicStretch.
 //   - A&R plans go to a GPU stream (usually one — the simulated device
 //     executes one kernel sequence at a time) guarded by admission control:
-//     at most ARQueue queries may wait; beyond that Exec fails fast with
-//     ErrOverloaded instead of building an unbounded backlog. The A&R
-//     stream itself is not stretched — it works out of GPU memory, which is
-//     exactly the gap in the memory wall the paper measures.
+//     at most ARQueue queries may wait; beyond that Exec fails fast with a
+//     typed *OverloadedError instead of building an unbounded backlog. The
+//     A&R stream itself is not stretched — it works out of GPU memory,
+//     which is exactly the gap in the memory wall the paper measures.
 //   - bwdecompose statements execute inline; the catalog's own locks make
 //     the decomposition swap safe against in-flight queries.
+//
+// Every path honors the query context: a query waiting for a CPU or GPU
+// slot abandons the wait when ctx is cancelled, and a running query stops
+// at its executor's next stage checkpoint — in both cases the slot is
+// released (or never taken), so cancellation can never leak pool capacity.
 type Scheduler struct {
 	cat      *plan.Catalog
 	cpuSlots chan struct{}
@@ -98,6 +113,7 @@ type Scheduler struct {
 	arRun         int64
 	ddlRun        int64
 	rejectedAR    int64
+	cancelled     int64
 	drawSum       float64 // sum of HostDraw over finished A&R queries
 	drawN         int64
 }
@@ -111,7 +127,7 @@ type SchedConfig struct {
 	// the paper's single GPU query stream.
 	GPUStreams int
 	// ARQueue bounds A&R queries waiting for a stream before admission
-	// control rejects with ErrOverloaded. Defaults to 2×GPUStreams.
+	// control rejects with *OverloadedError. Defaults to 2×GPUStreams.
 	ARQueue int
 }
 
@@ -139,35 +155,42 @@ func NewScheduler(cat *plan.Catalog, cfg SchedConfig) *Scheduler {
 	}
 }
 
-// Exec routes one compiled binding to its device and executes it. The
-// returned result's meter already includes the memory-wall contention
-// charge for classic plans.
-func (s *Scheduler) Exec(b *sql.Binding, opts plan.ExecOpts, mode Mode) (*plan.Result, Route, error) {
+// Exec routes one compiled binding to its device and executes it under
+// ctx. The returned result's meter already includes the memory-wall
+// contention charge for classic plans. A cancelled ctx surfaces as
+// ctx.Err(), whether the query was still waiting for a slot or already
+// mid-execution.
+func (s *Scheduler) Exec(ctx context.Context, b *sql.Binding, opts plan.ExecOpts, mode Mode) (*plan.Result, Route, error) {
+	if err := ctx.Err(); err != nil {
+		s.noteCancelled()
+		return nil, RouteClassic, err
+	}
 	switch {
 	case len(b.Decompose) > 0:
-		return s.execDDL(b, opts)
+		return s.execDDL(ctx, b, opts)
 	case mode == ModeClassic:
-		return s.execClassic(b, opts)
+		return s.execClassic(ctx, b, opts)
 	case mode == ModeAR:
 		// No pre-validation: ExecAR validates as it builds its
 		// decomposition snapshot and surfaces the same precise error.
-		return s.execAR(b, opts)
+		return s.execAR(ctx, b, opts)
 	case s.cat.CanExecAR(b.Query):
-		res, route, err := s.execAR(b, opts)
+		res, route, err := s.execAR(ctx, b, opts)
 		if errors.Is(err, ErrOverloaded) {
 			// Auto mode degrades gracefully: an overloaded GPU stream spills
 			// the query to the CPU pool instead of failing the client.
-			return s.execClassic(b, opts)
+			return s.execClassic(ctx, b, opts)
 		}
 		return res, route, err
 	default:
-		return s.execClassic(b, opts)
+		return s.execClassic(ctx, b, opts)
 	}
 }
 
-func (s *Scheduler) execDDL(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
-	res, err := sql.Exec(s.cat, b, opts, false)
+func (s *Scheduler) execDDL(ctx context.Context, b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
+	res, err := sql.ExecCtx(ctx, s.cat, b, opts, false)
 	if err != nil {
+		s.noteCtxErr(err)
 		return nil, RouteDDL, err
 	}
 	s.mu.Lock()
@@ -177,8 +200,13 @@ func (s *Scheduler) execDDL(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, R
 	return res, RouteDDL, nil
 }
 
-func (s *Scheduler) execClassic(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
-	s.cpuSlots <- struct{}{}
+func (s *Scheduler) execClassic(ctx context.Context, b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
+	select {
+	case s.cpuSlots <- struct{}{}:
+	case <-ctx.Done():
+		s.noteCancelled()
+		return nil, RouteClassic, ctx.Err()
+	}
 	defer func() { <-s.cpuSlots }()
 
 	s.mu.Lock()
@@ -196,8 +224,9 @@ func (s *Scheduler) execClassic(b *sql.Binding, opts plan.ExecOpts) (*plan.Resul
 		s.mu.Unlock()
 	}()
 
-	res, err := sql.Exec(s.cat, b, opts, true)
+	res, err := sql.ExecCtx(ctx, s.cat, b, opts, true)
 	if err != nil {
+		s.noteCtxErr(err)
 		return nil, RouteClassic, err
 	}
 	if res.Meter != nil {
@@ -208,18 +237,29 @@ func (s *Scheduler) execClassic(b *sql.Binding, opts plan.ExecOpts) (*plan.Resul
 	return res, RouteClassic, nil
 }
 
-func (s *Scheduler) execAR(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
+func (s *Scheduler) execAR(ctx context.Context, b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
 	// Admission control: bound the wait queue, fail fast beyond it.
 	s.mu.Lock()
 	if s.waitingAR >= s.arQueue {
 		s.rejectedAR++
+		waiting := s.waitingAR
 		s.mu.Unlock()
-		return nil, RouteAR, ErrOverloaded
+		return nil, RouteAR, &OverloadedError{Waiting: waiting, Queue: s.arQueue}
 	}
 	s.waitingAR++
 	s.mu.Unlock()
 
-	s.gpuSlots <- struct{}{}
+	select {
+	case s.gpuSlots <- struct{}{}:
+	case <-ctx.Done():
+		// Vacate the admission queue: the cancelled query must not hold a
+		// waiting slot against later arrivals.
+		s.mu.Lock()
+		s.waitingAR--
+		s.cancelled++
+		s.mu.Unlock()
+		return nil, RouteAR, ctx.Err()
+	}
 	s.mu.Lock()
 	s.waitingAR--
 	s.activeAR++
@@ -235,8 +275,9 @@ func (s *Scheduler) execAR(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Ro
 		<-s.gpuSlots
 	}()
 
-	res, err := sql.Exec(s.cat, b, opts, false)
+	res, err := sql.ExecCtx(ctx, s.cat, b, opts, false)
 	if err != nil {
+		s.noteCtxErr(err)
 		return nil, RouteAR, err
 	}
 	if res.Meter != nil {
@@ -247,6 +288,20 @@ func (s *Scheduler) execAR(b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Ro
 	}
 	s.Totals.Merge(res.Meter)
 	return res, RouteAR, nil
+}
+
+func (s *Scheduler) noteCancelled() {
+	s.mu.Lock()
+	s.cancelled++
+	s.mu.Unlock()
+}
+
+// noteCtxErr counts an executor failure as a cancellation when it is the
+// context's own error (cooperative checkpoint abort).
+func (s *Scheduler) noteCtxErr(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.noteCancelled()
+	}
 }
 
 func (s *Scheduler) avgDrawLocked() float64 {
@@ -266,6 +321,7 @@ func (s *Scheduler) avgDrawLocked() float64 {
 // SchedStats is a point-in-time snapshot of scheduler counters.
 type SchedStats struct {
 	ClassicRun, ARRun, DDLRun, RejectedAR int64
+	Cancelled                             int64
 	ActiveClassic, ActiveAR, WaitingAR    int
 	PeakClassic, PeakAR                   int
 	AvgARHostDraw                         float64 // bytes/s one A&R stream draws from host memory
@@ -277,6 +333,7 @@ func (s *Scheduler) Stats() SchedStats {
 	defer s.mu.Unlock()
 	return SchedStats{
 		ClassicRun: s.classicRun, ARRun: s.arRun, DDLRun: s.ddlRun, RejectedAR: s.rejectedAR,
+		Cancelled:     s.cancelled,
 		ActiveClassic: s.activeClassic, ActiveAR: s.activeAR, WaitingAR: s.waitingAR,
 		PeakClassic: s.peakClassic, PeakAR: s.peakAR,
 		AvgARHostDraw: s.avgDrawLocked(),
@@ -284,8 +341,8 @@ func (s *Scheduler) Stats() SchedStats {
 }
 
 func (st SchedStats) String() string {
-	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d",
-		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR)
+	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d, cancelled %d",
+		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR, st.Cancelled)
 }
 
 // ClassicStretch returns the factor by which one single-threaded classic

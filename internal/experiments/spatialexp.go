@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/fixed"
 	"repro/internal/plan"
 	"repro/internal/spatial"
@@ -35,7 +37,9 @@ func Table1(opts Options) (*Table1Result, error) {
 	if err := d.Decompose(c); err != nil {
 		return nil, err
 	}
-	res, err := c.ExecAR(spatial.RangeCountQuery(), plan.ExecOpts{Threads: opts.Threads})
+	arSess := engine.New(c, engine.Options{Threads: opts.Threads}).SessionFor(engine.ModeAR)
+	defer arSess.Close()
+	res, err := arSess.QueryPlan(context.Background(), spatial.RangeCountQuery())
 	if err != nil {
 		return nil, err
 	}
@@ -88,11 +92,17 @@ func Fig9(opts Options) (*Figure, error) {
 	}
 	q := spatial.RangeCountQuery()
 
-	arRes, err := c.ExecAR(q, plan.ExecOpts{Threads: opts.Threads})
+	eng := engine.New(c, engine.Options{Threads: opts.Threads})
+	ctx := context.Background()
+	arSess := eng.SessionFor(engine.ModeAR)
+	defer arSess.Close()
+	arRes, err := arSess.QueryPlan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	clRes, err := c.ExecClassic(q, plan.ExecOpts{Threads: opts.Threads})
+	clSess := eng.SessionFor(engine.ModeClassic)
+	defer clSess.Close()
+	clRes, err := clSess.QueryPlan(ctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/plan"
-	"repro/internal/server"
 	"repro/internal/spatial"
-	"repro/internal/sql"
 )
 
 // Fig11 reproduces "A Gap in the Memory Wall" (§VI-E): two parallel query
@@ -16,14 +16,14 @@ import (
 // wall; the GPU stream, working out of its own memory, stacks almost
 // additively on top.
 //
-// The harness is expressed through the server's device-aware scheduler —
+// The harness is expressed through the engine's device-aware scheduler —
 // the same admission and contention layer cmd/arserve serves traffic with —
 // so the figure is reproducible from the running service: the single-stream
 // query times come from scheduler-routed executions, and the sweep applies
-// the scheduler's own memory-wall law (server.ClassicStretch): t concurrent
+// the scheduler's own memory-wall law (engine.ClassicStretch): t concurrent
 // classic queries see min(t·perThread, aggregate) memory bandwidth, and the
 // combined experiment additionally deducts the host bandwidth the A&R
-// stream's refinement phase and DMA transfers draw (server.HostDraw).
+// stream's refinement phase and DMA transfers draw (engine.HostDraw).
 func Fig11(opts Options) (*Figure, error) {
 	scale := float64(PaperSpatialN) / float64(opts.SpatialN)
 	sys := device.ScaledSystem(scale)
@@ -36,22 +36,26 @@ func Fig11(opts Options) (*Figure, error) {
 		return nil, err
 	}
 	q := spatial.RangeCountQuery()
-	b := &sql.Binding{Query: q}
-	sched := server.NewScheduler(c, server.SchedConfig{})
+	eng := engine.New(c, engine.Options{})
+	ctx := context.Background()
 
-	clRes, route, err := sched.Exec(b, plan.ExecOpts{Threads: 1}, server.ModeClassic)
+	clSess := eng.SessionFor(engine.ModeClassic)
+	defer clSess.Close()
+	clRes, err := clSess.QueryPlan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	if route != server.RouteClassic {
-		return nil, fmt.Errorf("fig11: classic query routed to %v", route)
+	if clRes.Route != engine.RouteClassic {
+		return nil, fmt.Errorf("fig11: classic query routed to %v", clRes.Route)
 	}
-	arRes, route, err := sched.Exec(b, plan.ExecOpts{Threads: 1}, server.ModeAR)
+	arSess := eng.SessionFor(engine.ModeAR)
+	defer arSess.Close()
+	arRes, err := arSess.QueryPlan(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	if route != server.RouteAR {
-		return nil, fmt.Errorf("fig11: A&R query routed to %v", route)
+	if arRes.Route != engine.RouteAR {
+		return nil, fmt.Errorf("fig11: A&R query routed to %v", arRes.Route)
 	}
 
 	t1 := clRes.Meter.Total().Seconds() // classic single-thread query time
@@ -61,7 +65,7 @@ func Fig11(opts Options) (*Figure, error) {
 	// Classic stream at t threads: per-query time stretches by the
 	// scheduler's memory-wall law once the wall is hit.
 	classicQPS := func(t int, arDraw float64) float64 {
-		return float64(t) / (t1 * server.ClassicStretch(sys, t, arDraw))
+		return float64(t) / (t1 * engine.ClassicStretch(sys, t, arDraw))
 	}
 
 	threadSweep := []int{1, 2, 4, 8, 16, 32}
@@ -73,7 +77,7 @@ func Fig11(opts Options) (*Figure, error) {
 
 	// Host-bandwidth draw of one saturated A&R stream, as the scheduler
 	// charges it to concurrently running classic streams.
-	hostDraw := server.HostDraw(sys, arRes.Meter)
+	hostDraw := engine.HostDraw(sys, arRes.Meter)
 	cpuFrac := arRes.Meter.CPU.Seconds() / arTotal
 	pciFrac := arRes.Meter.PCI.Seconds() / arTotal
 	cpuWithAR := classicQPS(32, hostDraw)

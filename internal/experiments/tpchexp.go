@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/tpch"
 )
@@ -31,17 +33,18 @@ func tpchFigure(opts Options, id, title string, build func() (plan.Query, error)
 		if err := d.DecomposeAll(c, spaceConstrained); err != nil {
 			return nil, err
 		}
-		var res *plan.Result
+		mode := engine.ModeAR
 		if classic {
-			res, err = c.ExecClassic(q, plan.ExecOpts{Threads: opts.Threads})
-		} else {
-			res, err = c.ExecAR(q, plan.ExecOpts{Threads: opts.Threads})
+			mode = engine.ModeClassic
 		}
+		sess := engine.New(c, engine.Options{Threads: opts.Threads}).SessionFor(mode)
+		defer sess.Close()
+		res, err := sess.QueryPlan(context.Background(), q)
 		if err != nil {
 			return nil, err
 		}
 		c.ReleaseDecompositions()
-		return res, nil
+		return res.Result, nil
 	}
 
 	arRes, err := run(false, false)

@@ -1,0 +1,39 @@
+package plan
+
+import "context"
+
+// Stage identifies a cooperative cancellation checkpoint between pipeline
+// stages of an executor. The executors poll the query context at every
+// stage boundary — never inside an operator's tight loop — so cancellation
+// latency is bounded by one operator pass while the hot loops stay free of
+// per-tuple branches.
+type Stage string
+
+// Checkpoint stages, in pipeline order. The A&R executor passes through
+// StageApprox (one per approximate operator), StageShip (the single bus
+// crossing), StageRefine (one per refinement batch: selection refinements,
+// projection reconstructions, group refinement) and StageAggregate. The
+// classic executor passes through StageBulk (one per fully-materializing
+// bulk pass) and StageAggregate.
+const (
+	StageApprox    Stage = "approximate"
+	StageShip      Stage = "ship"
+	StageRefine    Stage = "refine"
+	StageAggregate Stage = "aggregate"
+	StageBulk      Stage = "bulk"
+)
+
+// step is the cooperative checkpoint: it fires the observer hook (if any)
+// and reports ctx.Err() once the query's context is cancelled, so a
+// cancelled query stops between stages instead of running to completion.
+func step(ctx context.Context, opts ExecOpts, s Stage) error {
+	if opts.OnStage != nil {
+		opts.OnStage(s)
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

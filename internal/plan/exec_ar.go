@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ar"
@@ -15,6 +16,10 @@ type ExecOpts struct {
 	// Threads is the CPU thread count used by refinement (and by the whole
 	// classic plan). Defaults to 1, the paper's per-query baseline setup.
 	Threads int
+	// OnStage, if set, is invoked at every cooperative checkpoint with the
+	// stage about to run. It exists for observability and deterministic
+	// cancellation tests; it must be fast and safe for concurrent use.
+	OnStage func(Stage)
 }
 
 func (o ExecOpts) threads() int {
@@ -24,14 +29,25 @@ func (o ExecOpts) threads() int {
 	return 1
 }
 
-// ExecAR executes the query under the Approximate & Refine paradigm:
+// ExecAR executes the query under the Approximate & Refine paradigm with a
+// background context; see ExecARCtx.
+func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
+	return c.ExecARCtx(context.Background(), q, opts)
+}
+
+// ExecARCtx executes the query under the Approximate & Refine paradigm:
 // the approximation subplan runs entirely on the simulated device first
 // (its intermediate results never leave device memory), the candidate set
 // and device-side projections are shipped across the bus once, and the
 // refinement subplan discharges false positives and reconstructs exact
 // values on the CPU. The returned Result carries the exact rows, the
 // phase-A approximate answer, and the simulated GPU/CPU/PCI breakdown.
-func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
+//
+// Cancellation is cooperative: the executor polls ctx between pipeline
+// stages (each approximate operator, the bus crossing, each refinement
+// batch, the final aggregation) and returns ctx.Err() without a result
+// once the context is done.
+func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
 	// Validation doubles as the decomposition snapshot: the whole
 	// execution works against the pointers resolved here (see decSnapshot).
 	snap, err := q.validate(c)
@@ -51,12 +67,18 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	filters := orderFilters(snap, q.Table, q.Filters)
 
 	// ---- Phase A: the approximation subplan on the device.
+	if err := step(ctx, opts, StageApprox); err != nil {
+		return nil, err
+	}
 	var cands *ar.Candidates
 	if len(filters) > 0 {
 		d := snap.get(q.Table, filters[0].Col)
 		cands = ar.SelectApprox(m, d, d.Relax(filters[0].Lo, filters[0].Hi))
 		trace("bwd.uselectapproximate(%s.%s)", q.Table, filters[0].Col)
 		for _, f := range filters[1:] {
+			if err := step(ctx, opts, StageApprox); err != nil {
+				return nil, err
+			}
 			d := snap.get(q.Table, f.Col)
 			cands = ar.SelectApproxOver(m, d, d.Relax(f.Lo, f.Hi), cands)
 			trace("bwd.uselectapproximate(%s.%s)", q.Table, f.Col)
@@ -75,6 +97,9 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	var dimPos []bat.OID
 	var dimLen int
 	if q.Join != nil {
+		if err := step(ctx, opts, StageApprox); err != nil {
+			return nil, err
+		}
 		fkd := snap.get(q.Table, q.Join.FKCol)
 		dim, _ := c.Table(q.Join.Dim)
 		dimLen = dim.Len()
@@ -136,6 +161,9 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	}
 
 	// ---- Ship: one bus crossing for candidates, projections, groupings.
+	if err := step(ctx, opts, StageShip); err != nil {
+		return nil, err
+	}
 	cands.Ship(m)
 	for _, p := range projections {
 		p.Ship(m)
@@ -151,6 +179,9 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	refined := cands
 	atRefined := dimPos
 	for _, f := range filters {
+		if err := step(ctx, opts, StageRefine); err != nil {
+			return nil, err
+		}
 		d := snap.get(q.Table, f.Col)
 		if atRefined == nil {
 			refined, _ = ar.SelectRefine(m, threads, d, f.Lo, f.Hi, refined)
@@ -165,6 +196,9 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	if q.Join != nil {
 		trace("bwd.leftjoinrefine(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
 		for _, f := range q.Join.DimFilters {
+			if err := step(ctx, opts, StageRefine); err != nil {
+				return nil, err
+			}
 			dd := snap.get(q.Join.Dim, f.Col)
 			refined, atRefined, _ = ar.SelectRefineAt(m, threads, dd, f.Lo, f.Hi, refined, atRefined)
 			trace("bwd.uselectrefine(%s.%s)", q.Join.Dim, f.Col)
@@ -173,8 +207,11 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	res.Refined = refined.Len()
 
 	// Exact values for every referenced column.
-	ctx := &exprCtx{n: refined.Len(), fact: map[string][]int64{}, dim: map[string][]int64{}}
+	ectx := &exprCtx{n: refined.Len(), fact: map[string][]int64{}, dim: map[string][]int64{}}
 	for ref, p := range projections {
+		if err := step(ctx, opts, StageRefine); err != nil {
+			return nil, err
+		}
 		var vals []int64
 		var err error
 		if ref.Dim {
@@ -186,9 +223,9 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 			return nil, err
 		}
 		if ref.Dim {
-			ctx.dim[ref.Name] = vals
+			ectx.dim[ref.Name] = vals
 		} else {
-			ctx.fact[ref.Name] = vals
+			ectx.fact[ref.Name] = vals
 		}
 		trace("bwd.leftjoinrefine(%s)", ref.Name)
 	}
@@ -197,6 +234,9 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	var grouping *bulk.Grouping
 	var groupKeys [][]int64
 	if mg != nil {
+		if err := step(ctx, opts, StageRefine); err != nil {
+			return nil, err
+		}
 		grouping, groupKeys, err = ar.GroupRefineMulti(m, threads, mg, refined)
 		if err != nil {
 			return nil, err
@@ -209,7 +249,10 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 	// a fused, statically expanded loop (§V-C) reading each input column
 	// once — unlike the classic engine, which materializes every
 	// arithmetic intermediate (§II-B).
-	rows, err := aggregateRows(m, threads, q, ctx, grouping, groupKeys, true)
+	if err := step(ctx, opts, StageAggregate); err != nil {
+		return nil, err
+	}
+	rows, err := aggregateRows(m, threads, q, ectx, grouping, groupKeys, true)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bat"
@@ -8,11 +9,20 @@ import (
 	"repro/internal/device"
 )
 
-// ExecClassic executes the query with the classic bulk-processing model on
-// the CPU only — the paper's "MonetDB" baseline. Operators are the
+// ExecClassic executes the query with the classic bulk-processing model
+// with a background context; see ExecClassicCtx.
+func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
+	return c.ExecClassicCtx(context.Background(), q, opts)
+}
+
+// ExecClassicCtx executes the query with the classic bulk-processing model
+// on the CPU only — the paper's "MonetDB" baseline. Operators are the
 // fully-materializing tight loops of package bulk; no device or bus time
 // is ever charged.
-func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
+//
+// Cancellation is cooperative: the executor polls ctx between bulk passes
+// and returns ctx.Err() without a result once the context is done.
+func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
 	if err := q.validateClassic(c); err != nil {
 		return nil, err
 	}
@@ -28,6 +38,9 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 
 	// Selections: first a full scan, then progressively narrower
 	// candidate-list filters (MonetDB's uselect chains).
+	if err := step(ctx, opts, StageBulk); err != nil {
+		return nil, err
+	}
 	var ids []bat.OID
 	if len(q.Filters) > 0 {
 		b, err := fact.Column(q.Filters[0].Col)
@@ -37,6 +50,9 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 		ids = bulk.SelectRange(m, threads, b, q.Filters[0].Lo, q.Filters[0].Hi)
 		trace("algebra.uselect(%s.%s)", q.Table, q.Filters[0].Col)
 		for _, f := range q.Filters[1:] {
+			if err := step(ctx, opts, StageBulk); err != nil {
+				return nil, err
+			}
 			b, err := fact.Column(f.Col)
 			if err != nil {
 				return nil, err
@@ -56,6 +72,9 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 	// Foreign-key join through the pre-built index.
 	var dimPos []bat.OID
 	if q.Join != nil {
+		if err := step(ctx, opts, StageBulk); err != nil {
+			return nil, err
+		}
 		fkBAT, err := fact.Column(q.Join.FKCol)
 		if err != nil {
 			return nil, err
@@ -100,7 +119,7 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 	res.Refined = len(ids)
 
 	// Materialize referenced columns at the qualifying positions.
-	ctx := &exprCtx{n: len(ids), fact: map[string][]int64{}, dim: map[string][]int64{}}
+	ectx := &exprCtx{n: len(ids), fact: map[string][]int64{}, dim: map[string][]int64{}}
 	need := map[ColRef]bool{}
 	for _, a := range q.Aggs {
 		if a.Expr == nil {
@@ -111,19 +130,22 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 		}
 	}
 	for ref := range need {
+		if err := step(ctx, opts, StageBulk); err != nil {
+			return nil, err
+		}
 		if ref.Dim {
 			dim, _ := c.Table(q.Join.Dim)
 			db, err := dim.Column(ref.Name)
 			if err != nil {
 				return nil, err
 			}
-			ctx.dim[ref.Name] = bulk.Fetch(m, threads, db, dimPos)
+			ectx.dim[ref.Name] = bulk.Fetch(m, threads, db, dimPos)
 		} else {
 			fb, err := fact.Column(ref.Name)
 			if err != nil {
 				return nil, err
 			}
-			ctx.fact[ref.Name] = bulk.Fetch(m, threads, fb, ids)
+			ectx.fact[ref.Name] = bulk.Fetch(m, threads, fb, ids)
 		}
 		trace("algebra.leftjoin(%s)", ref.Name)
 	}
@@ -132,6 +154,9 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 	var grouping *bulk.Grouping
 	var groupKeys [][]int64
 	if len(q.GroupBy) > 0 {
+		if err := step(ctx, opts, StageBulk); err != nil {
+			return nil, err
+		}
 		cols := make([][]int64, len(q.GroupBy))
 		for k, g := range q.GroupBy {
 			gb, err := fact.Column(g)
@@ -144,7 +169,10 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 		trace("group.new(%s)", join(q.GroupBy))
 	}
 
-	rows, err := aggregateRows(m, threads, q, ctx, grouping, groupKeys, false)
+	if err := step(ctx, opts, StageAggregate); err != nil {
+		return nil, err
+	}
+	rows, err := aggregateRows(m, threads, q, ectx, grouping, groupKeys, false)
 	if err != nil {
 		return nil, err
 	}

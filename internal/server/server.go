@@ -1,9 +1,9 @@
-// Package server turns the single-user A&R engine into a concurrent query
-// service: a line-protocol TCP server with per-connection sessions, a
-// device-aware scheduler that routes classic plans to a bounded CPU worker
-// pool and A&R plans to an admission-controlled GPU stream (charging the
-// §VI-E memory-wall contention between them), and an LRU plan cache that
-// skips the SQL front end for repeated statement texts.
+// Package server is the line-protocol TCP adapter over the embeddable
+// query engine (internal/engine). All query semantics — sessions, executor
+// routing, admission control, plan caching, meter accounting — live in the
+// engine; the server only owns the wire: accepting connections, framing
+// request lines, and rendering responses. Any other front-end (HTTP,
+// replication, batching) would be a sibling adapter of the same shape.
 //
 // # Protocol
 //
@@ -17,82 +17,56 @@
 //	\tables              list tables and columns
 //	\stats               plan cache, scheduler, and meter totals
 //	\prepare <name> <sql>     compile and store a statement
-//	\run <name>          execute a prepared statement
+//	\run <name> [params...]   execute a prepared statement
 //	\q                   close the connection
+//
+// When the engine rejects an A&R query with engine.ErrOverloaded, the
+// error reply is preceded by a "hint:" payload line carrying the retry
+// guidance, so protocol clients can back off without parsing error text.
 package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 
-	"repro/internal/device"
-	"repro/internal/plan"
-	"repro/internal/sql"
+	"repro/internal/engine"
 )
 
-// Config tunes a Server.
-type Config struct {
-	// Sched sizes the device-aware scheduler.
-	Sched SchedConfig
-	// CacheSize bounds the LRU plan cache (entries). Defaults to 128;
-	// negative disables caching.
-	CacheSize int
-	// Threads is the CPU thread count each query executes with (classic
-	// plan or A&R refinement). Defaults to 1, one stream per worker —
-	// cross-stream parallelism comes from the pool, as in Fig 11.
-	Threads int
-}
-
-func (c Config) withDefaults() Config {
-	if c.CacheSize == 0 {
-		c.CacheSize = 128
-	}
-	if c.Threads <= 0 {
-		c.Threads = 1
-	}
-	return c
-}
-
-// Server serves SQL statements over a catalog.
+// Server serves the engine's SQL surface over TCP.
 type Server struct {
-	cat   *plan.Catalog
-	sched *Scheduler
-	cache *PlanCache
-	cfg   Config
+	eng *engine.Engine
+
+	// ctx is the serving context: Close cancels it, which aborts every
+	// in-flight query at its next cooperative checkpoint (or slot wait).
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
-	sessions map[int64]*Session
-	nextID   int64
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-// New returns a server over the catalog. The catalog's tables should be
-// loaded (and columns decomposed, for A&R routing) before serving, though
-// clients can also issue bwdecompose statements at runtime.
-func New(cat *plan.Catalog, cfg Config) *Server {
-	cfg = cfg.withDefaults()
+// New returns a protocol adapter over an engine. The engine may be shared
+// with other front-ends; each connection gets its own engine session.
+func New(eng *engine.Engine) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cat:      cat,
-		sched:    NewScheduler(cat, cfg.Sched),
-		cache:    NewPlanCache(cfg.CacheSize),
-		cfg:      cfg,
-		sessions: make(map[int64]*Session),
-		conns:    make(map[net.Conn]struct{}),
+		eng:    eng,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
 	}
 }
 
-// Scheduler exposes the server's scheduler (for stats and experiments).
-func (s *Server) Scheduler() *Scheduler { return s.sched }
-
-// Cache exposes the server's plan cache.
-func (s *Server) Cache() *PlanCache { return s.cache }
+// Engine returns the engine the server adapts.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // ListenAndServe listens on addr ("host:port") and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -131,9 +105,6 @@ func (s *Server) Serve(l net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		s.nextID++
-		sess := newSession(s.nextID)
-		s.sessions[sess.ID] = sess
 		s.conns[conn] = struct{}{}
 		// Register with the WaitGroup before releasing the lock: Close
 		// holds the lock while it observes `closed`, so it can never pass
@@ -142,7 +113,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn, sess)
+			s.serveConn(conn)
 		}()
 	}
 }
@@ -157,8 +128,8 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting, closes every live connection, and waits for the
-// connection handlers to drain.
+// Close stops accepting, cancels in-flight queries, closes every live
+// connection, and waits for the connection handlers to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -171,6 +142,7 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	var err error
 	if l != nil {
 		err = l.Close()
@@ -179,179 +151,112 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) serveConn(conn net.Conn, sess *Session) {
+func (s *Server) serveConn(conn net.Conn) {
+	sess := s.eng.Session()
+	// Per-connection context under the serving context: cancelled when the
+	// client goes away (or the server closes), so an abandoned query stops
+	// at its next checkpoint instead of running to completion and holding
+	// its scheduler slot for a dead client.
+	ctx, cancel := context.WithCancel(s.ctx)
 	defer func() {
+		cancel()
+		sess.Close()
 		conn.Close()
 		s.mu.Lock()
-		delete(s.sessions, sess.ID)
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	in := bufio.NewScanner(conn)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	out := bufio.NewWriter(conn)
-	for in.Scan() {
-		line := strings.TrimSpace(in.Text())
+
+	// Read in a separate goroutine: while a statement executes, the reader
+	// waits on the next conn read (or on handing over the next pipelined
+	// line), so a torn-down connection surfaces as a read error right away
+	// and cancels the in-flight query through ctx. A clean EOF is NOT a
+	// cancellation signal: a one-shot client may half-close its write side
+	// and still be reading responses, so pending statements are drained
+	// and answered; only a read error (reset, over-long line) proves the
+	// peer is gone or misbehaving.
+	lines := make(chan string)
+	var scanErr error
+	go func() {
+		defer close(lines)
+		for in.Scan() {
+			select {
+			case lines <- strings.TrimSpace(in.Text()):
+			case <-ctx.Done():
+				return
+			}
+		}
+		if err := in.Err(); err != nil {
+			scanErr = err // published by close(lines), consumed after range
+			cancel()
+		}
+	}()
+
+	for line := range lines {
 		if line == "" {
 			continue
 		}
-		quit := s.handleLine(out, sess, line)
+		quit := s.handleLine(ctx, out, sess, line)
 		if out.Flush() != nil || quit {
 			return
 		}
 	}
-	if err := in.Err(); err != nil {
+	if scanErr != nil {
 		// e.g. a statement line over the scanner buffer: terminate the
 		// response properly so the client sees why instead of a bare EOF.
-		writeError(out, err)
+		writeError(out, scanErr)
 		out.Flush()
 	}
 }
 
-// handleLine serves one request line and reports whether the connection
-// should close.
-func (s *Server) handleLine(out *bufio.Writer, sess *Session, line string) (quit bool) {
-	if strings.HasPrefix(line, `\`) {
-		return s.handleMeta(out, sess, line)
-	}
-	s.execSQL(out, sess, line)
-	return false
-}
-
-func (s *Server) handleMeta(out *bufio.Writer, sess *Session, line string) (quit bool) {
-	cmd, rest, _ := strings.Cut(line, " ")
-	rest = strings.TrimSpace(rest)
-	switch cmd {
-	case `\q`:
-		writeOK(out)
-		return true
-	case `\cost`:
-		writePayload(out, fmt.Sprintf("cost report %s", onOff(sess.ToggleCost())))
-		writeOK(out)
-	case `\mode`:
-		if rest != "" {
-			if err := sess.SetMode(rest); err != nil {
-				writeError(out, err)
-				return false
-			}
-		}
-		writePayload(out, "mode "+sess.Mode().String())
-		writeOK(out)
-	case `\tables`:
-		for _, name := range s.cat.TableNames() {
-			t, err := s.cat.Table(name)
-			if err != nil {
-				continue
-			}
-			writePayload(out, fmt.Sprintf("%s (%d rows): %s", name, t.Len(), strings.Join(t.Columns(), ", ")))
-		}
-		writeOK(out)
-	case `\stats`:
-		for _, l := range s.statsLines(sess) {
-			writePayload(out, l)
-		}
-		writeOK(out)
-	case `\prepare`:
-		name, stmt, ok := strings.Cut(rest, " ")
-		stmt = strings.TrimSpace(stmt)
-		if !ok || name == "" || stmt == "" {
-			writeError(out, errors.New(`server: usage: \prepare <name> <sql>`))
-			return false
-		}
-		b, err := s.compile(stmt)
+// handleLine serves one request line under the connection's context and
+// reports whether the connection should close.
+func (s *Server) handleLine(ctx context.Context, out *bufio.Writer, sess *engine.Session, line string) (quit bool) {
+	lines, quit, handled, err := sess.Meta(ctx, line)
+	if handled || quit {
 		if err != nil {
-			writeError(out, err)
+			s.writeFailure(out, err)
 			return false
 		}
-		sess.Prepare(name, b)
-		writePayload(out, "prepared "+name)
-		writeOK(out)
-	case `\run`:
-		b, ok := sess.Prepared(rest)
-		if !ok {
-			writeError(out, fmt.Errorf("server: no prepared statement %q", rest))
-			return false
-		}
-		s.execBinding(out, sess, b)
-	default:
-		writeError(out, fmt.Errorf("server: unknown meta command %s", cmd))
-	}
-	return false
-}
-
-// compile resolves a statement through the plan cache, compiling and
-// inserting on miss. bwdecompose statements are never cached: they are DDL
-// with side effects, and re-running a stale binding silently would be
-// surprising.
-func (s *Server) compile(stmt string) (*sql.Binding, error) {
-	key := sql.Normalize(stmt)
-	if b, ok := s.cache.Get(key); ok {
-		return b, nil
-	}
-	b, err := sql.Compile(s.cat, stmt)
-	if err != nil {
-		return nil, err
-	}
-	if len(b.Decompose) == 0 {
-		s.cache.Put(key, b)
-	}
-	return b, nil
-}
-
-func (s *Server) execSQL(out *bufio.Writer, sess *Session, stmt string) {
-	b, err := s.compile(stmt)
-	if err != nil {
-		writeError(out, err)
-		return
-	}
-	s.execBinding(out, sess, b)
-}
-
-func (s *Server) execBinding(out *bufio.Writer, sess *Session, b *sql.Binding) {
-	res, route, err := s.sched.Exec(b, plan.ExecOpts{Threads: s.cfg.Threads}, sess.Mode())
-	if err != nil {
-		writeError(out, err)
-		return
-	}
-	// The scheduler already merged the meter into its server-wide totals;
-	// the session keeps its own running tally.
-	var meter *device.Meter
-	if res != nil {
-		meter = res.Meter
-	}
-	sess.Totals.Merge(meter)
-	switch {
-	case res == nil:
-		writePayload(out, "decomposed")
-	case res.Rows == nil && len(res.Plan) > 0:
-		for _, l := range res.Plan {
+		for _, l := range lines {
 			writePayload(out, l)
 		}
-	default:
-		for _, l := range strings.Split(strings.TrimRight(plan.FormatRows(res.Rows), "\n"), "\n") {
-			if l != "" {
-				writePayload(out, l)
-			}
-		}
+		writeOK(out)
+		return quit
 	}
-	if sess.Cost() && res != nil && res.Meter != nil {
-		writePayload(out, fmt.Sprintf("-- %s; simulated %v; candidates %d -> refined %d; approx count %v",
-			route, res.Meter, res.Candidates, res.Refined, res.Approx.Count))
+	res, err := sess.Query(ctx, line)
+	if err != nil {
+		s.writeFailure(out, err)
+		return false
+	}
+	for _, l := range engine.RenderResult(res, sess.Cost()) {
+		writePayload(out, l)
 	}
 	writeOK(out)
+	return false
 }
 
-func (s *Server) statsLines(sess *Session) []string {
-	s.mu.Lock()
-	nsess := len(s.sessions)
-	s.mu.Unlock()
-	return []string{
-		fmt.Sprintf("sessions: %d active", nsess),
-		s.cache.Stats().String(),
-		s.sched.Stats().String(),
-		"server totals: " + s.sched.Totals.String(),
-		fmt.Sprintf("session %d totals: %s", sess.ID, sess.Totals.String()),
+// writeFailure terminates a response with an error, preceded by a retry
+// hint when the engine reports overload.
+func (s *Server) writeFailure(out *bufio.Writer, err error) {
+	if hint, ok := overloadHint(err); ok {
+		writePayload(out, hint)
 	}
+	writeError(out, err)
+}
+
+// overloadHint returns the retry-hint payload line for admission-control
+// rejections.
+func overloadHint(err error) (string, bool) {
+	var oe *engine.OverloadedError
+	if !errors.As(err, &oe) {
+		return "", false
+	}
+	return fmt.Sprintf("hint: A&R queue full (%d waiting / %d capacity); retry after backoff or switch to \\mode classic",
+		oe.Waiting, oe.Queue), true
 }
 
 // writePayload emits one payload line, guaranteeing it can never be
@@ -369,11 +274,4 @@ func writeOK(out *bufio.Writer) { out.WriteString("ok\n") }
 func writeError(out *bufio.Writer, err error) {
 	msg := strings.ReplaceAll(err.Error(), "\n", " ")
 	fmt.Fprintf(out, "error: %s\n", msg)
-}
-
-func onOff(b bool) string {
-	if b {
-		return "on"
-	}
-	return "off"
 }

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/spatial"
 	"repro/internal/sql"
@@ -28,11 +31,11 @@ func testCatalog(t testing.TB) *plan.Catalog {
 	return c
 }
 
-// startServer serves a fresh catalog on a loopback port and returns the
-// address.
-func startServer(t testing.TB, c *plan.Catalog, cfg Config) (*Server, string) {
+// startServer serves an engine over the catalog on a loopback port and
+// returns the server and its address.
+func startServer(t testing.TB, c *plan.Catalog, opts engine.Options) (*Server, string) {
 	t.Helper()
-	srv := New(c, cfg)
+	srv := New(engine.New(c, opts))
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +58,7 @@ func tripQuery(i int) string {
 // exactly the rows direct single-threaded Catalog execution produces.
 func TestConcurrentClientsMatchDirectExecution(t *testing.T) {
 	c := testCatalog(t)
-	_, addr := startServer(t, c, Config{Sched: SchedConfig{CPUWorkers: 8, GPUStreams: 2, ARQueue: 64}})
+	_, addr := startServer(t, c, engine.Options{Sched: engine.SchedConfig{CPUWorkers: 8, GPUStreams: 2, ARQueue: 64}})
 
 	// Reference answers from direct execution.
 	want := make(map[string][]string)
@@ -125,42 +128,12 @@ func TestConcurrentClientsMatchDirectExecution(t *testing.T) {
 	}
 }
 
-func TestPlanCacheLRUAndEviction(t *testing.T) {
-	pc := NewPlanCache(2)
-	a, b, c := &sql.Binding{}, &sql.Binding{}, &sql.Binding{}
-	pc.Put("a", a)
-	pc.Put("b", b)
-	if got, ok := pc.Get("a"); !ok || got != a {
-		t.Fatal("expected hit on a")
-	}
-	pc.Put("c", c) // evicts b (least recently used)
-	if _, ok := pc.Get("b"); ok {
-		t.Fatal("b should have been evicted")
-	}
-	if got, ok := pc.Get("a"); !ok || got != a {
-		t.Fatal("a should have survived eviction")
-	}
-	if got, ok := pc.Get("c"); !ok || got != c {
-		t.Fatal("c should be cached")
-	}
-	st := pc.Stats()
-	if st.Hits != 3 || st.Misses != 1 || st.Evictions != 1 || st.Len != 2 {
-		t.Fatalf("unexpected stats %+v", st)
-	}
-	// Zero capacity disables caching.
-	off := NewPlanCache(0)
-	off.Put("x", a)
-	if _, ok := off.Get("x"); ok {
-		t.Fatal("disabled cache must miss")
-	}
-}
-
 // TestPlanCacheHitsObservableInStats runs the same statement text (in
 // varying case/whitespace) repeatedly and checks the \stats endpoint
 // reports the hits.
 func TestPlanCacheHitsObservableInStats(t *testing.T) {
 	c := testCatalog(t)
-	_, addr := startServer(t, c, Config{})
+	_, addr := startServer(t, c, engine.Options{})
 	cl, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -192,104 +165,15 @@ func TestPlanCacheHitsObservableInStats(t *testing.T) {
 	if !strings.Contains(joined, "plan cache: 2 hits, 1 misses") {
 		t.Fatalf("expected 2 hits / 1 miss in stats, got:\n%s", joined)
 	}
-	if !strings.Contains(joined, "server totals: 3 queries") {
-		t.Fatalf("expected 3 queries in server totals, got:\n%s", joined)
-	}
-}
-
-// TestSchedulerAdmissionControl occupies the single GPU stream, fills the
-// bounded wait queue, and checks that (a) a forced-A&R query is rejected
-// with ErrOverloaded and (b) an auto-mode query spills to the classic pool
-// instead of failing.
-func TestSchedulerAdmissionControl(t *testing.T) {
-	c := testCatalog(t)
-	s := NewScheduler(c, SchedConfig{CPUWorkers: 2, GPUStreams: 1, ARQueue: 1})
-	b, err := sql.Compile(c, tripQuery(0))
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	s.gpuSlots <- struct{}{} // occupy the GPU stream
-	waiterDone := make(chan error, 1)
-	go func() {
-		_, _, err := s.Exec(b, plan.ExecOpts{}, ModeAR)
-		waiterDone <- err
-	}()
-	// Wait for the queued query to register.
-	deadline := time.Now().Add(5 * time.Second)
-	for s.Stats().WaitingAR == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("queued A&R query never registered as waiting")
-		}
-		time.Sleep(time.Millisecond)
-	}
-
-	if _, _, err := s.Exec(b, plan.ExecOpts{}, ModeAR); err != ErrOverloaded {
-		t.Fatalf("queue full: want ErrOverloaded, got %v", err)
-	}
-	res, route, err := s.Exec(b, plan.ExecOpts{}, ModeAuto)
-	if err != nil {
-		t.Fatalf("auto mode should spill to classic, got %v", err)
-	}
-	if route != RouteClassic {
-		t.Fatalf("auto-mode spill: want RouteClassic, got %v", route)
-	}
-	if res == nil || len(res.Rows) == 0 {
-		t.Fatal("spilled query returned no rows")
-	}
-
-	<-s.gpuSlots // release the stream; the waiter may now run
-	if err := <-waiterDone; err != nil {
-		t.Fatalf("queued A&R query failed after release: %v", err)
-	}
-	st := s.Stats()
-	if st.RejectedAR == 0 {
-		t.Fatal("expected at least one rejected A&R admission")
-	}
-	if st.ARRun != 1 {
-		t.Fatalf("expected exactly 1 A&R run, got %d", st.ARRun)
-	}
-}
-
-// TestSchedulerChargesMemoryWallContention checks the Fig 11 law: a classic
-// query that runs while other classic streams saturate the wall must be
-// charged more simulated CPU time than a lone query.
-func TestSchedulerChargesMemoryWallContention(t *testing.T) {
-	sys := device.PaperSystem()
-	if ClassicStretch(sys, 1, 0) != 1 {
-		t.Fatal("a lone stream must not stretch")
-	}
-	agg := sys.CPU.AggregateBW / sys.CPU.PerThreadBW // streams at the wall
-	if s := ClassicStretch(sys, 32, 0); s <= 1 || s < 32/agg*0.99 {
-		t.Fatalf("32 streams should stretch by ~%.1f, got %.2f", 32/agg, s)
-	}
-	// A&R host draw shrinks the available bandwidth further.
-	m := device.NewMeter(sys)
-	m.CPU, m.PCI = 500_000_000, 500_000_000 // 50% CPU / 50% PCI
-	draw := HostDraw(sys, m)
-	wantDraw := 0.5*sys.CPU.PerThreadBW + 0.5*sys.Bus.BW
-	if diff := draw - wantDraw; diff > 1 || diff < -1 {
-		t.Fatalf("host draw %.3g, want %.3g", draw, wantDraw)
-	}
-	if ClassicStretch(sys, 32, draw) <= ClassicStretch(sys, 32, 0) {
-		t.Fatal("A&R draw must stretch contended classic streams further")
-	}
-	// Multi-threaded streams: one 16-thread stream alone saturates the wall
-	// (its own meter charges that), so 8 such streams each get 1/8 of the
-	// aggregate and must stretch by 8x — they can never collectively exceed
-	// the wall.
-	if s := ClassicStretchThreads(sys, 8, 16, 0); s < 7.99 || s > 8.01 {
-		t.Fatalf("8 wall-saturating streams should stretch 8x, got %.2f", s)
-	}
-	if ClassicStretchThreads(sys, 1, 16, 0) != 1 {
-		t.Fatal("a lone multi-threaded stream must not stretch")
+	if !strings.Contains(joined, "engine totals: 3 queries") {
+		t.Fatalf("expected 3 queries in engine totals, got:\n%s", joined)
 	}
 }
 
 // TestSessionMetaCommands drives the session-facing protocol surface.
 func TestSessionMetaCommands(t *testing.T) {
 	c := testCatalog(t)
-	_, addr := startServer(t, c, Config{})
+	_, addr := startServer(t, c, engine.Options{})
 	cl, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -348,6 +232,42 @@ func TestSessionMetaCommands(t *testing.T) {
 	}
 }
 
+// TestPreparedStatementParams exercises $n placeholder substitution over
+// the protocol: one prepared statement, different bounds per \run.
+func TestPreparedStatementParams(t *testing.T) {
+	c := testCatalog(t)
+	_, addr := startServer(t, c, engine.Options{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Query(`\prepare pq select count(lon) from trips where lon between $1 and $2`); err != nil {
+		t.Fatal(err)
+	}
+	for _, bounds := range [][2]int{{200000, 240000}, {210000, 250000}} {
+		got, err := cl.Query(fmt.Sprintf(`\run pq %d %d`, bounds[0], bounds[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := cl.Query(fmt.Sprintf("select count(lon) from trips where lon between %d and %d", bounds[0], bounds[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != direct[0] {
+			t.Fatalf("parameterized result %v != direct %v", got, direct)
+		}
+	}
+	// Wrong arity and non-literal params must error, not smuggle SQL.
+	if _, err := cl.Query(`\run pq 1`); err == nil {
+		t.Fatal("wrong parameter count must error")
+	}
+	if _, err := cl.Query(`\run pq 1 drop`); err == nil {
+		t.Fatal("non-literal parameter must error")
+	}
+}
+
 // TestRuntimeDecompose checks bwdecompose statements work through the
 // server (routed as DDL) and enable A&R routing afterwards.
 func TestRuntimeDecompose(t *testing.T) {
@@ -356,7 +276,7 @@ func TestRuntimeDecompose(t *testing.T) {
 	if err := d.Load(c); err != nil {
 		t.Fatal(err)
 	}
-	_, addr := startServer(t, c, Config{})
+	_, addr := startServer(t, c, engine.Options{})
 	cl, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -375,6 +295,204 @@ func TestRuntimeDecompose(t *testing.T) {
 	}
 	if _, err := cl.Query(q); err != nil {
 		t.Fatalf("A&R after decomposition: %v", err)
+	}
+}
+
+// TestOverloadReplyCarriesRetryHint saturates the single GPU stream and its
+// admission queue with a blocked A&R query, then checks the protocol reply
+// of a rejected query: a "hint:" payload line with queue detail, followed
+// by the typed error text.
+func TestOverloadReplyCarriesRetryHint(t *testing.T) {
+	c := testCatalog(t)
+	srv, addr := startServer(t, c, engine.Options{Sched: engine.SchedConfig{GPUStreams: 1, ARQueue: 1}})
+
+	// Block the GPU stream deterministically: a direct scheduler execution
+	// whose OnStage hook parks until released.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	b, err := sql.Compile(c, tripQuery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := plan.ExecOpts{OnStage: func(plan.Stage) {
+		once.Do(func() { close(running) })
+		<-release
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Engine().Scheduler().Exec(context.Background(), b, blocked, engine.ModeAR)
+		done <- err
+	}()
+	<-running
+
+	// Fill the admission queue with one waiter.
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := srv.Engine().Scheduler().Exec(context.Background(), b, plan.ExecOpts{}, engine.ModeAR)
+		waiter <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Engine().Scheduler().Stats().WaitingAR == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued A&R query never registered as waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(`\mode ar`); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := cl.Query(tripQuery(1))
+	if err == nil {
+		t.Fatal("expected overload error")
+	}
+	if !strings.Contains(err.Error(), "overloaded") || !strings.Contains(err.Error(), "queue capacity 1") {
+		t.Fatalf("error lacks typed overload detail: %v", err)
+	}
+	if len(payload) == 0 || !strings.HasPrefix(payload[0], "hint: A&R queue full (1 waiting / 1 capacity)") {
+		t.Fatalf("expected retry hint payload line, got %v", payload)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked query failed: %v", err)
+	}
+	if err := <-waiter; err != nil {
+		t.Fatalf("queued query failed after release: %v", err)
+	}
+}
+
+// TestClientDisconnectCancelsInFlightQuery is the redesign's motivating
+// scenario: a client whose query is still waiting on the GPU stream hangs
+// up, and the per-connection context must cancel the query — the scheduler
+// wait is abandoned and the slot bookkeeping drains — without the stream
+// ever becoming free.
+func TestClientDisconnectCancelsInFlightQuery(t *testing.T) {
+	c := testCatalog(t)
+	srv, addr := startServer(t, c, engine.Options{Sched: engine.SchedConfig{GPUStreams: 1, ARQueue: 4}})
+	sched := srv.Engine().Scheduler()
+
+	// Park a query on the GPU stream until released, so the protocol
+	// client's query queues behind it deterministically.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	b, err := sql.Compile(c, tripQuery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := plan.ExecOpts{OnStage: func(plan.Stage) {
+		once.Do(func() { close(running) })
+		<-release
+	}}
+	blockedDone := make(chan error, 1)
+	go func() {
+		_, _, err := sched.Exec(context.Background(), b, blocked, engine.ModeAR)
+		blockedDone <- err
+	}()
+	<-running
+
+	// A raw client sends a forced-A&R query and hangs up without reading
+	// the response.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Fprintf(conn, "\\mode ar\n%s\n", tripQuery(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sched.Stats().WaitingAR == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client query never queued on the GPU stream")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn.Close()
+
+	// The disconnect must cancel the queued query while the stream is
+	// still occupied: waiting drains to zero and the cancellation is
+	// counted, with no A&R execution having happened.
+	deadline = time.Now().Add(5 * time.Second)
+	for sched.Stats().WaitingAR != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnect did not cancel the queued query: %+v", sched.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := sched.Stats(); st.Cancelled == 0 || st.ARRun != 0 {
+		t.Fatalf("want cancellation recorded and no A&R run, got %+v", st)
+	}
+
+	close(release)
+	if err := <-blockedDone; err != nil {
+		t.Fatalf("blocked query failed after release: %v", err)
+	}
+}
+
+// TestHalfCloseClientGetsResponses guards the one-shot piping pattern
+// (`printf 'stmt' | nc -N`): a client that sends its statements and
+// half-closes the write side before reading must still receive every
+// response — a clean EOF is not abandonment and must not cancel pending
+// statements.
+func TestHalfCloseClientGetsResponses(t *testing.T) {
+	c := testCatalog(t)
+	_, addr := startServer(t, c, engine.Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\n%s\n", tripQuery(0), tripQuery(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	if strings.Contains(got, "error:") {
+		t.Fatalf("half-closed client saw an error:\n%s", got)
+	}
+	if n := strings.Count(got, "ok\n"); n != 2 {
+		t.Fatalf("want 2 responses after half-close, got %d:\n%s", n, got)
+	}
+}
+
+// TestCloseDrainsAndRejectsClients: Close cancels the serving context,
+// drains handlers, and later queries on old connections fail.
+func TestCloseDrainsAndRejectsClients(t *testing.T) {
+	c := testCatalog(t)
+	srv, addr := startServer(t, c, engine.Options{})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(tripQuery(0)); err != nil {
+		t.Fatal(err)
+	}
+	doneClose := make(chan error, 1)
+	go func() { doneClose <- srv.Close() }()
+	select {
+	case err := <-doneClose:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server Close did not drain")
+	}
+	if _, err := cl.Query(tripQuery(1)); err == nil {
+		t.Fatal("query after Close must fail")
 	}
 }
 

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -264,11 +265,20 @@ func Compile(c *plan.Catalog, src string) (*Binding, error) {
 	return Bind(stmt, c)
 }
 
-// Exec runs a compiled binding. bwdecompose statements apply the
-// decomposition and return nil; EXPLAIN returns a Result carrying only the
-// plan listing. Classic controls which executor runs the query (the A&R
-// executor by default, matching Run).
+// Exec runs a compiled binding with a background context; see ExecCtx.
 func Exec(c *plan.Catalog, b *Binding, opts plan.ExecOpts, classic bool) (*plan.Result, error) {
+	return ExecCtx(context.Background(), c, b, opts, classic)
+}
+
+// ExecCtx runs a compiled binding under ctx. bwdecompose statements apply
+// the decomposition and return nil; EXPLAIN returns a Result carrying only
+// the plan listing. Classic controls which executor runs the query (the
+// A&R executor by default, matching Run). Cancellation is cooperative —
+// the executors poll ctx between pipeline stages.
+//
+// Front-ends should not call this directly: internal/engine wraps it with
+// session routing, admission control and plan caching.
+func ExecCtx(ctx context.Context, c *plan.Catalog, b *Binding, opts plan.ExecOpts, classic bool) (*plan.Result, error) {
 	if len(b.Decompose) > 0 {
 		for _, d := range b.Decompose {
 			if _, err := c.Decompose(d.Table, d.Col, d.Bits); err != nil {
@@ -280,9 +290,9 @@ func Exec(c *plan.Catalog, b *Binding, opts plan.ExecOpts, classic bool) (*plan.
 	var res *plan.Result
 	var err error
 	if classic {
-		res, err = c.ExecClassic(b.Query, opts)
+		res, err = c.ExecClassicCtx(ctx, b.Query, opts)
 	} else {
-		res, err = c.ExecAR(b.Query, opts)
+		res, err = c.ExecARCtx(ctx, b.Query, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -293,7 +303,9 @@ func Exec(c *plan.Catalog, b *Binding, opts plan.ExecOpts, classic bool) (*plan.
 	return res, nil
 }
 
-// Run parses, binds and executes a statement under the A&R executor.
+// Run parses, binds and executes a statement under the A&R executor. It is
+// a convenience for tests and one-off programs; front-ends embed
+// internal/engine instead.
 func Run(c *plan.Catalog, src string, opts plan.ExecOpts) (*plan.Result, error) {
 	b, err := Compile(c, src)
 	if err != nil {
@@ -305,12 +317,15 @@ func Run(c *plan.Catalog, src string, opts plan.ExecOpts) (*plan.Result, error) 
 // Normalize canonicalizes statement text for plan-cache keying: tokens are
 // re-serialized with single spaces and identifiers are lower-cased (the
 // parser lower-cases names anyway), so queries differing only in whitespace
-// or keyword case share one cache entry. Unlexable text normalizes to its
-// trimmed self and will miss the cache — the parser reports the error.
+// or keyword case share one cache entry. Unlexable text normalizes to
+// itself, unchanged, and will miss the cache — the parser reports the
+// error. (It must not be trimmed here: trimming can turn unlexable text
+// into lexable text, which would break Normalize's idempotence and with it
+// the guarantee that a cache key re-normalizes to itself.)
 func Normalize(src string) string {
 	toks, err := tokenize(src)
 	if err != nil {
-		return strings.TrimSpace(src)
+		return src
 	}
 	var sb strings.Builder
 	for _, t := range toks {
