@@ -9,8 +9,11 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/ar"
 	"repro/internal/bat"
@@ -53,6 +56,7 @@ func BenchmarkFig10aTPCHQ1(b *testing.B)               { benchFigure(b, experime
 func BenchmarkFig10bTPCHQ6(b *testing.B)               { benchFigure(b, experiments.Fig10b) }
 func BenchmarkFig10cTPCHQ14(b *testing.B)              { benchFigure(b, experiments.Fig10c) }
 func BenchmarkFig11Throughput(b *testing.B)            { benchFigure(b, experiments.Fig11) }
+func BenchmarkIngestExperiment(b *testing.B)           { benchFigure(b, experiments.Ingest) }
 
 func BenchmarkTable1SpatialSetup(b *testing.B) {
 	opts := experiments.Quick()
@@ -312,4 +316,96 @@ func BenchmarkEndToEndSpatial(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkIngestWhileQuery drives a concurrent INSERT stream against an
+// A&R query stream over the mutable column store: a writer session appends
+// batches into the delta segment while the timed loop runs range counts,
+// and the background merger compacts deltas past the threshold. The
+// reported merge-MB vs redecomp-MB metrics show the write path's
+// amortization: an incremental merge ships only the merged rows'
+// approximation codes across the bus, a full re-decomposition would ship
+// the whole column every time.
+func BenchmarkIngestWhileQuery(b *testing.B) {
+	sys := device.PaperSystem()
+	c := plan.NewCatalog(sys)
+	tbl := plan.NewTable("stream")
+	n := 200_000
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(65536))
+	}
+	// Pin the domain ends so in-range inserts keep the decomposition
+	// parameters stable and merges stay incremental.
+	vals[0], vals[1] = 0, 65535
+	if err := tbl.AddColumn("v", bat.NewDense(vals, bat.Width32)); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AddTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Decompose("stream", "v", 10); err != nil {
+		b.Fatal(err)
+	}
+
+	eng := engine.New(c, engine.Options{MergeThreshold: 8192, MergeInterval: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng.StartMaintenance(ctx)
+
+	// Writer: one INSERT statement per loop, 64 rows each, through the
+	// full SQL front end (write bindings are compiled per execution).
+	var sb strings.Builder
+	sb.WriteString("insert into stream values ")
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d)", rng.Intn(65536))
+	}
+	insertStmt := sb.String()
+	writer := eng.Session()
+	defer writer.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := writer.Query(ctx, insertStmt); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+
+	reader := eng.SessionFor(engine.ModeAR)
+	defer reader.Close()
+	const q = "select count(*) from stream where v between 100 and 5000"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reader.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+
+	st, err := c.Table("stream")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := st.Stats()
+	b.ReportMetric(float64(stats.Inserts)/float64(b.N), "rows-ingested/op")
+	b.ReportMetric(float64(stats.MergeShippedBytes)/1e6, "merge-MB")
+	b.ReportMetric(float64(stats.MergeFullBytes)/1e6, "redecomp-MB")
+	if stats.MergeFullBytes > 0 {
+		b.ReportMetric(float64(stats.MergeShippedBytes)/float64(stats.MergeFullBytes), "merge-byte-frac")
+	}
 }

@@ -36,11 +36,12 @@ var figures = []struct {
 	{"fig10b", experiments.Fig10b, "TPC-H Q6"},
 	{"fig10c", experiments.Fig10c, "TPC-H Q14"},
 	{"fig11", experiments.Fig11, "memory-wall throughput"},
+	{"ingest", experiments.Ingest, "insert stream + incremental BWD maintenance"},
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1, fig8a..fig8f, table1, fig9, fig10a..fig10c, fig11, all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig8a..fig8f, table1, fig9, fig10a..fig10c, fig11, ingest, all)")
 		microN     = flag.Int("micro", 0, "microbenchmark rows to execute (default from -quick/full presets)")
 		spatialN   = flag.Int("spatial", 0, "spatial fixes to execute")
 		sf         = flag.Float64("sf", 0, "TPC-H scale factor to execute")

@@ -13,10 +13,16 @@
 //	...
 //
 // Meta commands: \cost, \mode [auto|ar|classic], \tables, \stats,
-// \prepare <name> <sql>, \run <name> [params...], \q.
+// \merge [table], \prepare <name> <sql>, \run <name> [params...], \q.
+//
+// The SQL surface includes DML — INSERT INTO ... VALUES, DELETE FROM ...
+// WHERE, CREATE TABLE — served against the mutable column store: inserts
+// land in per-table delta segments and are merged into the bit-sliced base
+// segments by the background merger (or \merge).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +45,7 @@ func main() {
 		arQueue  = flag.Int("ar-queue", 0, "A&R admission queue bound (default 2x streams)")
 		cache    = flag.Int("cache", 128, "plan cache entries (negative disables)")
 		threads  = flag.Int("threads", 1, "CPU threads per query")
+		mergeAt  = flag.Int("merge-threshold", 0, "delta rows before background merge (default 65536, negative disables)")
 	)
 	flag.Parse()
 
@@ -62,10 +69,16 @@ func main() {
 	// The server is a thin protocol adapter over one shared engine; any
 	// other front-end could embed the same engine value concurrently.
 	eng := engine.New(catalog, engine.Options{
-		Sched:     engine.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
-		CacheSize: *cache,
-		Threads:   *threads,
+		Sched:          engine.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
+		CacheSize:      *cache,
+		Threads:        *threads,
+		MergeThreshold: *mergeAt,
 	})
+	// Background merger: compacts delta segments past the threshold so the
+	// write path stays append-cheap while reads stay mostly base-resident.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng.StartMaintenance(ctx)
 	srv := server.New(eng)
 	fmt.Printf("arserve: lineitem (SF-%g), part, trips (%d fixes) loaded and decomposed\n", *sf, *spatialN)
 	fmt.Printf("arserve: listening on %s\n", *addr)

@@ -6,13 +6,22 @@
 //	ar> select bwdecompose(lon, 24), bwdecompose(lat, 24) from trips
 //	ar> select count(*) from trips where lon between 2.68288 and 2.70228
 //	                                 and lat between 50.4222 and 50.4485
-//	ar> explain select count(*) from trips where lon between 268288 and 270228
+//	ar> create table orders (qty int, price decimal2)
+//	ar> insert into orders values (5, 1.50), (10, 2.25)
+//	ar> delete from orders where qty < 6
+//	ar> \load data.csv items id:int,price:decimal2,kind:dict
+//	ar> \merge
 //	ar> \q
 //
 // The shell is a thin REPL over an engine session — the same
 // internal/engine facade the TCP server adapts — so its meta-command
 // surface is identical to the server's: \cost, \mode [auto|ar|classic],
-// \tables, \stats, \prepare <name> <sql>, \run <name> [params...], \q.
+// \tables, \stats, \merge [table], \prepare <name> <sql>,
+// \run <name> [params...], \q. One command is shell-only because it reads
+// the local filesystem:
+//
+//	\load <csv> <table> <schema>   ingest a CSV file (schema syntax
+//	                               id:int,price:decimal2,name:dict,day:date)
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/csvload"
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/plan"
@@ -35,6 +45,7 @@ func main() {
 		sf       = flag.Float64("sf", 0.002, "TPC-H scale factor preloaded")
 		spatialN = flag.Int("spatial", 200_000, "spatial fixes preloaded")
 		threads  = flag.Int("threads", 1, "CPU threads per query")
+		mergeAt  = flag.Int("merge-threshold", 0, "delta rows before background merge (default 65536, negative disables)")
 	)
 	flag.Parse()
 
@@ -49,15 +60,18 @@ func main() {
 		os.Exit(1)
 	}
 
-	eng := engine.New(catalog, engine.Options{Threads: *threads})
+	eng := engine.New(catalog, engine.Options{Threads: *threads, MergeThreshold: *mergeAt})
 	sess := eng.Session()
 	defer sess.Close()
 	sess.ToggleCost() // the shell reports simulated costs by default
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng.StartMaintenance(ctx) // background delta merger
+
 	fmt.Printf("A&R shell — lineitem (SF-%g), part, trips (%d fixes) loaded.\n", *sf, *spatialN)
 	fmt.Println(`Decompose columns first: select bwdecompose(col, bits) from table. \q quits.`)
 
-	ctx := context.Background()
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -72,6 +86,12 @@ func main() {
 		}
 		if line == "quit" || line == "exit" {
 			return
+		}
+		if cmd, _, _ := strings.Cut(line, " "); cmd == `\load` {
+			if err := loadCSV(catalog, line); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
 		}
 		if lines, quit, handled, err := sess.Meta(ctx, line); handled || quit {
 			if quit {
@@ -95,4 +115,34 @@ func main() {
 			fmt.Println(l)
 		}
 	}
+}
+
+// loadCSV handles \load <csv> <table> <schema>: it wires internal/csvload
+// so external data can be ingested interactively, then decomposed with
+// bwdecompose and queried. Shell-only, since it reads the local
+// filesystem.
+func loadCSV(catalog *plan.Catalog, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return fmt.Errorf(`usage: \load <csv> <table> <schema>  (schema like id:int,price:decimal2,name:dict)`)
+	}
+	path, table, spec := fields[1], fields[2], fields[3]
+	schema, err := csvload.ParseSchema(table, spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, err := csvload.Load(catalog, f, schema)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d rows into %s (%s)\n", res.Rows, table, strings.Join(res.Table.Columns(), ", "))
+	for col, dict := range res.Dicts {
+		fmt.Printf("dictionary %s.%s: %d entries\n", table, col, len(dict))
+	}
+	return nil
 }

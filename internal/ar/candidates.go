@@ -138,6 +138,17 @@ func (c *Candidates) filterTo(keep []int) *Candidates {
 	return out
 }
 
+// Filter builds a new candidate set containing only the positions listed
+// in keep (indices into c, in candidate order), compacting every attached
+// code column to preserve alignment. The query layer uses it to discharge
+// rows masked by a deletion bitmap on the device: the bitmap is mirrored
+// device-side (shipped when rows are deleted), so masking is one GPU
+// pass over the candidate IDs — charged by the caller, which knows the
+// bitmap footprint.
+func (c *Candidates) Filter(keep []int) *Candidates {
+	return c.filterTo(keep)
+}
+
 // packedBytes is the physical byte footprint of n bit-packed values of the
 // given width, as charged for transfers and scans.
 func packedBytes(n int, bits uint) int64 {

@@ -120,7 +120,13 @@ func (c *Column) Relax(lo, hi int64) ApproxRange {
 	} else {
 		r.Hi = uint64(hi-c.Dec.Base) >> c.Dec.ResBits
 	}
-	if r.Lo == 0 && r.Hi == c.Dec.MaxApprox() {
+	// Full only when the VALUE predicate covers the whole domain, not
+	// merely the code range: with lo inside bucket 0 (or hi inside the top
+	// bucket) the boundary buckets still hold potential false positives,
+	// and consumers treat Full as "no boundary uncertainty" (Certain, the
+	// skipped scan) — marking such a range Full would overstate the
+	// phase-A lower bounds.
+	if lo <= c.Dec.Base && hi >= maxVal {
 		r.Full = true
 	}
 	return r

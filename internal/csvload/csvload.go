@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bat"
 	"repro/internal/fixed"
 	"repro/internal/plan"
+	"repro/internal/store"
 )
 
 // Kind is a column type.
@@ -150,6 +152,47 @@ func Load(c *plan.Catalog, r io.Reader, schema Schema) (*Result, error) {
 	}
 	res.Table = tbl
 	return res, nil
+}
+
+// ParseSchema parses the compact schema syntax of the shell's \load
+// command into a Schema: comma-separated "name:type" pairs where type is
+// int, date, dict, or decimalN (N fractional digits, e.g. decimal2 for
+// money, decimal5 for GPS coordinates):
+//
+//	id:int,price:decimal2,name:dict,shipped:date
+func ParseSchema(table, spec string) (Schema, error) {
+	schema := Schema{Table: table}
+	if strings.TrimSpace(spec) == "" {
+		return schema, fmt.Errorf("csvload: empty schema spec")
+	}
+	for _, field := range strings.Split(spec, ",") {
+		name, typ, ok := strings.Cut(strings.TrimSpace(field), ":")
+		if !ok || name == "" || typ == "" {
+			return schema, fmt.Errorf("csvload: malformed schema field %q (want name:type)", field)
+		}
+		col := ColumnSpec{Name: name}
+		switch {
+		case typ == "int":
+			col.Kind = Int
+		case typ == "date":
+			col.Kind = Date
+		case typ == "dict":
+			col.Kind = Dict
+		case strings.HasPrefix(typ, "decimal"):
+			// Shares CREATE TABLE's type mapping so the two surfaces
+			// cannot drift.
+			scale, err := store.ParseTypeScale(typ)
+			if err != nil {
+				return schema, fmt.Errorf("csvload: %w", err)
+			}
+			col.Kind = Decimal
+			col.Scale = scale
+		default:
+			return schema, fmt.Errorf("csvload: unknown column type %q (int, decimalN, date, dict)", typ)
+		}
+		schema.Cols = append(schema.Cols, col)
+	}
+	return schema, nil
 }
 
 // encodeDict builds an ordered dictionary over the strings and returns it

@@ -1,0 +1,29 @@
+package csvload
+
+import "testing"
+
+func TestParseSchema(t *testing.T) {
+	s, err := ParseSchema("items", "id:int,price:decimal2,kind:dict,shipped:date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Table != "items" || len(s.Cols) != 4 {
+		t.Fatalf("schema %+v", s)
+	}
+	want := []ColumnSpec{
+		{Name: "id", Kind: Int},
+		{Name: "price", Kind: Decimal, Scale: 100},
+		{Name: "kind", Kind: Dict},
+		{Name: "shipped", Kind: Date},
+	}
+	for i, w := range want {
+		if s.Cols[i] != w {
+			t.Errorf("col %d = %+v, want %+v", i, s.Cols[i], w)
+		}
+	}
+	for _, bad := range []string{"", "id", "id:", ":int", "id:blob", "p:decimal11", "p:decimalx"} {
+		if _, err := ParseSchema("t", bad); err == nil {
+			t.Errorf("ParseSchema(%q) accepted", bad)
+		}
+	}
+}

@@ -12,18 +12,25 @@ import (
 // sql.Normalize'd statement text. A hit skips the lex/parse/bind/optimize
 // front end entirely; bindings are immutable after compilation, so one
 // cached entry may be executed by any number of sessions concurrently.
+//
+// Each entry records the schema epochs of the tables the binding depends
+// on (see store.Table.SchemaEpoch). The engine re-validates them on every
+// hit and drops entries whose tables were dropped or re-created — a stale
+// binding would otherwise execute against replaced columns with the old
+// scales.
 type PlanCache struct {
 	mu    sync.Mutex
 	cap   int
 	lru   *list.List // front = most recently used; values are *cacheEntry
 	byKey map[string]*list.Element
 
-	hits, misses, evictions int64
+	hits, misses, evictions, invalidations int64
 }
 
 type cacheEntry struct {
-	key string
-	b   *sql.Binding
+	key  string
+	b    *sql.Binding
+	deps map[string]uint64 // table name -> schema epoch at compile time
 }
 
 // NewPlanCache returns a cache holding up to capacity bindings. A zero or
@@ -32,30 +39,43 @@ func NewPlanCache(capacity int) *PlanCache {
 	return &PlanCache{cap: capacity, lru: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-// Get returns the cached binding for key, marking it most recently used.
-func (p *PlanCache) Get(key string) (*sql.Binding, bool) {
+// Get returns the cached binding for key (with its recorded dependency
+// epochs), marking it most recently used. valid re-checks the entry's
+// recorded table epochs against the catalog; an entry whose dependencies
+// changed is removed and reported as a miss (counted as an invalidation).
+func (p *PlanCache) Get(key string, valid func(deps map[string]uint64) bool) (*sql.Binding, map[string]uint64, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	el, ok := p.byKey[key]
 	if !ok {
 		p.misses++
-		return nil, false
+		return nil, nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if valid != nil && !valid(e.deps) {
+		p.lru.Remove(el)
+		delete(p.byKey, key)
+		p.invalidations++
+		p.misses++
+		return nil, nil, false
 	}
 	p.hits++
 	p.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).b, true
+	return e.b, e.deps, true
 }
 
-// Put inserts a binding, evicting the least recently used entry when the
-// cache is full. Re-putting an existing key refreshes its binding.
-func (p *PlanCache) Put(key string, b *sql.Binding) {
+// Put inserts a binding with its table-epoch dependencies, evicting the
+// least recently used entry when the cache is full. Re-putting an existing
+// key refreshes its binding.
+func (p *PlanCache) Put(key string, b *sql.Binding, deps map[string]uint64) {
 	if p.cap <= 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if el, ok := p.byKey[key]; ok {
-		el.Value.(*cacheEntry).b = b
+		e := el.Value.(*cacheEntry)
+		e.b, e.deps = b, deps
 		p.lru.MoveToFront(el)
 		return
 	}
@@ -65,12 +85,13 @@ func (p *PlanCache) Put(key string, b *sql.Binding) {
 		delete(p.byKey, oldest.Value.(*cacheEntry).key)
 		p.evictions++
 	}
-	p.byKey[key] = p.lru.PushFront(&cacheEntry{key: key, b: b})
+	p.byKey[key] = p.lru.PushFront(&cacheEntry{key: key, b: b, deps: deps})
 }
 
 // CacheStats is a point-in-time snapshot of cache counters.
 type CacheStats struct {
 	Hits, Misses, Evictions int64
+	Invalidations           int64
 	Len, Cap                int
 }
 
@@ -78,10 +99,14 @@ type CacheStats struct {
 func (p *PlanCache) Stats() CacheStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return CacheStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Len: p.lru.Len(), Cap: p.cap}
+	return CacheStats{
+		Hits: p.hits, Misses: p.misses, Evictions: p.evictions,
+		Invalidations: p.invalidations,
+		Len:           p.lru.Len(), Cap: p.cap,
+	}
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("plan cache: %d hits, %d misses, %d evictions, %d/%d entries",
-		s.Hits, s.Misses, s.Evictions, s.Len, s.Cap)
+	return fmt.Sprintf("plan cache: %d hits, %d misses, %d evictions, %d invalidated, %d/%d entries",
+		s.Hits, s.Misses, s.Evictions, s.Invalidations, s.Len, s.Cap)
 }

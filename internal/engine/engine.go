@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/plan"
@@ -42,6 +43,13 @@ type Options struct {
 	// plan or A&R refinement). Defaults to 1, one stream per worker —
 	// cross-stream parallelism comes from the pool, as in Fig 11.
 	Threads int
+	// MergeThreshold is the live-delta row count past which the background
+	// merger (StartMaintenance) compacts a table. Defaults to 65536;
+	// negative disables background merging (\merge still works).
+	MergeThreshold int
+	// MergeInterval is the background merger's poll interval. Defaults to
+	// 250ms.
+	MergeInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +58,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Threads <= 0 {
 		o.Threads = 1
+	}
+	if o.MergeThreshold == 0 {
+		o.MergeThreshold = 65536
+	}
+	if o.MergeInterval <= 0 {
+		o.MergeInterval = 250 * time.Millisecond
 	}
 	return o
 }
@@ -67,6 +81,13 @@ type Engine struct {
 	sessions map[int64]*Session
 	nextID   int64
 	def      *Session
+
+	// Background-merger failure state: a table whose merge failed is not
+	// retried until its epoch moves (hot-loop guard), and the failures are
+	// counted and surfaced in \stats so a stuck table is visible.
+	mergeFailEpoch map[string]uint64
+	mergeFailures  int64
+	lastMergeErr   string
 }
 
 // New returns an engine over the catalog. The catalog's tables should be
@@ -158,22 +179,131 @@ func (e *Engine) QueryPlan(ctx context.Context, q plan.Query) (*Result, error) {
 func (e *Engine) Totals() *device.SharedMeter { return &e.sched.Totals }
 
 // compile resolves a statement through the plan cache, compiling and
-// inserting on miss. bwdecompose statements are never cached: they are DDL
-// with side effects, and re-running a stale binding silently would be
-// surprising.
+// inserting on miss. Write statements (bwdecompose, INSERT, DELETE,
+// CREATE TABLE) are never cached: they are side-effecting, and re-running
+// a stale binding silently would be surprising. Cached entries carry the
+// schema epochs of their tables; a hit whose dependencies changed (table
+// dropped or re-created) is invalidated and recompiled instead of served
+// against replaced columns.
 func (e *Engine) compile(src string) (*sql.Binding, error) {
+	b, _, err := e.compileCached(src)
+	return b, err
+}
+
+// compileCached is compile plus the dependency epochs of the returned
+// binding (served from the cache entry on a hit) — prepared statements
+// store them for their own staleness checks.
+//
+// The epochs are snapshotted BEFORE sql.Compile runs: epochs are globally
+// monotonic, so if a table is dropped and re-created mid-compilation the
+// recorded epoch can only be older than the live one and the entry fails
+// validation on its first hit. Reading the epochs after compilation would
+// invert that — the fresh epoch would vouch for a binding compiled against
+// the replaced schema. A table the binding references that is absent from
+// the snapshot is recorded as epoch 0, which no live table ever has.
+func (e *Engine) compileCached(src string) (*sql.Binding, map[string]uint64, error) {
 	key := sql.Normalize(src)
-	if b, ok := e.cache.Get(key); ok {
-		return b, nil
+	if b, deps, ok := e.cache.Get(key, e.depsValid); ok {
+		return b, deps, nil
 	}
+	pre := e.cat.SchemaEpochs()
 	b, err := sql.Compile(e.cat, src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(b.Decompose) == 0 {
-		e.cache.Put(key, b)
+	tables := b.Tables()
+	deps := make(map[string]uint64, len(tables))
+	for _, name := range tables {
+		deps[name] = pre[name] // 0 when created mid-window: invalid on first hit
 	}
-	return b, nil
+	if !b.IsWrite() {
+		e.cache.Put(key, b, deps)
+	}
+	return b, deps, nil
+}
+
+// depsValid reports whether every recorded dependency still names the same
+// table generation.
+func (e *Engine) depsValid(deps map[string]uint64) bool {
+	for name, epoch := range deps {
+		cur, ok := e.cat.TableSchemaEpoch(name)
+		if !ok || cur != epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// StartMaintenance launches the background merger: a goroutine that polls
+// every table's live delta size on Options.MergeInterval and compacts
+// tables past Options.MergeThreshold, charging the incremental
+// re-decomposition traffic to the engine totals. It returns immediately;
+// the goroutine exits when ctx is cancelled. Front-ends that serve
+// long-lived traffic (arserve, arshell) start it once; \merge remains
+// available to force a compaction at any time.
+func (e *Engine) StartMaintenance(ctx context.Context) {
+	go func() {
+		tick := time.NewTicker(e.opts.MergeInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				e.mergeDue()
+			}
+		}
+	}()
+}
+
+// mergeDue compacts every table whose live delta crossed the threshold. A
+// failing merge (device out of memory during the transient double
+// allocation, a dimension key broken by deletes) is counted, remembered
+// and NOT retried until the table's epoch moves — otherwise the ticker
+// would rebuild and discard the whole new segment every interval, growing
+// the delta while showing nothing to the operator.
+func (e *Engine) mergeDue() {
+	if e.opts.MergeThreshold < 0 {
+		return
+	}
+	for _, name := range e.cat.TableNames() {
+		t, err := e.cat.Table(name)
+		if err != nil {
+			continue
+		}
+		// Merge past the delta threshold, and also whenever live delta rows
+		// exist on a table whose recorded decompositions went dormant (an
+		// emptying merge dropped them) — the merge re-decomposes and
+		// restores A&R routing.
+		due := t.DeltaLive() >= e.opts.MergeThreshold ||
+			(t.DeltaLive() > 0 && t.PendingDecompose())
+		if !due {
+			continue
+		}
+		epoch := t.Epoch()
+		e.mu.Lock()
+		failedAt, failed := e.mergeFailEpoch[name]
+		e.mu.Unlock()
+		if failed && failedAt == epoch {
+			continue
+		}
+		m := device.NewMeter(e.cat.System())
+		if _, err := e.cat.MergeTable(m, name, true); err != nil {
+			e.mu.Lock()
+			if e.mergeFailEpoch == nil {
+				e.mergeFailEpoch = make(map[string]uint64)
+			}
+			e.mergeFailEpoch[name] = epoch
+			e.mergeFailures++
+			e.lastMergeErr = err.Error()
+			e.mu.Unlock()
+			continue
+		}
+		e.mu.Lock()
+		delete(e.mergeFailEpoch, name)
+		e.mu.Unlock()
+		e.sched.Totals.Merge(m)
+	}
 }
 
 // exec routes one compiled binding through the scheduler on behalf of a
@@ -209,8 +339,14 @@ func (e *Engine) StatsLines(sess *Session) []string {
 		fmt.Sprintf("sessions: %d active", e.SessionCount()),
 		e.cache.Stats().String(),
 		e.sched.Stats().String(),
-		"engine totals: " + e.sched.Totals.String(),
+		e.cat.StoreStats().String(),
 	}
+	e.mu.Lock()
+	if e.mergeFailures > 0 {
+		lines = append(lines, fmt.Sprintf("maintenance: %d background merges failed (last: %s)", e.mergeFailures, e.lastMergeErr))
+	}
+	e.mu.Unlock()
+	lines = append(lines, "engine totals: "+e.sched.Totals.String())
 	if sess != nil {
 		lines = append(lines, fmt.Sprintf("session %d totals: %s", sess.ID, sess.Totals.String()))
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/device"
 )
 
 // Meta executes one backslash meta command against the session and returns
@@ -40,7 +42,35 @@ func (s *Session) Meta(ctx context.Context, line string) (out []string, quit, ha
 			if err != nil {
 				continue
 			}
-			out = append(out, fmt.Sprintf("%s (%d rows): %s", name, t.Len(), strings.Join(t.Columns(), ", ")))
+			snap := t.Snapshot()
+			segs := fmt.Sprintf("%d rows", snap.Len())
+			if snap.DeltaLen() > 0 || snap.DeletedCount() > 0 {
+				segs = fmt.Sprintf("%d rows: %d base + %d delta, %d deleted",
+					snap.Len(), snap.BaseLen()-snap.BaseDeletedCount(), snap.LiveDelta(), snap.DeletedCount())
+			}
+			out = append(out, fmt.Sprintf("%s (%s): %s", name, segs, strings.Join(t.Columns(), ", ")))
+		}
+		return out, false, true, nil
+	case `\merge`:
+		cat := s.eng.Catalog()
+		names := cat.TableNames()
+		if rest != "" {
+			names = []string{rest}
+		}
+		for _, name := range names {
+			m := device.NewMeter(cat.System())
+			st, err := cat.MergeTable(m, name, false)
+			if err != nil {
+				return nil, false, true, err
+			}
+			if !st.Merged {
+				out = append(out, fmt.Sprintf("%s: nothing to merge", name))
+				continue
+			}
+			s.eng.Scheduler().Totals.Merge(m)
+			s.Totals.Merge(m)
+			out = append(out, fmt.Sprintf("merged %s: %d delta rows in, %d deleted rows out, shipped %d B (full re-decomposition: %d B)",
+				name, st.DeltaRows, st.DroppedRows, st.ShippedBytes, st.FullBytes))
 		}
 		return out, false, true, nil
 	case `\stats`:

@@ -166,7 +166,11 @@ func (s *Scheduler) Exec(ctx context.Context, b *sql.Binding, opts plan.ExecOpts
 		return nil, RouteClassic, err
 	}
 	switch {
-	case len(b.Decompose) > 0:
+	case b.IsWrite():
+		// bwdecompose and DML (INSERT/DELETE/CREATE TABLE) execute inline:
+		// the store's snapshot publication makes the swap safe against
+		// in-flight queries, and write latency is dominated by the store
+		// itself, not device contention.
 		return s.execDDL(ctx, b, opts)
 	case mode == ModeClassic:
 		return s.execClassic(ctx, b, opts)
@@ -196,7 +200,11 @@ func (s *Scheduler) execDDL(ctx context.Context, b *sql.Binding, opts plan.ExecO
 	s.mu.Lock()
 	s.ddlRun++
 	s.mu.Unlock()
-	s.Totals.Merge(nil)
+	var meter *device.Meter
+	if res != nil {
+		meter = res.Meter
+	}
+	s.Totals.Merge(meter)
 	return res, RouteDDL, nil
 }
 

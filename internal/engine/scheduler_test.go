@@ -129,19 +129,19 @@ func TestSchedulerChargesMemoryWallContention(t *testing.T) {
 func TestPlanCacheLRUAndEviction(t *testing.T) {
 	pc := NewPlanCache(2)
 	a, b, c := &sql.Binding{}, &sql.Binding{}, &sql.Binding{}
-	pc.Put("a", a)
-	pc.Put("b", b)
-	if got, ok := pc.Get("a"); !ok || got != a {
+	pc.Put("a", a, nil)
+	pc.Put("b", b, nil)
+	if got, _, ok := pc.Get("a", nil); !ok || got != a {
 		t.Fatal("expected hit on a")
 	}
-	pc.Put("c", c) // evicts b (least recently used)
-	if _, ok := pc.Get("b"); ok {
+	pc.Put("c", c, nil) // evicts b (least recently used)
+	if _, _, ok := pc.Get("b", nil); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if got, ok := pc.Get("a"); !ok || got != a {
+	if got, _, ok := pc.Get("a", nil); !ok || got != a {
 		t.Fatal("a should have survived eviction")
 	}
-	if got, ok := pc.Get("c"); !ok || got != c {
+	if got, _, ok := pc.Get("c", nil); !ok || got != c {
 		t.Fatal("c should be cached")
 	}
 	st := pc.Stats()
@@ -150,8 +150,8 @@ func TestPlanCacheLRUAndEviction(t *testing.T) {
 	}
 	// Zero capacity disables caching.
 	off := NewPlanCache(0)
-	off.Put("x", a)
-	if _, ok := off.Get("x"); ok {
+	off.Put("x", a, nil)
+	if _, _, ok := off.Get("x", nil); ok {
 		t.Fatal("disabled cache must miss")
 	}
 }

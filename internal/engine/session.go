@@ -68,11 +68,12 @@ func (s *Session) Prepare(ctx context.Context, src string) (*Stmt, error) {
 	}
 	st := &Stmt{sess: s, src: src, params: n}
 	if n == 0 {
-		b, err := s.eng.compile(src)
+		b, deps, err := s.eng.compileCached(src)
 		if err != nil {
 			return nil, err
 		}
 		st.binding = b
+		st.deps = deps
 		return st, nil
 	}
 	// Dummy-validate: every literal position in the grammar is numeric, so
@@ -159,15 +160,20 @@ func (s *Session) Close() error {
 }
 
 // Stmt is a compiled statement bound to a session. Statements without
-// placeholders hold their immutable binding; parameterized statements
-// compile at Exec time after literal substitution — bypassing the shared
-// plan cache, since per-parameter-set texts would thrash its LRU without
-// ever being re-hit.
+// placeholders hold their binding together with the schema epochs of its
+// tables: an Exec after the table was dropped or re-created recompiles
+// instead of executing the stale binding. Parameterized statements compile
+// at Exec time after literal substitution — bypassing the shared plan
+// cache, since per-parameter-set texts would thrash its LRU without ever
+// being re-hit.
 type Stmt struct {
-	sess    *Session
-	src     string
+	sess   *Session
+	src    string
+	params int
+
+	mu      sync.Mutex
 	binding *sql.Binding
-	params  int
+	deps    map[string]uint64
 }
 
 // Src returns the statement's source text.
@@ -180,7 +186,7 @@ func (st *Stmt) Exec(ctx context.Context, params ...any) (*Result, error) {
 	if len(params) != st.params {
 		return nil, fmt.Errorf("engine: statement takes %d parameters, got %d", st.params, len(params))
 	}
-	b := st.binding
+	var b *sql.Binding
 	if st.params > 0 {
 		src, err := substituteParams(st.src, params)
 		if err != nil {
@@ -189,6 +195,19 @@ func (st *Stmt) Exec(ctx context.Context, params ...any) (*Result, error) {
 		if b, err = sql.Compile(st.sess.eng.cat, src); err != nil {
 			return nil, err
 		}
+	} else {
+		eng := st.sess.eng
+		st.mu.Lock()
+		if !eng.depsValid(st.deps) {
+			nb, deps, err := eng.compileCached(st.src)
+			if err != nil {
+				st.mu.Unlock()
+				return nil, fmt.Errorf("engine: prepared statement is stale and failed to recompile: %w", err)
+			}
+			st.binding, st.deps = nb, deps
+		}
+		b = st.binding
+		st.mu.Unlock()
 	}
 	return st.sess.eng.exec(ctx, st.sess, b)
 }

@@ -328,3 +328,29 @@ func TestDefaultsAndQuick(t *testing.T) {
 		t.Error("non-positive scale factors")
 	}
 }
+
+func TestIngestAmortization(t *testing.T) {
+	fig, err := Ingest(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := fig.seriesY("incremental merge")
+	full := fig.seriesY("full re-decomposition")
+	if len(inc) == 0 || len(inc) != len(full) {
+		t.Fatalf("series lengths %d/%d", len(inc), len(full))
+	}
+	last := len(inc) - 1
+	if full[last] <= 0 {
+		t.Fatal("no merge traffic recorded")
+	}
+	if inc[last] >= full[last] {
+		t.Fatalf("incremental maintenance shipped %.2f MB, full re-decomposition %.2f MB — no amortization",
+			inc[last], full[last])
+	}
+	// Cumulative series must be non-decreasing.
+	for i := 1; i < len(inc); i++ {
+		if inc[i] < inc[i-1] || full[i] < full[i-1] {
+			t.Fatalf("cumulative traffic decreased at point %d", i)
+		}
+	}
+}

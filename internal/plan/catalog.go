@@ -4,6 +4,13 @@
 // pushes approximate selections down (§III-A), and two executors — the A&R
 // executor spanning the simulated GPU/CPU system and the classic
 // bulk-processing executor that serves as the paper's MonetDB baseline.
+//
+// Storage is the mutable column store of internal/store: every table is an
+// immutable bit-sliced base segment plus an append-optimized delta segment
+// and a deletion bitmap. Both executors pin a per-table snapshot at query
+// start, scan the base segment through their native operator set, scan the
+// delta with classic bulk passes, and merge the two honoring the deletion
+// bitmap — so readers are snapshot isolated against concurrent DML.
 package plan
 
 import (
@@ -15,13 +22,19 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/store"
 )
 
-// Table is a named collection of positionally aligned columns.
+// Table is a column-set builder used by the data loaders: columns are
+// accumulated (with their fixed-point scales) and AddTable turns the
+// builder into a mutable store.Table registered in the catalog. The
+// AddColumn order becomes the table's schema order — the implicit column
+// order of INSERT INTO ... VALUES.
 type Table struct {
-	Name string
-	cols map[string]column
-	n    int
+	Name  string
+	cols  map[string]column
+	order []string
+	n     int
 }
 
 // column pairs the stored BAT with its fixed-point scale (1 for plain
@@ -33,7 +46,7 @@ type column struct {
 	scale int64
 }
 
-// NewTable creates an empty table.
+// NewTable creates an empty table builder.
 func NewTable(name string) *Table {
 	return &Table{Name: name, cols: make(map[string]column), n: -1}
 }
@@ -57,6 +70,7 @@ func (t *Table) AddColumnScaled(name string, b *bat.BAT, scale int64) error {
 	}
 	t.n = b.Len()
 	t.cols[name] = column{b: b, scale: scale}
+	t.order = append(t.order, name)
 	return nil
 }
 
@@ -69,15 +83,6 @@ func (t *Table) Column(name string) (*bat.BAT, error) {
 	return c.b, nil
 }
 
-// ColumnScale returns the fixed-point scale of a column (1 for integers).
-func (t *Table) ColumnScale(name string) (int64, error) {
-	c, ok := t.cols[name]
-	if !ok {
-		return 0, fmt.Errorf("plan: unknown column %s.%s", t.Name, name)
-	}
-	return c.scale, nil
-}
-
 // Len returns the row count.
 func (t *Table) Len() int {
 	if t.n < 0 {
@@ -88,58 +93,94 @@ func (t *Table) Len() int {
 
 // Columns returns the column names in sorted order.
 func (t *Table) Columns() []string {
-	out := make([]string, 0, len(t.cols))
-	for name := range t.cols {
-		out = append(out, name)
-	}
+	out := append([]string(nil), t.order...)
 	sort.Strings(out)
 	return out
 }
 
-// Catalog holds tables, their bitwise decompositions, and pre-built
-// foreign-key indices, bound to one simulated device system.
+// Catalog holds the mutable store tables, bound to one simulated device
+// system.
 //
-// A Catalog is safe for concurrent use: the registry maps are guarded by an
-// RWMutex, so queries (ExecAR/ExecClassic) may run concurrently with each
-// other and with DDL (AddTable/Decompose/BuildFKIndex). The stored Table,
-// bwd.Column and bulk.FKIndex values are immutable once registered; a
-// concurrent re-Decompose swaps in a fresh decomposition while in-flight
-// queries keep reading the one they resolved.
+// A Catalog is safe for concurrent use: the table registry is guarded by
+// an RWMutex, and each store.Table publishes immutable snapshots — queries
+// (ExecAR/ExecClassic) pin a snapshot at start and may run concurrently
+// with each other and with DML (Insert/Delete/Merge/Decompose), which
+// swaps fresh versions in without mutating pinned data.
 type Catalog struct {
 	sys *device.System
 
 	mu     sync.RWMutex
-	tables map[string]*Table
-	dec    map[string]*bwd.Column   // "table.col" -> decomposition
-	fkIdx  map[string]*bulk.FKIndex // "table.col" -> PK index
+	tables map[string]*store.Table
 }
 
 // NewCatalog creates a catalog bound to the given simulated system.
 func NewCatalog(sys *device.System) *Catalog {
 	return &Catalog{
 		sys:    sys,
-		tables: make(map[string]*Table),
-		dec:    make(map[string]*bwd.Column),
-		fkIdx:  make(map[string]*bulk.FKIndex),
+		tables: make(map[string]*store.Table),
 	}
 }
 
 // System returns the catalog's simulated system.
 func (c *Catalog) System() *device.System { return c.sys }
 
-// AddTable registers a table.
+// AddTable registers a loaded table builder as a mutable store table.
 func (c *Catalog) AddTable(t *Table) error {
+	defs := make([]store.ColumnDef, len(t.order))
+	cols := make([]*bat.BAT, len(t.order))
+	for i, name := range t.order {
+		col := t.cols[name]
+		defs[i] = store.ColumnDef{Name: name, Scale: col.scale, Width: col.b.Width()}
+		cols[i] = col.b
+	}
+	st, err := store.New(t.Name, defs, cols, c.sys)
+	if err != nil {
+		return err
+	}
+	return c.register(st)
+}
+
+// CreateTable registers a new empty table with the given schema — the
+// engine-level CREATE TABLE.
+func (c *Catalog) CreateTable(name string, defs []store.ColumnDef) (*store.Table, error) {
+	st, err := store.New(name, defs, nil, c.sys)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.register(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (c *Catalog) register(st *store.Table) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.tables[t.Name]; dup {
-		return fmt.Errorf("plan: duplicate table %s", t.Name)
+	if _, dup := c.tables[st.Name()]; dup {
+		return fmt.Errorf("plan: duplicate table %s", st.Name())
 	}
-	c.tables[t.Name] = t
+	c.tables[st.Name()] = st
+	return nil
+}
+
+// DropTable removes a table and releases its device allocations. In-flight
+// queries holding a snapshot keep reading their pinned version.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	t, ok := c.tables[name]
+	if ok {
+		delete(c.tables, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("plan: unknown table %s", name)
+	}
+	t.ReleaseDecompositions()
 	return nil
 }
 
 // Table returns a registered table.
-func (c *Catalog) Table(name string) (*Table, error) {
+func (c *Catalog) Table(name string) (*store.Table, error) {
 	c.mu.RLock()
 	t, ok := c.tables[name]
 	c.mu.RUnlock()
@@ -161,46 +202,67 @@ func (c *Catalog) TableNames() []string {
 	return out
 }
 
+// TableSchemaEpoch returns the schema identity of a table (see
+// store.Table.SchemaEpoch); ok is false when the table does not exist. The
+// engine's plan cache records these per binding and invalidates entries
+// whose dependencies changed.
+func (c *Catalog) TableSchemaEpoch(name string) (uint64, bool) {
+	c.mu.RLock()
+	t, ok := c.tables[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return t.SchemaEpoch(), true
+}
+
+// SchemaEpochs snapshots the schema epoch of every registered table. The
+// engine reads it BEFORE compiling a statement: schema epochs are globally
+// monotonic, so dependencies recorded from a pre-compilation snapshot can
+// only be stale-conservative — a table replaced mid-compilation makes the
+// cached entry invalid on its first hit instead of silently current.
+func (c *Catalog) SchemaEpochs() map[string]uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]uint64, len(c.tables))
+	for name, t := range c.tables {
+		out[name] = t.SchemaEpoch()
+	}
+	return out
+}
+
 // Decompose bitwise-decomposes table.col with approxBits device-resident
 // bits — the engine-level equivalent of the paper's
 // `select bwdecompose(col, approxBits) from table` (§V-A). Decomposing an
-// already decomposed column replaces the previous decomposition.
+// already decomposed column replaces the previous decomposition; a table
+// with delta rows or deletions is compacted first so the decomposition
+// covers every live row.
 func (c *Catalog) Decompose(table, col string, approxBits uint) (*bwd.Column, error) {
+	return c.DecomposeMetered(nil, table, col, approxBits)
+}
+
+// DecomposeMetered is Decompose charging the implicit pre-merge compaction
+// (delta rows folded in, deletions dropped) to m — the SQL bwdecompose
+// path uses it so the bus bytes a compaction ships appear in the engine
+// totals, not just in the store counters.
+func (c *Catalog) DecomposeMetered(m *device.Meter, table, col string, approxBits uint) (*bwd.Column, error) {
 	t, err := c.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	b, err := t.Column(col)
+	return t.Decompose(m, col, approxBits)
+}
+
+// Decomposition returns the current decomposition of table.col, or an
+// error if the column was never decomposed (A&R plans require explicit
+// decomposition, like an index).
+func (c *Catalog) Decomposition(table, col string) (*bwd.Column, error) {
+	t, err := c.Table(table)
 	if err != nil {
 		return nil, err
 	}
-	key := table + "." + col
-	// Build first, then swap and release the old decomposition in one
-	// critical section: readers either see the old version or the new one,
-	// never a missing entry, and racing re-Decomposes release each other's
-	// losers instead of leaking device memory. Replacement transiently
-	// holds both allocations.
-	d, err := bwd.Decompose(b, approxBits, c.sys)
-	if err != nil {
-		return nil, fmt.Errorf("plan: bwdecompose(%s, %d): %w", key, approxBits, err)
-	}
-	c.mu.Lock()
-	if old, ok := c.dec[key]; ok {
-		old.Release()
-	}
-	c.dec[key] = d
-	c.mu.Unlock()
-	return d, nil
-}
-
-// Decomposition returns the decomposition of table.col, or an error if the
-// column was never decomposed (A&R plans require explicit decomposition,
-// like an index).
-func (c *Catalog) Decomposition(table, col string) (*bwd.Column, error) {
-	c.mu.RLock()
-	d, ok := c.dec[table+"."+col]
-	c.mu.RUnlock()
-	if !ok {
+	d := t.Snapshot().Dec(col)
+	if d == nil {
 		return nil, fmt.Errorf("plan: column %s.%s is not bitwise decomposed; call Decompose first", table, col)
 	}
 	return d, nil
@@ -208,42 +270,118 @@ func (c *Catalog) Decomposition(table, col string) (*bwd.Column, error) {
 
 // ReleaseDecompositions frees all device allocations held by the catalog.
 func (c *Catalog) ReleaseDecompositions() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k, d := range c.dec {
-		d.Release()
-		delete(c.dec, k)
+	c.mu.RLock()
+	tables := make([]*store.Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.RUnlock()
+	for _, t := range tables {
+		t.ReleaseDecompositions()
 	}
 }
 
 // BuildFKIndex pre-builds the foreign-key (primary-key) index over
-// table.col on the CPU, as the paper does for joins (§IV-D).
+// table.col on the CPU, as the paper does for joins (§IV-D). The index is
+// segment-bound: merges rebuild it over the compacted key column.
 func (c *Catalog) BuildFKIndex(table, col string) error {
 	t, err := c.Table(table)
 	if err != nil {
 		return err
 	}
-	b, err := t.Column(col)
-	if err != nil {
-		return err
-	}
-	ix := bulk.BuildFKIndex(nil, 1, b.Tails())
-	if ix == nil {
+	if err := t.BuildFKIndex(col); err != nil {
 		return fmt.Errorf("plan: %s.%s is not a dense unique key", table, col)
 	}
-	c.mu.Lock()
-	c.fkIdx[table+"."+col] = ix
-	c.mu.Unlock()
 	return nil
 }
 
-// FKIndex returns the pre-built index over table.col.
+// FKIndex returns the current pre-built index over table.col.
 func (c *Catalog) FKIndex(table, col string) (*bulk.FKIndex, error) {
-	c.mu.RLock()
-	ix, ok := c.fkIdx[table+"."+col]
-	c.mu.RUnlock()
-	if !ok {
+	t, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ix := t.Snapshot().FKIndex(col)
+	if ix == nil {
 		return nil, fmt.Errorf("plan: no FK index on %s.%s; call BuildFKIndex first", table, col)
 	}
 	return ix, nil
+}
+
+// InsertRows appends rows (schema order, scaled values) to table's delta
+// segment, charging the host-side append to m (which may be nil).
+func (c *Catalog) InsertRows(m *device.Meter, table string, rows [][]int64) (int, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Insert(m, rows)
+}
+
+// DeleteRows marks every live row of table satisfying all filters deleted
+// and returns the count.
+func (c *Catalog) DeleteRows(m *device.Meter, table string, filters []Filter) (int64, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	preds := make([]store.Range, len(filters))
+	for i, f := range filters {
+		preds[i] = store.Range{Col: f.Col, Lo: f.Lo, Hi: f.Hi}
+	}
+	return t.DeleteWhere(m, preds)
+}
+
+// MergeTable compacts table's delta segment and deletions into a fresh
+// base segment, charging the incremental re-decomposition to m. auto marks
+// background-merger invocations for stats attribution.
+func (c *Catalog) MergeTable(m *device.Meter, table string, auto bool) (store.MergeStats, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return store.MergeStats{}, err
+	}
+	return t.Merge(m, auto)
+}
+
+// StoreStats aggregates the store counters over every registered table.
+type StoreStats struct {
+	Tables            int
+	Segments          int
+	DeltaRows         int
+	DeletedRows       int
+	Merges            int64
+	AutoMerges        int64
+	MergeRows         int64
+	MergeShippedBytes int64
+	MergeFullBytes    int64
+}
+
+// StoreStats returns the aggregated mutable-store counters (the \stats
+// surface).
+func (c *Catalog) StoreStats() StoreStats {
+	c.mu.RLock()
+	tables := make([]*store.Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.RUnlock()
+	var out StoreStats
+	out.Tables = len(tables)
+	for _, t := range tables {
+		st := t.Stats()
+		out.Segments += st.Segments
+		out.DeltaRows += st.DeltaRows
+		out.DeletedRows += st.DeletedRows
+		out.Merges += st.Merges
+		out.AutoMerges += st.AutoMerges
+		out.MergeRows += st.MergeRows
+		out.MergeShippedBytes += st.MergeShippedBytes
+		out.MergeFullBytes += st.MergeFullBytes
+	}
+	return out
+}
+
+func (s StoreStats) String() string {
+	return fmt.Sprintf("store: %d tables, %d segments, %d delta rows, %d deleted, %d merges (%d auto, %d rows), merge shipped %d B (full re-decomposition %d B)",
+		s.Tables, s.Segments, s.DeltaRows, s.DeletedRows, s.Merges, s.AutoMerges, s.MergeRows, s.MergeShippedBytes, s.MergeFullBytes)
 }

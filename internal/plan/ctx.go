@@ -18,6 +18,7 @@ type Stage string
 const (
 	StageApprox    Stage = "approximate"
 	StageShip      Stage = "ship"
+	StageDelta     Stage = "delta"
 	StageRefine    Stage = "refine"
 	StageAggregate Stage = "aggregate"
 	StageBulk      Stage = "bulk"

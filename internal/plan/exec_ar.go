@@ -43,13 +43,20 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 // values on the CPU. The returned Result carries the exact rows, the
 // phase-A approximate answer, and the simulated GPU/CPU/PCI breakdown.
 //
+// The execution pins one store snapshot per touched table: the base
+// segment runs through the A&R operator set (rows masked by the deletion
+// bitmap are discharged device-side, where the bitmap is mirrored), the
+// delta segment is scanned with one classic host-side pass, and the two
+// contributions merge before aggregation — freshly inserted rows are
+// queryable without any re-decomposition.
+//
 // Cancellation is cooperative: the executor polls ctx between pipeline
-// stages (each approximate operator, the bus crossing, each refinement
-// batch, the final aggregation) and returns ctx.Err() without a result
-// once the context is done.
+// stages (each approximate operator, the bus crossing, the delta scan,
+// each refinement batch, the final aggregation) and returns ctx.Err()
+// without a result once the context is done.
 func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
-	// Validation doubles as the decomposition snapshot: the whole
-	// execution works against the pointers resolved here (see decSnapshot).
+	// Validation doubles as the snapshot pin: the whole execution works
+	// against the table versions and decomposition pointers resolved here.
 	snap, err := q.validate(c)
 	if err != nil {
 		return nil, err
@@ -57,7 +64,7 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 	threads := opts.threads()
 	m := device.NewMeter(c.sys)
 	res := &Result{Meter: m}
-	res.InputBytes = c.queryInputBytes(q)
+	res.InputBytes = snap.inputBytes(q)
 	trace := func(format string, args ...any) {
 		res.Plan = append(res.Plan, fmt.Sprintf(format, args...))
 	}
@@ -93,26 +100,56 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		trace("bwd.scanapproximate(%s.%s)", q.Table, anchor)
 	}
 
+	// Discharge deleted base rows on the device: the deletion bitmap is
+	// mirrored GPU-side (shipped by DELETE), so masking is one kernel over
+	// the candidate IDs and the phase-A answer stays a strict bound over
+	// the live rows.
+	if fs := snap.fact; fs.BaseDeletedCount() > 0 {
+		keep := make([]int, 0, cands.Len())
+		for i, id := range cands.IDs {
+			if !fs.BaseDeleted(int(id)) {
+				keep = append(keep, i)
+			}
+		}
+		m.GPUKernel(int64(cands.Len())*4+int64(fs.BaseLen()+7)/8, 0, int64(cands.Len()))
+		cands = cands.Filter(keep)
+		trace("bwd.maskdeleted(%s)", q.Table)
+	}
+
 	// Foreign-key join and dimension-side approximate selections.
 	var dimPos []bat.OID
-	var dimLen int
+	var lookup func(int64) (bat.OID, bool)
 	if q.Join != nil {
 		if err := step(ctx, opts, StageApprox); err != nil {
 			return nil, err
 		}
 		fkd := snap.get(q.Table, q.Join.FKCol)
-		dim, _ := c.Table(q.Join.Dim)
-		dimLen = dim.Len()
-		pk, err := dim.Column(q.Join.DimPK)
+		dimLen := snap.dim.BaseLen()
+		pk, err := snap.dim.Column(q.Join.DimPK)
 		if err != nil {
 			return nil, err
 		}
 		pkBase := pk.Tail(0)
+		lookup = denseLookup(pkBase, dimLen)
 		dimPos, err = ar.FKPositionsApprox(m, fkd, cands, pkBase, dimLen)
 		if err != nil {
 			return nil, err
 		}
 		trace("bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
+		if ds := snap.dim; ds.BaseDeletedCount() > 0 {
+			keep := make([]int, 0, cands.Len())
+			kept := make([]bat.OID, 0, len(dimPos))
+			for i, pos := range dimPos {
+				if !ds.BaseDeleted(int(pos)) {
+					keep = append(keep, i)
+					kept = append(kept, pos)
+				}
+			}
+			m.GPUKernel(int64(len(dimPos))*4+int64(ds.BaseLen()+7)/8, 0, int64(len(dimPos)))
+			cands = cands.Filter(keep)
+			dimPos = kept
+			trace("bwd.maskdeleted(%s)", q.Join.Dim)
+		}
 		for _, f := range q.Join.DimFilters {
 			dd := snap.get(q.Join.Dim, f.Col)
 			cands, dimPos = ar.SelectApproxAt(m, dd, dd.Relax(f.Lo, f.Hi), cands, dimPos)
@@ -120,9 +157,12 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		}
 	}
 
-	// Device-side pre-grouping.
+	// Device-side pre-grouping — only while the table has no live delta
+	// rows: a delta forces the grouping onto the host, where base and
+	// delta tuples meet.
+	useDevGrouping := len(q.GroupBy) > 0 && snap.fact.LiveDelta() == 0
 	var mg *ar.MultiGrouping
-	if len(q.GroupBy) > 0 {
+	if useDevGrouping {
 		cols := make([]*bwd.Column, len(q.GroupBy))
 		for i, g := range q.GroupBy {
 			cols[i] = snap.get(q.Table, g)
@@ -131,31 +171,63 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		trace("bwd.groupapproximate(%s)", join(q.GroupBy))
 	}
 
-	// Approximate projections for every column the aggregates reference.
+	// Approximate projections for every column the aggregation phase
+	// needs: aggregate inputs, plus the grouping keys when grouping merges
+	// with the delta on the host.
+	need := neededCols(q, len(q.GroupBy) > 0 && !useDevGrouping)
+	var refList []ColRef
 	projections := map[ColRef]*ar.Projection{}
+	addRef := func(ref ColRef) {
+		if _, done := projections[ref]; done {
+			return
+		}
+		if ref.Dim {
+			dd := snap.get(q.Join.Dim, ref.Name)
+			projections[ref] = ar.ProjectApproxAt(m, dd, cands, dimPos)
+			trace("bwd.leftjoinapproximate(%s.%s)", q.Join.Dim, ref.Name)
+		} else {
+			fd := snap.get(q.Table, ref.Name)
+			projections[ref] = ar.ProjectApprox(m, fd, cands)
+			trace("bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
+		}
+		refList = append(refList, ref)
+	}
 	for _, a := range q.Aggs {
 		if a.Expr == nil {
 			continue
 		}
 		for _, ref := range a.Expr.Cols() {
-			if _, done := projections[ref]; done {
-				continue
-			}
-			if ref.Dim {
-				dd := snap.get(q.Join.Dim, ref.Name)
-				projections[ref] = ar.ProjectApproxAt(m, dd, cands, dimPos)
-				trace("bwd.leftjoinapproximate(%s.%s)", q.Join.Dim, ref.Name)
-			} else {
-				fd := snap.get(q.Table, ref.Name)
-				projections[ref] = ar.ProjectApprox(m, fd, cands)
-				trace("bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
-			}
+			addRef(ref)
+		}
+	}
+	if len(q.GroupBy) > 0 && !useDevGrouping {
+		for _, g := range q.GroupBy {
+			addRef(ColRef{Name: g})
 		}
 	}
 
-	// Phase-A approximate answer: strict bounds from approximations only.
-	res.Approx = c.approxAnswer(m, q, cands, projections)
+	// ---- Delta scan: the append segment lives in host memory and is
+	// never decomposed; one classic row-major pass evaluates the
+	// predicates and materializes the needed values exactly.
+	var dset *deltaSet
+	if snap.fact.DeltaLen() > 0 {
+		if err := step(ctx, opts, StageDelta); err != nil {
+			return nil, err
+		}
+		dset, err = scanDelta(m, threads, q, snap, need, lookup)
+		if err != nil {
+			return nil, err
+		}
+		trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
+	}
+
+	// Phase-A approximate answer: strict bounds from approximations over
+	// the base segment, plus the (exact) delta contributions.
+	res.Approx = approxAnswer(m, q, cands, projections, dset)
 	res.Candidates = cands.Len()
+	if dset != nil {
+		res.Candidates += dset.n
+	}
 	for _, a := range q.Aggs {
 		trace("bwd.%sapproximate(%s)", a.Func, a.Name)
 	}
@@ -165,8 +237,8 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		return nil, err
 	}
 	cands.Ship(m)
-	for _, p := range projections {
-		p.Ship(m)
+	for _, ref := range refList {
+		projections[ref].Ship(m)
 	}
 	if mg != nil {
 		mg.Ship(m)
@@ -205,13 +277,17 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		}
 	}
 	res.Refined = refined.Len()
+	if dset != nil {
+		res.Refined += dset.n
+	}
 
 	// Exact values for every referenced column.
 	ectx := &exprCtx{n: refined.Len(), fact: map[string][]int64{}, dim: map[string][]int64{}}
-	for ref, p := range projections {
+	for _, ref := range refList {
 		if err := step(ctx, opts, StageRefine); err != nil {
 			return nil, err
 		}
+		p := projections[ref]
 		var vals []int64
 		var err error
 		if ref.Dim {
@@ -230,7 +306,12 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		trace("bwd.leftjoinrefine(%s)", ref.Name)
 	}
 
-	// Exact grouping.
+	// Merge the delta contribution: base and delta tuples meet in one
+	// combined exact-value context.
+	ectx.appendDelta(dset)
+
+	// Exact grouping — refined from the device pre-grouping, or rebuilt on
+	// the host over the combined tuple set when a delta is present.
 	var grouping *bulk.Grouping
 	var groupKeys [][]int64
 	if mg != nil {
@@ -242,6 +323,16 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 			return nil, err
 		}
 		trace("bwd.grouprefine(%s)", join(q.GroupBy))
+	} else if len(q.GroupBy) > 0 {
+		if err := step(ctx, opts, StageRefine); err != nil {
+			return nil, err
+		}
+		cols := make([][]int64, len(q.GroupBy))
+		for k, g := range q.GroupBy {
+			cols[k] = ectx.fact[g]
+		}
+		grouping, groupKeys = bulk.GroupByMulti(m, threads, cols)
+		trace("group.merge(%s)", join(q.GroupBy))
 	}
 
 	// Aggregation (§IV-F; sums of products are recomputed on the CPU due
@@ -280,9 +371,18 @@ func refineKeepingAt(m *device.Meter, threads int, d *bwd.Column, lo, hi int64, 
 }
 
 // approxAnswer derives the phase-A bounds: candidate-count interval and
-// per-aggregate sum/min/max bounds from approximate projections.
-func (c *Catalog) approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, projections map[ColRef]*ar.Projection) ApproxAnswer {
+// per-aggregate sum/min/max bounds from approximate projections over the
+// base segment, plus the exact contributions of qualifying delta rows
+// (the delta is host resident and undecomposed, so its values carry no
+// approximation error).
+func approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, projections map[ColRef]*ar.Projection, delta *deltaSet) ApproxAnswer {
 	out := ApproxAnswer{Count: ar.CountApprox(m, cands)}
+	var dctx *exprCtx
+	if delta != nil {
+		out.Count.Lo += int64(delta.n)
+		out.Count.Hi += int64(delta.n)
+		dctx = &exprCtx{n: delta.n, fact: delta.fact, dim: delta.dim}
+	}
 	bctx := &boundsCtx{n: cands.Len(), fact: map[string][]ar.Interval{}, dim: map[string][]ar.Interval{}}
 	for ref, p := range projections {
 		ivs := make([]ar.Interval, p.Len())
@@ -317,6 +417,12 @@ func (c *Catalog) approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, p
 				total.Lo += iv.Lo
 				total.Hi += iv.Hi
 			}
+			if dctx != nil {
+				for _, v := range a.Expr.Eval(dctx) {
+					total.Lo += v
+					total.Hi += v
+				}
+			}
 			if a.Func == Avg {
 				cnt := out.Count
 				if cnt.Lo > 0 {
@@ -326,6 +432,11 @@ func (c *Catalog) approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, p
 			out.Aggs = append(out.Aggs, total)
 		case Min, Max:
 			ivs := a.Expr.Bounds(bctx)
+			if dctx != nil {
+				for _, v := range a.Expr.Eval(dctx) {
+					ivs = append(ivs, ar.Exact(v))
+				}
+			}
 			var total ar.Interval
 			for i, iv := range ivs {
 				if i == 0 {
@@ -470,37 +581,36 @@ func globalAgg(m *device.Meter, threads int, a AggSpec, ctx *exprCtx) (int64, er
 	}
 }
 
-// queryInputBytes sums the physical footprint of every column the query
-// reads — the stream-baseline input volume.
-func (c *Catalog) queryInputBytes(q Query) int64 {
+// inputBytes sums the physical footprint of every column the query reads —
+// the stream-baseline input volume — over the pinned snapshots, including
+// the row-major delta segment when present.
+func (s *execSnap) inputBytes(q Query) int64 {
 	seen := map[string]bool{}
 	var total int64
-	add := func(table, col string) {
+	add := func(snap interface {
+		Column(string) (*bat.BAT, error)
+	}, table, col string) {
 		key := table + "." + col
 		if seen[key] {
 			return
 		}
 		seen[key] = true
-		t, err := c.Table(table)
-		if err != nil {
-			return
-		}
-		b, err := t.Column(col)
+		b, err := snap.Column(col)
 		if err != nil {
 			return
 		}
 		total += b.TailBytes()
 	}
 	for _, f := range q.Filters {
-		add(q.Table, f.Col)
+		add(s.fact, q.Table, f.Col)
 	}
 	for _, g := range q.GroupBy {
-		add(q.Table, g)
+		add(s.fact, q.Table, g)
 	}
 	if q.Join != nil {
-		add(q.Table, q.Join.FKCol)
+		add(s.fact, q.Table, q.Join.FKCol)
 		for _, f := range q.Join.DimFilters {
-			add(q.Join.Dim, f.Col)
+			add(s.dim, q.Join.Dim, f.Col)
 		}
 	}
 	for _, a := range q.Aggs {
@@ -509,12 +619,13 @@ func (c *Catalog) queryInputBytes(q Query) int64 {
 		}
 		for _, ref := range a.Expr.Cols() {
 			if ref.Dim {
-				add(q.Join.Dim, ref.Name)
+				add(s.dim, q.Join.Dim, ref.Name)
 			} else {
-				add(q.Table, ref.Name)
+				add(s.fact, q.Table, ref.Name)
 			}
 		}
 	}
+	total += s.fact.DeltaBytes()
 	return total
 }
 

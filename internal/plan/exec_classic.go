@@ -20,21 +20,27 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 // fully-materializing tight loops of package bulk; no device or bus time
 // is ever charged.
 //
+// Like the A&R executor, the execution pins one store snapshot per table:
+// the base segment runs through the bulk operator chain (deleted rows are
+// filtered with one bitmap pass), the delta segment is scanned row-major,
+// and both contributions merge before grouping and aggregation.
+//
 // Cancellation is cooperative: the executor polls ctx between bulk passes
 // and returns ctx.Err() without a result once the context is done.
 func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
-	if err := q.validateClassic(c); err != nil {
+	snap, err := q.validateClassic(c)
+	if err != nil {
 		return nil, err
 	}
 	threads := opts.threads()
 	m := device.NewMeter(c.sys)
 	res := &Result{Meter: m}
-	res.InputBytes = c.queryInputBytes(q)
+	res.InputBytes = snap.inputBytes(q)
 	trace := func(format string, args ...any) {
 		res.Plan = append(res.Plan, fmt.Sprintf(format, args...))
 	}
 
-	fact, _ := c.Table(q.Table)
+	fact := snap.fact
 
 	// Selections: first a full scan, then progressively narrower
 	// candidate-list filters (MonetDB's uselect chains).
@@ -61,7 +67,7 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 			trace("algebra.uselect(%s.%s)", q.Table, f.Col)
 		}
 	} else {
-		ids = make([]bat.OID, fact.Len())
+		ids = make([]bat.OID, fact.BaseLen())
 		for i := range ids {
 			ids[i] = bat.OID(i)
 		}
@@ -69,8 +75,15 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 		trace("algebra.scan(%s)", q.Table)
 	}
 
+	// Discharge deleted base rows with one bitmap pass.
+	if fact.BaseDeletedCount() > 0 {
+		ids = maskDeletedOIDs(m, threads, fact, ids)
+		trace("algebra.maskdeleted(%s)", q.Table)
+	}
+
 	// Foreign-key join through the pre-built index.
 	var dimPos []bat.OID
+	var lookup func(int64) (bat.OID, bool)
 	if q.Join != nil {
 		if err := step(ctx, opts, StageBulk); err != nil {
 			return nil, err
@@ -79,25 +92,25 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 		if err != nil {
 			return nil, err
 		}
-		ix, err := c.FKIndex(q.Join.Dim, q.Join.DimPK)
-		if err != nil {
-			return nil, err
+		ix := snap.dim.FKIndex(q.Join.DimPK)
+		if ix == nil {
+			return nil, fmt.Errorf("plan: no FK index on %s.%s; call BuildFKIndex first", q.Join.Dim, q.Join.DimPK)
 		}
+		lookup = ix.Lookup
 		fkVals := bulk.Fetch(m, threads, fkBAT, ids)
 		pos, hit := bulk.FKJoin(m, threads, ix, fkVals)
 		trace("algebra.leftjoin(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
 		keptIDs := make([]bat.OID, 0, len(ids))
 		dimPos = make([]bat.OID, 0, len(ids))
 		for i := range ids {
-			if hit[i] {
+			if hit[i] && !snap.dim.BaseDeleted(int(pos[i])) {
 				keptIDs = append(keptIDs, ids[i])
 				dimPos = append(dimPos, pos[i])
 			}
 		}
 		ids = keptIDs
-		dim, _ := c.Table(q.Join.Dim)
 		for _, f := range q.Join.DimFilters {
-			db, err := dim.Column(f.Col)
+			db, err := snap.dim.Column(f.Col)
 			if err != nil {
 				return nil, err
 			}
@@ -115,27 +128,37 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 			trace("algebra.uselect(%s.%s)", q.Join.Dim, f.Col)
 		}
 	}
+
+	// Delta scan: evaluate the predicates over the live delta rows and
+	// materialize the needed values in the same pass.
+	need := neededCols(q, len(q.GroupBy) > 0)
+	var dset *deltaSet
+	if fact.DeltaLen() > 0 {
+		if err := step(ctx, opts, StageDelta); err != nil {
+			return nil, err
+		}
+		dset, err = scanDelta(m, threads, q, snap, need, lookup)
+		if err != nil {
+			return nil, err
+		}
+		trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
+	}
 	res.Candidates = len(ids)
 	res.Refined = len(ids)
-
-	// Materialize referenced columns at the qualifying positions.
-	ectx := &exprCtx{n: len(ids), fact: map[string][]int64{}, dim: map[string][]int64{}}
-	need := map[ColRef]bool{}
-	for _, a := range q.Aggs {
-		if a.Expr == nil {
-			continue
-		}
-		for _, ref := range a.Expr.Cols() {
-			need[ref] = true
-		}
+	if dset != nil {
+		res.Candidates += dset.n
+		res.Refined += dset.n
 	}
+
+	// Materialize referenced columns at the qualifying base positions;
+	// grouping keys ride along when a grouping is present.
+	ectx := &exprCtx{n: len(ids), fact: map[string][]int64{}, dim: map[string][]int64{}}
 	for ref := range need {
 		if err := step(ctx, opts, StageBulk); err != nil {
 			return nil, err
 		}
 		if ref.Dim {
-			dim, _ := c.Table(q.Join.Dim)
-			db, err := dim.Column(ref.Name)
+			db, err := snap.dim.Column(ref.Name)
 			if err != nil {
 				return nil, err
 			}
@@ -150,7 +173,10 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 		trace("algebra.leftjoin(%s)", ref.Name)
 	}
 
-	// Grouping.
+	// Merge the delta contribution into the combined tuple set.
+	ectx.appendDelta(dset)
+
+	// Grouping over the combined key columns.
 	var grouping *bulk.Grouping
 	var groupKeys [][]int64
 	if len(q.GroupBy) > 0 {
@@ -159,11 +185,7 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 		}
 		cols := make([][]int64, len(q.GroupBy))
 		for k, g := range q.GroupBy {
-			gb, err := fact.Column(g)
-			if err != nil {
-				return nil, err
-			}
-			cols[k] = bulk.Fetch(m, threads, gb, ids)
+			cols[k] = ectx.fact[g]
 		}
 		grouping, groupKeys = bulk.GroupByMulti(m, threads, cols)
 		trace("group.new(%s)", join(q.GroupBy))
@@ -183,39 +205,58 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 	return res, nil
 }
 
-// validateClassic checks table/column references without requiring
-// decompositions.
-func (q *Query) validateClassic(c *Catalog) error {
-	fact, err := c.Table(q.Table)
+// validateClassic checks table/column references and pins the snapshots
+// without requiring decompositions.
+func (q *Query) validateClassic(c *Catalog) (*execSnap, error) {
+	snap, err := q.pinSnapshots(c)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	check := func(table, col string) error {
+		if _, err := snap.snapFor(q, table).Column(col); err != nil {
+			return err
+		}
+		return nil
 	}
 	for _, f := range q.Filters {
-		if _, err := fact.Column(f.Col); err != nil {
-			return err
+		if err := check(q.Table, f.Col); err != nil {
+			return nil, err
 		}
 	}
 	for _, g := range q.GroupBy {
-		if _, err := fact.Column(g); err != nil {
-			return err
+		if err := check(q.Table, g); err != nil {
+			return nil, err
 		}
 	}
 	if q.Join != nil {
-		if _, err := fact.Column(q.Join.FKCol); err != nil {
-			return err
-		}
-		dim, err := c.Table(q.Join.Dim)
-		if err != nil {
-			return err
+		if err := check(q.Table, q.Join.FKCol); err != nil {
+			return nil, err
 		}
 		for _, f := range q.Join.DimFilters {
-			if _, err := dim.Column(f.Col); err != nil {
-				return err
+			if err := check(q.Join.Dim, f.Col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			tbl := q.Table
+			if ref.Dim {
+				if q.Join == nil {
+					return nil, fmt.Errorf("plan: dimension column %s referenced without a join", ref.Name)
+				}
+				tbl = q.Join.Dim
+			}
+			if err := check(tbl, ref.Name); err != nil {
+				return nil, err
 			}
 		}
 	}
 	if len(q.Filters) == 0 && len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
-		return fmt.Errorf("plan: empty query")
+		return nil, fmt.Errorf("plan: empty query")
 	}
-	return nil
+	return snap, nil
 }

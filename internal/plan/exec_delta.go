@@ -1,0 +1,209 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/device"
+	"repro/internal/store"
+)
+
+// deltaSet is the delta segment's contribution to a query: the values of
+// every referenced column for the live delta rows that satisfy all
+// predicates (fact-side filters, FK join, dimension-side filters). Both
+// executors scan the delta with one classic row-major bulk pass — delta
+// rows live in host memory and are never decomposed, so the A&R executor
+// too reads them the classic way and merges the results (the paper's
+// operators apply to the base segment only).
+type deltaSet struct {
+	n    int
+	fact map[string][]int64
+	dim  map[string][]int64
+}
+
+// neededCols collects every column whose exact values the aggregation
+// phase needs: aggregate expression references plus (when withGroups) the
+// grouping columns.
+func neededCols(q Query, withGroups bool) map[ColRef]bool {
+	need := map[ColRef]bool{}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			need[ref] = true
+		}
+	}
+	if withGroups {
+		for _, g := range q.GroupBy {
+			need[ColRef{Name: g}] = true
+		}
+	}
+	return need
+}
+
+// scanDelta evaluates the query's predicates over the live delta rows of
+// the fact snapshot and materializes the needed column values. lookup maps
+// a foreign-key value to the dimension base position (nil when the query
+// has no join). Returns nil when the snapshot has no delta rows.
+//
+// The cost charged is one sequential row-major pass over the visible delta
+// (a row store reads whole rows) plus the dimension gathers for joined
+// references.
+func scanDelta(m *device.Meter, threads int, q Query, snap *execSnap, need map[ColRef]bool, lookup func(int64) (bat.OID, bool)) (*deltaSet, error) {
+	fs := snap.fact
+	if fs.DeltaLen() == 0 {
+		return nil, nil
+	}
+	ft := fs.Table()
+	filterIdx := make([]int, len(q.Filters))
+	for k, f := range q.Filters {
+		i, err := ft.ColIndex(f.Col)
+		if err != nil {
+			return nil, err
+		}
+		filterIdx[k] = i
+	}
+	type factRef struct {
+		name string
+		idx  int
+	}
+	type dimRef struct {
+		name string
+		col  []int64
+	}
+	var factRefs []factRef
+	var dimRefs []dimRef
+	for ref := range need {
+		if ref.Dim {
+			db, err := snap.dim.Column(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			dimRefs = append(dimRefs, dimRef{name: ref.Name, col: db.Tails()})
+		} else {
+			i, err := ft.ColIndex(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			factRefs = append(factRefs, factRef{name: ref.Name, idx: i})
+		}
+	}
+	var fkIdx int
+	var dimFilterCols [][]int64
+	if q.Join != nil {
+		i, err := ft.ColIndex(q.Join.FKCol)
+		if err != nil {
+			return nil, err
+		}
+		fkIdx = i
+		if lookup == nil {
+			return nil, fmt.Errorf("plan: delta scan of %s needs a dimension lookup for the join", q.Table)
+		}
+		for _, f := range q.Join.DimFilters {
+			db, err := snap.dim.Column(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			dimFilterCols = append(dimFilterCols, db.Tails())
+		}
+	}
+
+	out := &deltaSet{fact: map[string][]int64{}, dim: map[string][]int64{}}
+	factVals := make([][]int64, len(factRefs))
+	dimVals := make([][]int64, len(dimRefs))
+	var dimGathers int64
+rows:
+	for j := 0; j < fs.DeltaLen(); j++ {
+		if fs.DeltaDeleted(j) {
+			continue
+		}
+		for k, f := range q.Filters {
+			if v := fs.DeltaValue(j, filterIdx[k]); v < f.Lo || v > f.Hi {
+				continue rows
+			}
+		}
+		var dimPos bat.OID
+		if q.Join != nil {
+			pos, ok := lookup(fs.DeltaValue(j, fkIdx))
+			if !ok || snap.dim.BaseDeleted(int(pos)) {
+				continue
+			}
+			for k, f := range q.Join.DimFilters {
+				if v := dimFilterCols[k][pos]; v < f.Lo || v > f.Hi {
+					continue rows
+				}
+			}
+			dimPos = pos
+			dimGathers++
+		}
+		for k, ref := range factRefs {
+			factVals[k] = append(factVals[k], fs.DeltaValue(j, ref.idx))
+		}
+		for k, ref := range dimRefs {
+			dimVals[k] = append(dimVals[k], ref.col[dimPos])
+		}
+		out.n++
+	}
+	for k, ref := range factRefs {
+		out.fact[ref.name] = factVals[k]
+	}
+	for k, ref := range dimRefs {
+		out.dim[ref.name] = dimVals[k]
+	}
+	if m != nil {
+		ops := int64(fs.DeltaLen()) * int64(1+len(q.Filters))
+		var gatherBytes int64
+		if dimGathers > 0 {
+			gatherBytes = dimGathers * 8 * int64(len(dimRefs)+len(dimFilterCols))
+		}
+		m.CPUWork(threads, fs.DeltaBytes()+int64(out.n)*8*int64(len(factRefs)), gatherBytes, ops)
+	}
+	return out, nil
+}
+
+// denseLookup builds an FK lookup from the dense primary-key assumption
+// the A&R join path already relies on (§IV-D): position = fk - pkBase.
+func denseLookup(pkBase int64, dimLen int) func(int64) (bat.OID, bool) {
+	return func(fk int64) (bat.OID, bool) {
+		pos := fk - pkBase
+		if pos < 0 || pos >= int64(dimLen) {
+			return 0, false
+		}
+		return bat.OID(pos), true
+	}
+}
+
+// appendDelta folds the delta values into the exact-value context so the
+// shared aggregation path sees one combined tuple set.
+func (ctx *exprCtx) appendDelta(d *deltaSet) {
+	if d == nil {
+		return
+	}
+	for name, vals := range d.fact {
+		ctx.fact[name] = append(ctx.fact[name], vals...)
+	}
+	for name, vals := range d.dim {
+		ctx.dim[name] = append(ctx.dim[name], vals...)
+	}
+	ctx.n += d.n
+}
+
+// maskDeletedOIDs drops the OIDs whose base row is deleted in the
+// snapshot, charging one bitmap-probe pass. It returns the input slice
+// when the snapshot has no deletions.
+func maskDeletedOIDs(m *device.Meter, threads int, s *store.Snapshot, ids []bat.OID) []bat.OID {
+	if s.BaseDeletedCount() == 0 {
+		return ids
+	}
+	out := ids[:0:0]
+	for _, id := range ids {
+		if !s.BaseDeleted(int(id)) {
+			out = append(out, id)
+		}
+	}
+	if m != nil {
+		m.CPUWork(threads, int64(len(ids))*8+int64(s.BaseLen()+7)/8, 0, int64(len(ids)))
+	}
+	return out
+}

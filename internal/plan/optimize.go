@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bwd"
+	"repro/internal/store"
 )
 
 // orderFilters implements the rule-based optimizer of §III-A: approximate
@@ -14,7 +15,7 @@ import (
 // is the relaxed code-range fraction of the column's code domain — derived
 // purely from the decomposition metadata (taken from the execution's
 // snapshot), no data statistics needed.
-func orderFilters(snap decSnapshot, table string, filters []Filter) []Filter {
+func orderFilters(snap *execSnap, table string, filters []Filter) []Filter {
 	type ranked struct {
 		f   Filter
 		sel float64
@@ -46,35 +47,84 @@ func estimateSelectivity(d *bwd.Column, f Filter) float64 {
 	}
 }
 
-// decSnapshot is the set of decompositions one A&R execution works
-// against, resolved from the catalog exactly once at query start. A&R
-// operators key candidate code columns on bwd.Column pointer identity, so
-// the approximate and refine phases must see the same pointer even if a
-// concurrent bwdecompose swaps the catalog entry mid-query.
-type decSnapshot map[string]*bwd.Column
+// execSnap is the set of table versions one query execution works against:
+// the fact (and optional dimension) store snapshot, pinned exactly once at
+// query start, plus the resolved decompositions of every column an A&R
+// plan touches. A&R operators key candidate code columns on bwd.Column
+// pointer identity, so the approximate and refine phases must see the same
+// pointer even if a concurrent merge or bwdecompose swaps the table
+// version mid-query — pinning the snapshot guarantees exactly that, and
+// makes the whole read snapshot isolated against concurrent DML.
+type execSnap struct {
+	fact *store.Snapshot
+	dim  *store.Snapshot // nil without a join
+	decs map[string]*bwd.Column
+}
 
-func (s decSnapshot) get(table, col string) *bwd.Column { return s[table+"."+col] }
+func (s *execSnap) get(table, col string) *bwd.Column { return s.decs[table+"."+col] }
+
+// snapFor returns the snapshot holding table's data (fact or dim).
+func (s *execSnap) snapFor(q *Query, table string) *store.Snapshot {
+	if q.Join != nil && table == q.Join.Dim {
+		return s.dim
+	}
+	return s.fact
+}
+
+// pinSnapshots resolves and pins the table versions the query reads,
+// without requiring decompositions (the classic executor's half of
+// validate). Joins require the dimension side to be delta-free: the FK
+// index and the join positions address the dimension base segment, so
+// freshly inserted dimension rows must be merged before they are joinable.
+func (q *Query) pinSnapshots(c *Catalog) (*execSnap, error) {
+	fact, err := c.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	snap := &execSnap{fact: fact.Snapshot(), decs: map[string]*bwd.Column{}}
+	if q.Join != nil {
+		dim, err := c.Table(q.Join.Dim)
+		if err != nil {
+			return nil, err
+		}
+		snap.dim = dim.Snapshot()
+		if snap.dim.DeltaLen() > 0 {
+			return nil, fmt.Errorf("plan: dimension table %s has unmerged delta rows; merge it before joining", q.Join.Dim)
+		}
+		if snap.dim.BaseLen() == 0 {
+			// Guard both executors: the A&R dense-PK arithmetic reads
+			// pk.Tail(0), and the classic path has no index to probe.
+			return nil, fmt.Errorf("plan: dimension table %s is empty; load it before joining", q.Join.Dim)
+		}
+	}
+	return snap, nil
+}
 
 // validate checks that the query references only known tables/columns and
 // that every column an A&R plan touches is decomposed, returning the
-// resolved decompositions as the execution's snapshot. One walk does both,
-// so validation and snapshot can never cover different column sets.
-func (q *Query) validate(c *Catalog) (decSnapshot, error) {
-	snap := decSnapshot{}
+// pinned snapshots and resolved decompositions as the execution's
+// snapshot. One walk does both, so validation and snapshot can never cover
+// different column sets.
+func (q *Query) validate(c *Catalog) (*execSnap, error) {
+	snap, err := q.pinSnapshots(c)
+	if err != nil {
+		return nil, err
+	}
 	add := func(table, col string) error {
 		key := table + "." + col
-		if _, done := snap[key]; done {
+		if _, done := snap.decs[key]; done {
 			return nil
 		}
-		d, err := c.Decomposition(table, col)
-		if err != nil {
-			return err
+		d := snap.snapFor(q, table).Dec(col)
+		if d == nil {
+			// Distinguish unknown columns from undecomposed ones.
+			if _, cerr := snap.snapFor(q, table).Column(col); cerr != nil {
+				return fmt.Errorf("plan: unknown column %s.%s", table, col)
+			}
+			return fmt.Errorf("plan: column %s.%s is not bitwise decomposed; call Decompose first", table, col)
 		}
-		snap[key] = d
+		snap.decs[key] = d
 		return nil
-	}
-	if _, err := c.Table(q.Table); err != nil {
-		return nil, err
 	}
 	for _, f := range q.Filters {
 		if err := add(q.Table, f.Col); err != nil {
@@ -88,9 +138,6 @@ func (q *Query) validate(c *Catalog) (decSnapshot, error) {
 	}
 	if q.Join != nil {
 		if err := add(q.Table, q.Join.FKCol); err != nil {
-			return nil, err
-		}
-		if _, err := c.Table(q.Join.Dim); err != nil {
 			return nil, err
 		}
 		for _, f := range q.Join.DimFilters {

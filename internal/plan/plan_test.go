@@ -409,15 +409,19 @@ func TestValidationErrors(t *testing.T) {
 		t.Error("empty query accepted")
 	}
 	// Undecomposed column in an A&R plan must error; classic must work.
-	tbl, _ := c.Table("fact")
+	c2 := NewCatalog(device.PaperSystem())
+	tbl := NewTable("fact")
 	if err := tbl.AddColumn("raw", bat.NewDense(make([]int64, 100), bat.Width32)); err != nil {
 		t.Fatal(err)
 	}
+	if err := c2.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
 	q := Query{Table: "fact", Filters: []Filter{{Col: "raw", Lo: 0, Hi: 1}}, Aggs: []AggSpec{{Name: "n", Func: Count}}}
-	if _, err := c.ExecAR(q, ExecOpts{}); err == nil {
+	if _, err := c2.ExecAR(q, ExecOpts{}); err == nil {
 		t.Error("undecomposed column accepted by A&R plan")
 	}
-	if _, err := c.ExecClassic(q, ExecOpts{}); err != nil {
+	if _, err := c2.ExecClassic(q, ExecOpts{}); err != nil {
 		t.Errorf("classic plan rejected undecomposed column: %v", err)
 	}
 }

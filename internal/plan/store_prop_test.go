@@ -1,0 +1,307 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/device"
+	"repro/internal/store"
+)
+
+// propCatalog builds a three-column decomposed fact table for the DML
+// property tests.
+func propCatalog(t *testing.T, n int, seed int64) *Catalog {
+	t.Helper()
+	c := NewCatalog(device.PaperSystem())
+	rng := rand.New(rand.NewSource(seed))
+	tbl := NewTable("fact")
+	for _, col := range []string{"v", "w", "g"} {
+		vals := make([]int64, n)
+		for i := range vals {
+			switch col {
+			case "g":
+				vals[i] = int64(rng.Intn(5))
+			default:
+				vals[i] = int64(rng.Intn(4096))
+			}
+		}
+		if err := tbl.AddColumn(col, bat.NewDense(vals, bat.Width32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	for col, bits := range map[string]uint{"v": 8, "w": 6, "g": 3} {
+		if _, err := c.Decompose("fact", col, bits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// propQueries is the query mix checked after every mutation: selections
+// (conjunctive, one-sided), grouping, and every aggregate function.
+func propQueries(rng *rand.Rand) []Query {
+	lo := int64(rng.Intn(4096))
+	hi := lo + int64(rng.Intn(2048))
+	wlo := int64(rng.Intn(4096))
+	return []Query{
+		{
+			Table:   "fact",
+			Filters: []Filter{{Col: "v", Lo: lo, Hi: hi}},
+			Aggs:    []AggSpec{{Name: "n", Func: Count}, {Name: "s", Func: Sum, Expr: Col("w")}},
+		},
+		{
+			Table:   "fact",
+			Filters: []Filter{{Col: "v", Lo: lo, Hi: hi}, {Col: "w", Lo: wlo, Hi: NoHi}},
+			Aggs: []AggSpec{
+				{Name: "mn", Func: Min, Expr: Col("w")},
+				{Name: "mx", Func: Max, Expr: Col("w")},
+				{Name: "av", Func: Avg, Expr: Add(Col("v"), Col("w"))},
+			},
+		},
+		{
+			Table:   "fact",
+			Filters: []Filter{{Col: "v", Lo: lo, Hi: hi}},
+			GroupBy: []string{"g"},
+			Aggs:    []AggSpec{{Name: "n", Func: Count}, {Name: "s", Func: Sum, Expr: MulScaled(Col("v"), Col("w"), 1)}},
+		},
+		{
+			Table:   "fact",
+			GroupBy: []string{"g"},
+			Aggs:    []AggSpec{{Name: "n", Func: Count}, {Name: "s", Func: Sum, Expr: Col("v")}},
+		},
+	}
+}
+
+// TestARMatchesClassicUnderDML is the property test: after every step of a
+// random interleaving of inserts, deletes and merges, the classic and A&R
+// executors must return identical results for a mix of selection, grouping
+// and aggregation queries.
+func TestARMatchesClassicUnderDML(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := propCatalog(t, 5000, seed)
+			rng := rand.New(rand.NewSource(seed * 100))
+			for step := 0; step < 40; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // insert a batch
+					rows := make([][]int64, 1+rng.Intn(50))
+					for i := range rows {
+						rows[i] = []int64{int64(rng.Intn(4096)), int64(rng.Intn(4096)), int64(rng.Intn(5))}
+					}
+					if _, err := c.InsertRows(nil, "fact", rows); err != nil {
+						t.Fatal(err)
+					}
+				case op < 8: // delete a range
+					lo := int64(rng.Intn(4096))
+					f := Filter{Col: "v", Lo: lo, Hi: lo + int64(rng.Intn(256))}
+					if _, err := c.DeleteRows(nil, "fact", []Filter{f}); err != nil {
+						t.Fatal(err)
+					}
+				default: // merge
+					if _, err := c.MergeTable(nil, "fact", false); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for qi, q := range propQueries(rng) {
+					ar, err := c.ExecAR(q, ExecOpts{})
+					if err != nil {
+						t.Fatalf("step %d query %d AR: %v", step, qi, err)
+					}
+					cl, err := c.ExecClassic(q, ExecOpts{})
+					if err != nil {
+						t.Fatalf("step %d query %d classic: %v", step, qi, err)
+					}
+					if !EqualResults(ar.Rows, cl.Rows) {
+						t.Fatalf("step %d query %d: A&R %v != classic %v", step, qi, ar.Rows, cl.Rows)
+					}
+					// The phase-A answer must bound the exact count.
+					exact := int64(ar.Refined)
+					if ar.Approx.Count.Lo > exact || ar.Approx.Count.Hi < exact {
+						t.Fatalf("step %d query %d: approx count %v excludes exact %d", step, qi, ar.Approx.Count, exact)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentDMLAndQueries races writers (inserts, deletes, merges)
+// against readers in both executor modes: every query must succeed against
+// a consistent pinned snapshot, returning a count within the feasible
+// range. Run with -race; this is the snapshot-isolation stress test.
+func TestConcurrentDMLAndQueries(t *testing.T) {
+	c := propCatalog(t, 2000, 42)
+	const maxExtra = 31 * 20
+	q := Query{
+		Table:   "fact",
+		Filters: []Filter{{Col: "v", Lo: 0, Hi: 4095}},
+		Aggs:    []AggSpec{{Name: "n", Func: Count}},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Writer: inserts, deletes, merges.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 30; i++ {
+			rows := make([][]int64, 20)
+			for r := range rows {
+				rows[r] = []int64{int64(rng.Intn(4096)), int64(rng.Intn(4096)), int64(rng.Intn(5))}
+			}
+			if _, err := c.InsertRows(nil, "fact", rows); err != nil {
+				errs <- err
+				return
+			}
+			if i%5 == 1 {
+				lo := int64(rng.Intn(4096))
+				if _, err := c.DeleteRows(nil, "fact", []Filter{{Col: "v", Lo: lo, Hi: lo + 64}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if i%7 == 3 {
+				if _, err := c.MergeTable(nil, "fact", false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	// Readers in both modes.
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		classic := r%2 == 0
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var res *Result
+				var err error
+				if classic {
+					res, err = c.ExecClassic(q, ExecOpts{})
+				} else {
+					res, err = c.ExecAR(q, ExecOpts{})
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := res.Rows[0].Vals[0]
+				if n < 0 || n > 2000+maxExtra {
+					errs <- fmt.Errorf("count %d outside feasible range", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestJoinWithDimDeletionsAndEmptyDim covers the dimension-side edge
+// cases: deleted dimension rows drop their joined fact rows identically in
+// both executors (bitmap-masked, no compaction), and joining an empty
+// dimension errors instead of panicking.
+func TestJoinWithDimDeletionsAndEmptyDim(t *testing.T) {
+	c := NewCatalog(device.PaperSystem())
+	fact := NewTable("fact")
+	n := 1000
+	fk := make([]int64, n)
+	v := make([]int64, n)
+	for i := range fk {
+		fk[i] = int64(i % 10)
+		v[i] = int64(i)
+	}
+	if err := fact.AddColumn("fk", bat.NewDense(fk, bat.Width32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fact.AddColumn("v", bat.NewDense(v, bat.Width32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(fact); err != nil {
+		t.Fatal(err)
+	}
+	dim := NewTable("dim")
+	ids := make([]int64, 10)
+	pay := make([]int64, 10)
+	for i := range ids {
+		ids[i] = int64(i)
+		pay[i] = int64(i) * 100
+	}
+	if err := dim.AddColumn("id", bat.NewDense(ids, bat.Width32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dim.AddColumn("pay", bat.NewDense(pay, bat.Width32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(dim); err != nil {
+		t.Fatal(err)
+	}
+	for col, bits := range map[string]uint{"fk": 4, "v": 8} {
+		if _, err := c.Decompose("fact", col, bits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Decompose("dim", "pay", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BuildFKIndex("dim", "id"); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Table:   "fact",
+		Filters: []Filter{{Col: "v", Lo: 0, Hi: 500}},
+		Join:    &JoinSpec{FKCol: "fk", Dim: "dim", DimPK: "id"},
+		Aggs:    []AggSpec{{Name: "n", Func: Count}, {Name: "s", Func: Sum, Expr: DimCol("pay")}},
+	}
+	before, err := c.ExecClassic(q, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeleteRows(nil, "dim", []Filter{{Col: "id", Lo: 3, Hi: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := c.ExecAR(q, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.ExecClassic(q, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualResults(ar.Rows, cl.Rows) {
+		t.Fatalf("after dim delete: A&R %v != classic %v", ar.Rows, cl.Rows)
+	}
+	if EqualResults(before.Rows, cl.Rows) {
+		t.Fatal("dim deletion had no effect on the join")
+	}
+	// Compacting the dimension would break the dense key; the merge must
+	// refuse rather than let the positional join silently mis-join.
+	if _, err := c.MergeTable(nil, "dim", false); err == nil {
+		t.Fatal("dimension merge compacted a dense key")
+	}
+
+	// Joining an empty dimension errors in both modes (no panic).
+	if _, err := c.CreateTable("empty", []store.ColumnDef{{Name: "id", Scale: 1, Width: bat.Width32}}); err != nil {
+		t.Fatal(err)
+	}
+	qe := q
+	qe.Join = &JoinSpec{FKCol: "fk", Dim: "empty", DimPK: "id"}
+	qe.Aggs = []AggSpec{{Name: "n", Func: Count}}
+	if _, err := c.ExecAR(qe, ExecOpts{}); err == nil {
+		t.Fatal("A&R join with empty dimension accepted")
+	}
+	if _, err := c.ExecClassic(qe, ExecOpts{}); err == nil {
+		t.Fatal("classic join with empty dimension accepted")
+	}
+}

@@ -14,8 +14,9 @@
 //
 //	\cost                toggle the per-query simulated cost report
 //	\mode [auto|ar|classic]   show or set the executor routing mode
-//	\tables              list tables and columns
-//	\stats               plan cache, scheduler, and meter totals
+//	\tables              list tables, segment sizes and columns
+//	\stats               plan cache, scheduler, store, and meter totals
+//	\merge [table]       force-merge delta segments into the base
 //	\prepare <name> <sql>     compile and store a statement
 //	\run <name> [params...]   execute a prepared statement
 //	\q                   close the connection

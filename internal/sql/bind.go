@@ -5,16 +5,23 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bat"
+	"repro/internal/device"
 	"repro/internal/plan"
+	"repro/internal/store"
 )
 
-// Bind resolves a parsed SELECT against the catalog into a plan.Query.
+// Bind resolves a parsed statement against the catalog into a plan.Query.
 // bwdecompose pseudo-queries are reported through the Decompose field of
-// the returned Binding instead.
+// the returned Binding; DML statements (INSERT / DELETE / CREATE TABLE)
+// through their spec fields.
 type Binding struct {
 	Query     plan.Query
 	Explain   bool
 	Decompose []DecomposeSpec // non-empty for bwdecompose statements
+	Insert    *InsertSpec
+	Delete    *DeleteSpec
+	Create    *CreateSpec
 }
 
 // DecomposeSpec is one bwdecompose(col, bits) request.
@@ -24,9 +31,68 @@ type DecomposeSpec struct {
 	Bits  uint
 }
 
+// InsertSpec is a bound INSERT: rows in table schema order, values already
+// aligned to each column's fixed-point scale.
+type InsertSpec struct {
+	Table string
+	Rows  [][]int64
+}
+
+// DeleteSpec is a bound DELETE: conjunctive range filters, scale-aligned.
+type DeleteSpec struct {
+	Table   string
+	Filters []plan.Filter
+}
+
+// CreateSpec is a bound CREATE TABLE.
+type CreateSpec struct {
+	Table string
+	Defs  []store.ColumnDef
+}
+
+// IsWrite reports whether executing the binding mutates catalog state
+// (bwdecompose or DML). Write bindings are executed inline by the
+// scheduler and never plan-cached.
+func (b *Binding) IsWrite() bool {
+	return len(b.Decompose) > 0 || b.Insert != nil || b.Delete != nil || b.Create != nil
+}
+
+// Tables returns the table names the binding depends on — the engine's
+// plan cache records their schema epochs to invalidate stale entries.
+func (b *Binding) Tables() []string {
+	switch {
+	case b.Insert != nil:
+		return []string{b.Insert.Table}
+	case b.Delete != nil:
+		return []string{b.Delete.Table}
+	case b.Create != nil:
+		return nil // creates its dependency; never cached anyway
+	case len(b.Decompose) > 0:
+		out := make([]string, 0, len(b.Decompose))
+		for _, d := range b.Decompose {
+			out = append(out, d.Table)
+		}
+		return out
+	default:
+		out := []string{b.Query.Table}
+		if b.Query.Join != nil {
+			out = append(out, b.Query.Join.Dim)
+		}
+		return out
+	}
+}
+
 // Bind validates names and shapes the statement into the engine's query
 // model.
 func Bind(stmt *Stmt, c *plan.Catalog) (*Binding, error) {
+	switch {
+	case stmt.Insert != nil:
+		return bindInsert(stmt.Insert, c)
+	case stmt.Delete != nil:
+		return bindDelete(stmt.Delete, c)
+	case stmt.Create != nil:
+		return bindCreate(stmt.Create, c)
+	}
 	sel := stmt.Select
 	b := &Binding{Explain: stmt.Explain}
 	if _, err := c.Table(sel.From); err != nil {
@@ -94,30 +160,9 @@ func Bind(stmt *Stmt, c *plan.Catalog) (*Binding, error) {
 		if dim {
 			tbl = dimTable
 		}
-		lo, err := alignScale(c, tbl, p.Col.Name, p.Lo, p.LoScale)
+		f, err := filterFromPred(c, tbl, p)
 		if err != nil {
 			return nil, err
-		}
-		hi, err := alignScale(c, tbl, p.Col.Name, p.Hi, p.HiScale)
-		if err != nil {
-			return nil, err
-		}
-		f := plan.Filter{Col: p.Col.Name}
-		switch p.Op {
-		case "=":
-			f.Lo, f.Hi = lo, lo
-		case "<":
-			f.Lo, f.Hi = plan.NoLo, lo-1
-		case "<=":
-			f.Lo, f.Hi = plan.NoLo, lo
-		case ">":
-			f.Lo, f.Hi = lo+1, plan.NoHi
-		case ">=":
-			f.Lo, f.Hi = lo, plan.NoHi
-		case "between":
-			f.Lo, f.Hi = lo, hi
-		default:
-			return nil, fmt.Errorf("sql: unsupported predicate %q", p.Op)
 		}
 		if dim {
 			q.Join.DimFilters = append(q.Join.DimFilters, f)
@@ -185,13 +230,140 @@ func Bind(stmt *Stmt, c *plan.Catalog) (*Binding, error) {
 	return b, nil
 }
 
+// filterFromPred canonicalizes one parsed predicate into a closed-range
+// plan.Filter, aligning decimal literals to the column's fixed-point scale.
+func filterFromPred(c *plan.Catalog, table string, p Pred) (plan.Filter, error) {
+	lo, err := alignScale(c, table, p.Col.Name, p.Lo, p.LoScale)
+	if err != nil {
+		return plan.Filter{}, err
+	}
+	hi, err := alignScale(c, table, p.Col.Name, p.Hi, p.HiScale)
+	if err != nil {
+		return plan.Filter{}, err
+	}
+	f := plan.Filter{Col: p.Col.Name}
+	switch p.Op {
+	case "=":
+		f.Lo, f.Hi = lo, lo
+	case "<":
+		f.Lo, f.Hi = plan.NoLo, lo-1
+	case "<=":
+		f.Lo, f.Hi = plan.NoLo, lo
+	case ">":
+		f.Lo, f.Hi = lo+1, plan.NoHi
+	case ">=":
+		f.Lo, f.Hi = lo, plan.NoHi
+	case "between":
+		f.Lo, f.Hi = lo, hi
+	default:
+		return plan.Filter{}, fmt.Errorf("sql: unsupported predicate %q", p.Op)
+	}
+	return f, nil
+}
+
+// bindInsert shapes a parsed INSERT into schema-order rows with every
+// literal aligned to its column's fixed-point scale. With an explicit
+// column list the values are re-ordered; every table column must be
+// covered (the engine has no NULLs).
+func bindInsert(ins *InsertStmt, c *plan.Catalog) (*Binding, error) {
+	t, err := c.Table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.ColumnNames()
+	order := make([]int, len(schema)) // schema index -> value index
+	if ins.Cols == nil {
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		if len(ins.Cols) != len(schema) {
+			return nil, fmt.Errorf("sql: insert into %s lists %d columns, table has %d (all columns are required)",
+				ins.Table, len(ins.Cols), len(schema))
+		}
+		pos := make(map[string]int, len(ins.Cols))
+		for vi, name := range ins.Cols {
+			if _, dup := pos[name]; dup {
+				return nil, fmt.Errorf("sql: insert into %s names column %s twice", ins.Table, name)
+			}
+			pos[name] = vi
+		}
+		for si, name := range schema {
+			vi, ok := pos[name]
+			if !ok {
+				return nil, fmt.Errorf("sql: insert into %s does not cover column %s", ins.Table, name)
+			}
+			order[si] = vi
+		}
+	}
+	// Per-column scales are constant across the statement: resolve them
+	// once, not per literal (INSERTs compile on every execution).
+	scales := make([]int64, len(schema))
+	for si, name := range schema {
+		if scales[si], err = t.ColumnScale(name); err != nil {
+			return nil, err
+		}
+	}
+	spec := &InsertSpec{Table: ins.Table, Rows: make([][]int64, 0, len(ins.Rows))}
+	for r, row := range ins.Rows {
+		if len(row) != len(schema) {
+			return nil, fmt.Errorf("sql: insert into %s: row %d has %d values, table has %d columns",
+				ins.Table, r+1, len(row), len(schema))
+		}
+		out := make([]int64, len(schema))
+		for si, name := range schema {
+			lit := row[order[si]]
+			v, ok := alignToScale(scales[si], lit.V, lit.Scale)
+			if !ok {
+				return nil, fmt.Errorf("sql: literal has more fractional digits than column %s.%s (scale %d)",
+					ins.Table, name, scales[si])
+			}
+			out[si] = v
+		}
+		spec.Rows = append(spec.Rows, out)
+	}
+	return &Binding{Insert: spec}, nil
+}
+
+// bindDelete lowers the (optional) WHERE conjunction into range filters.
+func bindDelete(del *DeleteStmt, c *plan.Catalog) (*Binding, error) {
+	if _, err := c.Table(del.Table); err != nil {
+		return nil, err
+	}
+	spec := &DeleteSpec{Table: del.Table}
+	for _, p := range del.Preds {
+		if p.Col.Table != "" && p.Col.Table != del.Table {
+			return nil, fmt.Errorf("sql: delete from %s cannot filter on %q", del.Table, p.Col.Table)
+		}
+		f, err := filterFromPred(c, del.Table, p)
+		if err != nil {
+			return nil, err
+		}
+		spec.Filters = append(spec.Filters, f)
+	}
+	return &Binding{Delete: spec}, nil
+}
+
+// bindCreate validates the column types via the store's shared type
+// mapping. Supported: int (scale 1) and decimalN (N fractional digits,
+// scale 10^N). Dictionary and date columns enter the catalog through the
+// CSV loader, which owns their encodings.
+func bindCreate(cr *CreateStmt, c *plan.Catalog) (*Binding, error) {
+	spec := &CreateSpec{Table: cr.Table}
+	for _, col := range cr.Cols {
+		scale, err := store.ParseTypeScale(col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("sql: column %s: %w", col.Name, err)
+		}
+		spec.Defs = append(spec.Defs, store.ColumnDef{Name: col.Name, Scale: scale, Width: bat.Width32})
+	}
+	return &Binding{Create: spec}, nil
+}
+
 // alignScale converts a literal parsed at litScale (10^fractional digits)
 // into the column's storage scale. A literal with more fractional digits
 // than the column stores is rejected.
 func alignScale(c *plan.Catalog, table, col string, v, litScale int64) (int64, error) {
-	if litScale <= 1 {
-		litScale = 1
-	}
 	t, err := c.Table(table)
 	if err != nil {
 		return 0, err
@@ -200,10 +372,24 @@ func alignScale(c *plan.Catalog, table, col string, v, litScale int64) (int64, e
 	if err != nil {
 		return 0, err
 	}
-	if litScale > colScale {
+	out, ok := alignToScale(colScale, v, litScale)
+	if !ok {
 		return 0, fmt.Errorf("sql: literal has more fractional digits than column %s.%s (scale %d)", table, col, colScale)
 	}
-	return v * (colScale / litScale), nil
+	return out, nil
+}
+
+// alignToScale is the scale arithmetic behind alignScale, for callers that
+// already resolved the column scale. ok is false when the literal carries
+// more fractional digits than the column stores.
+func alignToScale(colScale, v, litScale int64) (int64, bool) {
+	if litScale <= 1 {
+		litScale = 1
+	}
+	if litScale > colScale {
+		return 0, false
+	}
+	return v * (colScale / litScale), true
 }
 
 // bindArith lowers an AST expression into the plan expression model.
@@ -270,22 +456,52 @@ func Exec(c *plan.Catalog, b *Binding, opts plan.ExecOpts, classic bool) (*plan.
 	return ExecCtx(context.Background(), c, b, opts, classic)
 }
 
-// ExecCtx runs a compiled binding under ctx. bwdecompose statements apply
-// the decomposition and return nil; EXPLAIN returns a Result carrying only
-// the plan listing. Classic controls which executor runs the query (the
-// A&R executor by default, matching Run). Cancellation is cooperative —
-// the executors poll ctx between pipeline stages.
+// ExecCtx runs a compiled binding under ctx. bwdecompose and DML
+// statements mutate the store and return a Result whose Plan lines carry
+// the outcome message and whose Meter carries the simulated write cost
+// (including any implicit compaction); EXPLAIN returns a Result with
+// only the plan listing. Classic controls which executor runs the query
+// (the A&R executor by default, matching Run). Cancellation is cooperative
+// — the executors poll ctx between pipeline stages.
 //
 // Front-ends should not call this directly: internal/engine wraps it with
 // session routing, admission control and plan caching.
 func ExecCtx(ctx context.Context, c *plan.Catalog, b *Binding, opts plan.ExecOpts, classic bool) (*plan.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case b.Create != nil:
+		if _, err := c.CreateTable(b.Create.Table, b.Create.Defs); err != nil {
+			return nil, err
+		}
+		return &plan.Result{Plan: []string{fmt.Sprintf("created table %s (%d columns)", b.Create.Table, len(b.Create.Defs))}}, nil
+	case b.Insert != nil:
+		m := device.NewMeter(c.System())
+		n, err := c.InsertRows(m, b.Insert.Table, b.Insert.Rows)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Result{Meter: m, Plan: []string{fmt.Sprintf("inserted %d rows into %s", n, b.Insert.Table)}}, nil
+	case b.Delete != nil:
+		m := device.NewMeter(c.System())
+		n, err := c.DeleteRows(m, b.Delete.Table, b.Delete.Filters)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Result{Meter: m, Plan: []string{fmt.Sprintf("deleted %d rows from %s", n, b.Delete.Table)}}, nil
+	}
 	if len(b.Decompose) > 0 {
+		// Metered: a decompose over a table with delta rows or deletions
+		// compacts it first, and that merge's bus traffic must reach the
+		// caller's totals like any other write cost.
+		m := device.NewMeter(c.System())
 		for _, d := range b.Decompose {
-			if _, err := c.Decompose(d.Table, d.Col, d.Bits); err != nil {
+			if _, err := c.DecomposeMetered(m, d.Table, d.Col, d.Bits); err != nil {
 				return nil, err
 			}
 		}
-		return nil, nil
+		return &plan.Result{Meter: m, Plan: []string{"decomposed"}}, nil
 	}
 	var res *plan.Result
 	var err error

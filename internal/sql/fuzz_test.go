@@ -72,6 +72,13 @@ func FuzzParseNormalize(f *testing.F) {
 		"'unterminated",
 		"select 1e9 from t",
 		"$1 $2 $9",
+		"insert into t values (1, 2, 3.50), (-4, 5, 6)",
+		"insert into t (price, a, fk) values (1.25, 2, 3)",
+		"delete from t where a between 3 and 7 and price >= 1.50",
+		"delete from t",
+		"create table fresh (id int, amount decimal2)",
+		"insert into t values ()",
+		"create table broken (x blob)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

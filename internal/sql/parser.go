@@ -7,7 +7,13 @@ import (
 
 // AST types. The grammar (keywords case-insensitive):
 //
-//	stmt      := [EXPLAIN] select
+//	stmt      := [EXPLAIN] select | insert | delete | create
+//	insert    := INSERT INTO name ['(' name {, name} ')']
+//	             VALUES row {, row}
+//	row       := '(' literal {, literal} ')'
+//	delete    := DELETE FROM name [where]
+//	create    := CREATE TABLE name '(' name type {, name type} ')'
+//	type      := INT | DECIMAL<digits>   (decimal2 = 2 fractional digits)
 //	select    := SELECT item {, item} FROM name [join] [where] [groupby]
 //	item      := expr [AS name]
 //	join      := JOIN name ON qualcol = qualcol
@@ -24,10 +30,47 @@ import (
 //	qualcol   := name ['.' name]
 //	literal   := number (decimal literals scale by fractional digits)
 
-// Stmt is a parsed statement.
+// Stmt is a parsed statement: exactly one of the branch pointers is set.
 type Stmt struct {
 	Explain bool
 	Select  *SelectStmt
+	Insert  *InsertStmt
+	Delete  *DeleteStmt
+	Create  *CreateStmt
+}
+
+// InsertStmt is a parsed INSERT INTO ... VALUES. Cols is nil when the
+// column list is omitted (values in table schema order).
+type InsertStmt struct {
+	Table string
+	Cols  []string
+	Rows  [][]Lit
+}
+
+// Lit is a numeric literal with the decimal scale it was written at
+// (10^fractional digits; 1 for integers).
+type Lit struct {
+	V     int64
+	Scale int64
+}
+
+// DeleteStmt is a parsed DELETE FROM ... [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Preds []Pred
+}
+
+// CreateStmt is a parsed CREATE TABLE.
+type CreateStmt struct {
+	Table string
+	Cols  []CreateCol
+}
+
+// CreateCol is one column definition: the type is the raw identifier
+// ("int", "decimal2", ...), validated by the binder.
+type CreateCol struct {
+	Name string
+	Type string
 }
 
 // SelectStmt is a parsed SELECT.
@@ -104,15 +147,140 @@ func Parse(src string) (*Stmt, error) {
 	if p.acceptKeyword("EXPLAIN") {
 		stmt.Explain = true
 	}
-	sel, err := p.parseSelect()
-	if err != nil {
-		return nil, err
+	switch {
+	case !stmt.Explain && p.acceptKeyword("INSERT"):
+		if stmt.Insert, err = p.parseInsert(); err != nil {
+			return nil, err
+		}
+	case !stmt.Explain && p.acceptKeyword("DELETE"):
+		if stmt.Delete, err = p.parseDelete(); err != nil {
+			return nil, err
+		}
+	case !stmt.Explain && p.acceptKeyword("CREATE"):
+		if stmt.Create, err = p.parseCreate(); err != nil {
+			return nil, err
+		}
+	default:
+		if stmt.Select, err = p.parseSelect(); err != nil {
+			return nil, err
+		}
 	}
 	if !p.atEOF() {
 		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
 	}
-	stmt.Select = sel
 	return stmt, nil
+}
+
+// parseInsert parses the statement after the INSERT keyword.
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{}
+	var err error
+	if ins.Table, err = p.parseName(); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("(") {
+		for {
+			name, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, name)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Lit
+		for {
+			v, scale, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, Lit{V: v, Scale: scale})
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+// parseDelete parses the statement after the DELETE keyword.
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	del := &DeleteStmt{}
+	var err error
+	if del.Table, err = p.parseName(); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			del.Preds = append(del.Preds, *pred)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	return del, nil
+}
+
+// parseCreate parses the statement after the CREATE keyword.
+func (p *parser) parseCreate() (*CreateStmt, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	cr := &CreateStmt{}
+	var err error
+	if cr.Table, err = p.parseName(); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		cr.Cols = append(cr.Cols, CreateCol{Name: name, Type: typ})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return cr, nil
 }
 
 func (p *parser) peek() token { return p.toks[p.at] }

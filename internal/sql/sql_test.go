@@ -78,8 +78,11 @@ func mustRun(t *testing.T, c *plan.Catalog, src string) *plan.Result {
 func TestBWDecomposeStatement(t *testing.T) {
 	c := testCatalog(t)
 	res := mustRun(t, c, "select bwdecompose(l_shipdate, 24), bwdecompose(l_discount, 24) from lineitem")
-	if res != nil {
-		t.Fatal("bwdecompose should return no result")
+	if res == nil || res.Rows != nil || len(res.Plan) != 1 || res.Plan[0] != "decomposed" {
+		t.Fatalf("bwdecompose should return a rowless 'decomposed' result, got %+v", res)
+	}
+	if res.Meter == nil {
+		t.Fatal("bwdecompose result carries no meter (implicit compaction would go uncharged)")
 	}
 	if _, err := c.Decomposition("lineitem", "l_shipdate"); err != nil {
 		t.Fatalf("decomposition not applied: %v", err)
