@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -316,6 +317,72 @@ func BenchmarkEndToEndSpatial(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMorselScaling measures the wall-clock effect of morsel-parallel
+// execution on a grouped-aggregate scan (select g, count(*), sum(v),
+// min(v), max(v) ... group by g over 2M rows): the same classic plan runs
+// with threads=1, threads=4 and threads=NumCPU. The simulated meter moves
+// with the Threads setting by design (it always billed threads-way
+// parallelism); what this benchmark demonstrates is that since the morsel
+// executors, *wall-clock* follows it too. CI runs one iteration of each
+// sub-benchmark so the threads=1 vs threads=N ratio is recorded on every
+// push; on a multi-core machine threads=4 should be >=2x faster than
+// threads=1.
+func BenchmarkMorselScaling(b *testing.B) {
+	sys := device.PaperSystem()
+	c := plan.NewCatalog(sys)
+	rng := rand.New(rand.NewSource(17))
+	tbl := plan.NewTable("fact")
+	n := 2 << 20
+	g := make([]int64, n)
+	v := make([]int64, n)
+	for i := range g {
+		g[i] = int64(rng.Intn(100))
+		v[i] = int64(rng.Intn(1_000_000))
+	}
+	if err := tbl.AddColumn("g", bat.NewDense(g, bat.Width32)); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.AddColumn("v", bat.NewDense(v, bat.Width32)); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AddTable(tbl); err != nil {
+		b.Fatal(err)
+	}
+	q := plan.Query{
+		Table:   "fact",
+		Filters: []plan.Filter{{Col: "v", Lo: 0, Hi: 900_000}},
+		GroupBy: []string{"g"},
+		Aggs: []plan.AggSpec{
+			{Name: "n", Func: plan.Count},
+			{Name: "s", Func: plan.Sum, Expr: plan.Col("v")},
+			{Name: "mn", Func: plan.Min, Expr: plan.Col("v")},
+			{Name: "mx", Func: plan.Max, Expr: plan.Col("v")},
+		},
+	}
+	want, err := c.ExecClassic(q, plan.ExecOpts{Threads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	threadSet := []int{1, 4}
+	if ncpu := runtime.NumCPU(); ncpu != 4 && ncpu > 1 {
+		threadSet = append(threadSet, ncpu)
+	}
+	for _, threads := range threadSet {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			b.SetBytes(int64(n) * 8)
+			for i := 0; i < b.N; i++ {
+				res, err := c.ExecClassic(q, plan.ExecOpts{Threads: threads})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !plan.EqualResults(res.Rows, want.Rows) {
+					b.Fatalf("threads=%d changed the result", threads)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkIngestWhileQuery drives a concurrent INSERT stream against an

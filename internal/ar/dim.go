@@ -4,6 +4,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // Dimension-side operators: after a foreign-key join has mapped each fact
@@ -49,32 +50,46 @@ func SelectApproxAt(m *device.Meter, col *bwd.Column, r bwd.ApproxRange, in *Can
 // predicate is re-evaluated, and false positives are dropped from the
 // candidate set and the position list alike.
 func SelectRefineAt(m *device.Meter, threads int, col *bwd.Column, lo, hi int64, in *Candidates, at []bat.OID) (*Candidates, []bat.OID, []int64) {
+	return SelectRefineAtPar(par.Bill(threads), m, col, lo, hi, in, at)
+}
+
+// SelectRefineAtPar is the morsel-parallel SelectRefineAt: survivors
+// concatenate in morsel order, keeping candidate order and the position
+// list aligned exactly as the serial loop does.
+func SelectRefineAtPar(p par.P, m *device.Meter, col *bwd.Column, lo, hi int64, in *Candidates, at []bat.OID) (*Candidates, []bat.OID, []int64) {
 	codes := in.CodesFor(col)
 	if codes == nil {
 		panic("ar: SelectRefineAt on a dimension column without attached codes")
 	}
 	n := len(in.IDs)
-	keep := make([]int, 0, n)
-	outAt := make([]bat.OID, 0, n)
-	vals := make([]int64, 0, n)
-	for i := 0; i < n; i++ {
-		var r uint64
-		if col.Dec.ResBits > 0 {
-			r = col.Residual.Get(int(at[i]))
+	pairs := par.GatherOrdered(p, n, func(mlo, mhi int) []keepVal {
+		part := make([]keepVal, 0, mhi-mlo)
+		for i := mlo; i < mhi; i++ {
+			var r uint64
+			if col.Dec.ResBits > 0 {
+				r = col.Residual.Get(int(at[i]))
+			}
+			v := col.ReconstructFrom(codes[i], r)
+			if v >= lo && v <= hi {
+				part = append(part, keepVal{i, v})
+			}
 		}
-		v := col.ReconstructFrom(codes[i], r)
-		if v >= lo && v <= hi {
-			keep = append(keep, i)
-			outAt = append(outAt, at[i])
-			vals = append(vals, v)
-		}
+		return part
+	})
+	keep := make([]int, len(pairs))
+	outAt := make([]bat.OID, len(pairs))
+	vals := make([]int64, len(pairs))
+	for i, kv := range pairs {
+		keep[i] = kv.i
+		outAt[i] = at[kv.i]
+		vals[i] = kv.v
 	}
 	out := in.filterTo(keep)
 	if m != nil && col.Dec.ResBits > 0 {
 		// Fully resident dimension columns need no refinement (§IV-C).
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
 		seq := int64(n)*8 + packedBytes(n, col.Dec.ApproxBits) + resFetch + int64(len(keep))*12
-		m.CPUWork(threads, seq, 0, int64(n)*2)
+		m.CPUWork(p.NThreads(), seq, 0, int64(n)*2)
 	}
 	return out, outAt, vals
 }
@@ -84,24 +99,31 @@ func SelectRefineAt(m *device.Meter, threads int, col *bwd.Column, lo, hi int64,
 // position list `atRefined` (aligned with refined) instead of the
 // candidate IDs.
 func ProjectRefineAt(m *device.Meter, threads int, p *Projection, refined *Candidates, atRefined []bat.OID) ([]int64, error) {
-	pos, err := TranslucentJoinMetered(m, threads, p.Src.IDs, refined.IDs)
+	return ProjectRefineAtPar(par.Bill(threads), m, p, refined, atRefined)
+}
+
+// ProjectRefineAtPar is the morsel-parallel ProjectRefineAt.
+func ProjectRefineAtPar(pp par.P, m *device.Meter, p *Projection, refined *Candidates, atRefined []bat.OID) ([]int64, error) {
+	pos, err := TranslucentJoinMetered(m, pp.NThreads(), p.Src.IDs, refined.IDs)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]int64, len(refined.IDs))
 	col := p.Col
-	for i, aPos := range pos {
-		var r uint64
-		if col.Dec.ResBits > 0 {
-			r = col.Residual.Get(int(atRefined[i]))
+	pp.For(len(pos), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var r uint64
+			if col.Dec.ResBits > 0 {
+				r = col.Residual.Get(int(atRefined[i]))
+			}
+			out[i] = col.ReconstructFrom(p.Codes[pos[i]], r)
 		}
-		out[i] = col.ReconstructFrom(p.Codes[aPos], r)
-	}
+	})
 	if m != nil && col.Dec.ResBits > 0 {
 		n := len(refined.IDs)
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
 		seq := packedBytes(n, col.Dec.ApproxBits) + resFetch + int64(n)*8
-		m.CPUWork(threads, seq, 0, int64(n))
+		m.CPUWork(pp.NThreads(), seq, 0, int64(n))
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // Grouping is the result of an approximate (pre-)grouping (§IV-E): a dense
@@ -92,51 +93,131 @@ func (g *Grouping) Ship(m *device.Meter) {
 // observation that MonetDB's positional grouping representation cannot
 // profit from a physical pre-grouping.
 func GroupRefine(m *device.Meter, threads int, g *Grouping, refined *Candidates) (*bulk.Grouping, error) {
+	return GroupRefinePar(par.Bill(threads), m, g, refined)
+}
+
+// GroupRefinePar is the morsel-parallel GroupRefine: the exact-pre-grouping
+// path densifies surviving group IDs with block-partial first-appearance
+// remapping (identical order to the serial pass), and the decomposed path
+// reconstructs keys per-morsel before regrouping with the parallel GroupBy.
+func GroupRefinePar(p par.P, m *device.Meter, g *Grouping, refined *Candidates) (*bulk.Grouping, error) {
 	if g.Col.Dec.ResBits == 0 {
-		pos, err := TranslucentJoinMetered(m, threads, g.Src.IDs, refined.IDs)
+		pos, err := TranslucentJoinMetered(m, p.NThreads(), g.Src.IDs, refined.IDs)
 		if err != nil {
 			return nil, err
 		}
 		// Pass the exact pre-grouping through, dropping groups emptied by
 		// false-positive elimination.
-		remap := make([]int32, g.NGroups)
-		for i := range remap {
-			remap[i] = -1
-		}
-		ids := make([]uint32, len(pos))
-		var keys []int64
-		for i, p := range pos {
-			old := g.IDs[p]
-			if remap[old] < 0 {
-				remap[old] = int32(len(keys))
-				keys = append(keys, g.Col.Dec.Base+int64(g.Codes[old]))
+		old := make([]uint32, len(pos))
+		p.For(len(pos), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				old[i] = g.IDs[pos[i]]
 			}
-			ids[i] = uint32(remap[old])
+		})
+		ids, order := remapFirstAppearance(p, old, g.NGroups)
+		keys := make([]int64, len(order))
+		for newID, oldID := range order {
+			keys[newID] = g.Col.Dec.Base + int64(g.Codes[oldID])
 		}
 		if m != nil {
-			m.CPUWork(threads, int64(len(pos))*8, 0, int64(len(pos)))
+			m.CPUWork(p.NThreads(), int64(len(pos))*8, 0, int64(len(pos)))
 		}
 		return &bulk.Grouping{IDs: ids, NGroups: len(keys), Keys: keys}, nil
 	}
 	// Decomposed grouping column: re-derive each surviving tuple's exact
 	// key from the pre-grouping's code (translucent join back into the
 	// candidate alignment) and the host-resident residual, then regroup.
-	pos, err := TranslucentJoinMetered(m, threads, g.Src.IDs, refined.IDs)
+	pos, err := TranslucentJoinMetered(m, p.NThreads(), g.Src.IDs, refined.IDs)
 	if err != nil {
 		return nil, err
 	}
 	vals := make([]int64, len(pos))
-	for i, p := range pos {
-		code := g.Codes[g.IDs[p]]
-		var r uint64
-		if g.Col.Dec.ResBits > 0 {
-			r = g.Col.Residual.Get(int(refined.IDs[i]))
+	p.For(len(pos), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			code := g.Codes[g.IDs[pos[i]]]
+			var r uint64
+			if g.Col.Dec.ResBits > 0 {
+				r = g.Col.Residual.Get(int(refined.IDs[i]))
+			}
+			vals[i] = g.Col.ReconstructFrom(code, r)
 		}
-		vals[i] = g.Col.ReconstructFrom(code, r)
-	}
+	})
 	if m != nil {
-		m.CPUWork(threads, int64(len(pos))*12,
+		m.CPUWork(p.NThreads(), int64(len(pos))*12,
 			int64(len(pos))*residualBytes(g.Col.Dec.ResBits), int64(len(pos)))
 	}
-	return bulk.GroupBy(m, threads, vals), nil
+	return bulk.GroupByPar(p, m, vals), nil
+}
+
+// remapFirstAppearance densifies a stream of old group IDs (dense in
+// [0,nOld)) into new IDs assigned in order of first appearance, exactly as
+// a serial left-to-right scan would. Each worker records the appearance
+// order within its contiguous block; merging the block lists left to right
+// yields the global order, so the result is identical for every worker
+// count. order maps new ID -> old ID.
+func remapFirstAppearance(p par.P, old []uint32, nOld int) (ids []uint32, order []uint32) {
+	ids = make([]uint32, len(old))
+	if p.NWorkers() <= 1 || len(old) < 1024 {
+		remap := make([]int32, nOld)
+		for i := range remap {
+			remap[i] = -1
+		}
+		for i, o := range old {
+			if remap[o] < 0 {
+				remap[o] = int32(len(order))
+				order = append(order, o)
+			}
+			ids[i] = uint32(remap[o])
+		}
+		return ids, order
+	}
+	blocks := p.Blocks(len(old))
+	type partial struct {
+		seen   []int32 // old id -> local id, -1 when unseen
+		firsts []uint32
+	}
+	parts := make([]partial, len(blocks))
+	par.RunBlocks(p, len(old), func(b, lo, hi int) {
+		pt := &parts[b]
+		if pt.seen == nil {
+			pt.seen = make([]int32, nOld)
+			for i := range pt.seen {
+				pt.seen[i] = -1
+			}
+		}
+		for i := lo; i < hi; i++ {
+			o := old[i]
+			if pt.seen[o] < 0 {
+				pt.seen[o] = int32(len(pt.firsts))
+				pt.firsts = append(pt.firsts, o)
+			}
+			ids[i] = uint32(pt.seen[o])
+		}
+	})
+	global := make([]int32, nOld)
+	for i := range global {
+		global[i] = -1
+	}
+	remap := make([][]uint32, len(blocks))
+	for b := range parts {
+		remap[b] = make([]uint32, len(parts[b].firsts))
+		for localID, o := range parts[b].firsts {
+			if global[o] < 0 {
+				global[o] = int32(len(order))
+				order = append(order, o)
+			}
+			remap[b][localID] = uint32(global[o])
+		}
+	}
+	size := blocks[0].Hi - blocks[0].Lo
+	p.For(len(old), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := i / size
+			if b >= len(blocks) {
+				b = len(blocks) - 1
+			}
+			ids[i] = remap[b][ids[i]]
+		}
+	})
+	return ids, order
 }

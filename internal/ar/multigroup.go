@@ -4,6 +4,7 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // MultiGrouping is the device-side pre-grouping over several columns at
@@ -105,7 +106,17 @@ func (g *MultiGrouping) Ship(m *device.Meter) {
 // Otherwise exact keys are re-derived from shipped codes and host
 // residuals and the CPU regroups.
 func GroupRefineMulti(m *device.Meter, threads int, g *MultiGrouping, refined *Candidates) (*bulk.Grouping, [][]int64, error) {
-	pos, err := TranslucentJoinMetered(m, threads, g.Src.IDs, refined.IDs)
+	return GroupRefineMultiPar(par.Bill(threads), m, g, refined)
+}
+
+// GroupRefineMultiPar is the morsel-parallel GroupRefineMulti: the
+// exact-pre-grouping path densifies surviving group IDs with the shared
+// block-partial first-appearance remap, and the decomposed path
+// reconstructs key tuples per-morsel and regroups with the parallel
+// multi-column grouping (charged here, not by the grouping kernel, so the
+// simulated cost is unchanged).
+func GroupRefineMultiPar(p par.P, m *device.Meter, g *MultiGrouping, refined *Candidates) (*bulk.Grouping, [][]int64, error) {
+	pos, err := TranslucentJoinMetered(m, p.NThreads(), g.Src.IDs, refined.IDs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -119,31 +130,22 @@ func GroupRefineMulti(m *device.Meter, threads int, g *MultiGrouping, refined *C
 	if exactPre {
 		// Pass the pre-grouping through, dropping groups that lost all
 		// their tuples to false-positive elimination.
-		remap := make([]int32, g.NGroups)
-		for i := range remap {
-			remap[i] = -1
-		}
-		ids := make([]uint32, len(pos))
-		next := uint32(0)
-		var used []uint32
-		for i, p := range pos {
-			old := g.IDs[p]
-			if remap[old] < 0 {
-				remap[old] = int32(next)
-				used = append(used, old)
-				next++
+		old := make([]uint32, len(pos))
+		p.For(len(pos), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				old[i] = g.IDs[pos[i]]
 			}
-			ids[i] = uint32(remap[old])
-		}
+		})
+		ids, used := remapFirstAppearance(p, old, g.NGroups)
 		keys := make([][]int64, len(g.Cols))
 		for k, col := range g.Cols {
 			keys[k] = make([]int64, len(used))
-			for newID, old := range used {
-				keys[k][newID] = col.Dec.Base + int64(g.Codes[k][old])
+			for newID, oldID := range used {
+				keys[k][newID] = col.Dec.Base + int64(g.Codes[k][oldID])
 			}
 		}
 		if m != nil {
-			m.CPUWork(threads, int64(len(pos))*8, 0, int64(len(pos)))
+			m.CPUWork(p.NThreads(), int64(len(pos))*8, 0, int64(len(pos)))
 		}
 		return &bulk.Grouping{IDs: ids, NGroups: len(used), Keys: nil}, keys, nil
 	}
@@ -153,49 +155,26 @@ func GroupRefineMulti(m *device.Meter, threads int, g *MultiGrouping, refined *C
 	exact := make([][]int64, len(g.Cols))
 	for k, col := range g.Cols {
 		exact[k] = make([]int64, n)
-		for i, p := range pos {
-			code := g.Codes[k][g.IDs[p]]
-			var r uint64
-			if col.Dec.ResBits > 0 {
-				r = col.Residual.Get(int(refined.IDs[i]))
+		ek := exact[k]
+		p.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				code := g.Codes[k][g.IDs[pos[i]]]
+				var r uint64
+				if col.Dec.ResBits > 0 {
+					r = col.Residual.Get(int(refined.IDs[i]))
+				}
+				ek[i] = col.ReconstructFrom(code, r)
 			}
-			exact[k][i] = col.ReconstructFrom(code, r)
-		}
+		})
 		if m != nil {
-			m.CPUWork(threads, int64(n)*8, int64(n)*residualBytes(col.Dec.ResBits), int64(n))
+			m.CPUWork(p.NThreads(), int64(n)*8, int64(n)*residualBytes(col.Dec.ResBits), int64(n))
 		}
 	}
-	// Hash the exact tuples.
-	type slot struct{ id uint32 }
-	idx := make(map[string]slot, 64)
-	ids := make([]uint32, n)
-	var order []int
-	keyBuf := make([]byte, 0, len(g.Cols)*8)
-	for i := 0; i < n; i++ {
-		keyBuf = keyBuf[:0]
-		for k := range g.Cols {
-			v := uint64(exact[k][i])
-			for s := 0; s < 8; s++ {
-				keyBuf = append(keyBuf, byte(v>>(8*s)))
-			}
-		}
-		s, ok := idx[string(keyBuf)]
-		if !ok {
-			s = slot{id: uint32(len(order))}
-			idx[string(keyBuf)] = s
-			order = append(order, i)
-		}
-		ids[i] = s.id
-	}
-	keys := make([][]int64, len(g.Cols))
-	for k := range g.Cols {
-		keys[k] = make([]int64, len(order))
-		for gi, first := range order {
-			keys[k][gi] = exact[k][first]
-		}
-	}
+	// Hash the exact tuples (unmetered kernel; charged below with the
+	// historical group-refinement formula).
+	grouping, keys := bulk.GroupByMultiPar(p, nil, exact)
 	if m != nil {
-		m.CPUWork(threads, int64(n)*8*int64(len(g.Cols)), 0, int64(n)*bulk.OpsHashGroup)
+		m.CPUWork(p.NThreads(), int64(n)*8*int64(len(g.Cols)), 0, int64(n)*bulk.OpsHashGroup)
 	}
-	return &bulk.Grouping{IDs: ids, NGroups: len(order), Keys: nil}, keys, nil
+	return grouping, keys, nil
 }

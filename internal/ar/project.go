@@ -5,6 +5,7 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // Projection is the output of an approximate projection: the approximation
@@ -50,9 +51,11 @@ func (p *Projection) Ship(m *device.Meter) {
 // (§IV-A item 2).
 func ProjectApprox(m *device.Meter, col *bwd.Column, cands *Candidates) *Projection {
 	codes := make([]uint64, len(cands.IDs))
-	for i, id := range cands.IDs {
-		codes[i] = col.Approx.Get(int(id))
-	}
+	par.For(len(cands.IDs), gpuChunk, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			codes[i] = col.Approx.Get(int(cands.IDs[i]))
+		}
+	})
 	if m != nil {
 		n := len(cands.IDs)
 		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits)
@@ -69,9 +72,11 @@ func ProjectApprox(m *device.Meter, col *bwd.Column, cands *Candidates) *Project
 // column "via" the join shares this code path.
 func ProjectApproxAt(m *device.Meter, col *bwd.Column, cands *Candidates, at []bat.OID) *Projection {
 	codes := make([]uint64, len(at))
-	for i, pos := range at {
-		codes[i] = col.Approx.Get(int(pos))
-	}
+	par.For(len(at), gpuChunk, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			codes[i] = col.Approx.Get(int(at[i]))
+		}
+	})
 	if m != nil {
 		n := len(at)
 		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits)
@@ -89,29 +94,41 @@ func ProjectApproxAt(m *device.Meter, col *bwd.Column, cands *Candidates, at []b
 // refinement guarantees); otherwise ErrTranslucentPrecondition is
 // returned.
 func ProjectRefine(m *device.Meter, threads int, p *Projection, refined *Candidates) ([]int64, error) {
+	return ProjectRefinePar(par.Bill(threads), m, p, refined)
+}
+
+// ProjectRefinePar is the morsel-parallel ProjectRefine: the translucent
+// join stays a sequential merge pass (its cursor is inherently serial), the
+// residual lookups and reconstructions fan out over morsels with disjoint
+// output writes.
+func ProjectRefinePar(pp par.P, m *device.Meter, p *Projection, refined *Candidates) ([]int64, error) {
 	if p.Exact() && len(refined.IDs) == len(p.Src.IDs) {
 		// §IV-C: all bits of the projected attribute are device resident
 		// and no candidates were eliminated — the shipped codes already
 		// are the exact result (a view, no refinement operator runs).
 		out := make([]int64, len(p.Codes))
-		for i := range out {
-			out[i] = p.ApproxLow(i)
-		}
+		pp.For(len(out), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = p.ApproxLow(i)
+			}
+		})
 		return out, nil
 	}
-	pos, err := TranslucentJoinMetered(m, threads, p.Src.IDs, refined.IDs)
+	pos, err := TranslucentJoinMetered(m, pp.NThreads(), p.Src.IDs, refined.IDs)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]int64, len(refined.IDs))
 	col := p.Col
-	for i, aPos := range pos {
-		var r uint64
-		if col.Dec.ResBits > 0 {
-			r = col.Residual.Get(int(refined.IDs[i]))
+	pp.For(len(pos), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var r uint64
+			if col.Dec.ResBits > 0 {
+				r = col.Residual.Get(int(refined.IDs[i]))
+			}
+			out[i] = col.ReconstructFrom(p.Codes[pos[i]], r)
 		}
-		out[i] = col.ReconstructFrom(p.Codes[aPos], r)
-	}
+	})
 	if m != nil {
 		// Reads: refined IDs (32-bit), shipped codes, residuals (at
 		// candidate order); writes: reconstructed values at the column's
@@ -119,7 +136,7 @@ func ProjectRefine(m *device.Meter, threads int, p *Projection, refined *Candida
 		n := len(refined.IDs)
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
 		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits) + resFetch + int64(n)*int64(col.Dec.Width)
-		m.CPUWork(threads, seq, 0, int64(n))
+		m.CPUWork(pp.NThreads(), seq, 0, int64(n))
 	}
 	return out, nil
 }

@@ -107,25 +107,46 @@ func SelectApproxOver(m *device.Meter, col *bwd.Column, r bwd.ApproxRange, in *C
 // The exact values of col for the surviving candidates are returned
 // alongside.
 func SelectRefine(m *device.Meter, threads int, col *bwd.Column, lo, hi int64, in *Candidates) (*Candidates, []int64) {
+	return SelectRefinePar(par.Bill(threads), m, col, lo, hi, in)
+}
+
+// keepVal pairs a surviving candidate position with its reconstructed
+// exact value, so one ordered morsel gather keeps both aligned.
+type keepVal struct {
+	i int
+	v int64
+}
+
+// SelectRefinePar is the morsel-parallel SelectRefine: morsels reconstruct
+// and re-evaluate independently, and their survivors concatenate in morsel
+// order, preserving candidate order exactly like the serial loop.
+func SelectRefinePar(p par.P, m *device.Meter, col *bwd.Column, lo, hi int64, in *Candidates) (*Candidates, []int64) {
 	codes := in.CodesFor(col)
 	if codes == nil {
 		panic("ar: SelectRefine on a column that was never approximated over these candidates")
 	}
 	n := len(in.IDs)
-	keep := make([]int, 0, n)
-	vals := make([]int64, 0, n)
 	res := col.Residual
 	resBits := col.Dec.ResBits
-	for i := 0; i < n; i++ {
-		var r uint64
-		if resBits > 0 {
-			r = res.Get(int(in.IDs[i]))
+	pairs := par.GatherOrdered(p, n, func(mlo, mhi int) []keepVal {
+		part := make([]keepVal, 0, mhi-mlo)
+		for i := mlo; i < mhi; i++ {
+			var r uint64
+			if resBits > 0 {
+				r = res.Get(int(in.IDs[i]))
+			}
+			v := col.ReconstructFrom(codes[i], r)
+			if v >= lo && v <= hi {
+				part = append(part, keepVal{i, v})
+			}
 		}
-		v := col.ReconstructFrom(codes[i], r)
-		if v >= lo && v <= hi {
-			keep = append(keep, i)
-			vals = append(vals, v)
-		}
+		return part
+	})
+	keep := make([]int, len(pairs))
+	vals := make([]int64, len(pairs))
+	for i, kv := range pairs {
+		keep[i] = kv.i
+		vals[i] = kv.v
 	}
 	out := in.filterTo(keep)
 	if m != nil && resBits > 0 {
@@ -137,7 +158,7 @@ func SelectRefine(m *device.Meter, threads int, col *bwd.Column, lo, hi int64, i
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(resBits), col.Residual.Bytes())
 		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits) +
 			resFetch + int64(len(keep))*4
-		m.CPUWork(threads, seq, 0, int64(n)*2)
+		m.CPUWork(p.NThreads(), seq, 0, int64(n)*2)
 	}
 	return out, vals
 }
@@ -146,23 +167,31 @@ func SelectRefine(m *device.Meter, threads int, col *bwd.Column, lo, hi int64, i
 // without filtering: the degenerate "selection refinement without a
 // predicate" the paper equates with projection refinement (§IV-C).
 func ReconstructAll(m *device.Meter, threads int, col *bwd.Column, in *Candidates) []int64 {
+	return ReconstructAllPar(par.Bill(threads), m, col, in)
+}
+
+// ReconstructAllPar is the morsel-parallel ReconstructAll: every worker
+// writes a disjoint slice of the output, so alignment is free.
+func ReconstructAllPar(p par.P, m *device.Meter, col *bwd.Column, in *Candidates) []int64 {
 	codes := in.CodesFor(col)
 	if codes == nil {
 		panic("ar: ReconstructAll on a column without attached codes")
 	}
 	n := len(in.IDs)
 	vals := make([]int64, n)
-	for i := 0; i < n; i++ {
-		var r uint64
-		if col.Dec.ResBits > 0 {
-			r = col.Residual.Get(int(in.IDs[i]))
+	p.For(n, func(mlo, mhi int) {
+		for i := mlo; i < mhi; i++ {
+			var r uint64
+			if col.Dec.ResBits > 0 {
+				r = col.Residual.Get(int(in.IDs[i]))
+			}
+			vals[i] = col.ReconstructFrom(codes[i], r)
 		}
-		vals[i] = col.ReconstructFrom(codes[i], r)
-	}
+	})
 	if m != nil && col.Dec.ResBits > 0 {
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
 		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits) + resFetch + int64(n)*8
-		m.CPUWork(threads, seq, 0, int64(n))
+		m.CPUWork(p.NThreads(), seq, 0, int64(n))
 	}
 	return vals
 }

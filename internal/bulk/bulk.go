@@ -12,11 +12,25 @@
 // operator charges its simulated cost (bytes scanned/gathered/written and
 // tuple-ops executed) against the CPU device with the given thread count.
 // A nil meter executes without cost accounting.
+//
+// Each operator exists in two forms: the classic signature taking a plain
+// thread count, which executes serially (the historical behaviour, used by
+// loaders, examples and as ground truth in tests), and a ...Par form taking
+// a par.P that executes morsel-parallel with the P's real worker budget
+// while charging the meter for P's simulated thread count. The two forms
+// share one implementation and produce byte-identical results: selections
+// concatenate morsel outputs in morsel order, and grouping/aggregation
+// build per-worker partial states over contiguous blocks that merge in
+// block order, preserving first-appearance group order exactly.
 package bulk
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/bat"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // Per-tuple op weights used for compute-cost charging. A plain comparison
@@ -40,19 +54,48 @@ const (
 // difference is part of the design.)
 const oidBytes = 8
 
+// parallelMin is the input size below which the ...Par kernels fall back to
+// the serial loop even with a multi-worker budget: goroutine fan-out on a
+// few thousand rows costs more than it saves. Results are identical either
+// way; this is purely a scheduling decision.
+const parallelMin = 1 << 10
+
+// serial reports whether p should run the serial loop for n rows.
+func serial(p par.P, n int) bool {
+	return p.NWorkers() <= 1 || (n < parallelMin && p.Chunk <= 0)
+}
+
 // SelectRange returns the positions of b whose value v satisfies
 // lo <= v <= hi, in input order (the bulk selection is order-preserving,
 // §IV-A item 2). This is MonetDB's uselect.
 func SelectRange(m *device.Meter, threads int, b *bat.BAT, lo, hi int64) []bat.OID {
+	return SelectRangePar(par.Bill(threads), m, b, lo, hi)
+}
+
+// SelectRangePar is the morsel-parallel SelectRange.
+func SelectRangePar(p par.P, m *device.Meter, b *bat.BAT, lo, hi int64) []bat.OID {
 	tails := b.Tails()
-	out := make([]bat.OID, 0, len(tails)/4)
-	for i, v := range tails {
-		if v >= lo && v <= hi {
-			out = append(out, bat.OID(i))
+	var out []bat.OID
+	if serial(p, len(tails)) {
+		out = make([]bat.OID, 0, len(tails)/4)
+		for i, v := range tails {
+			if v >= lo && v <= hi {
+				out = append(out, bat.OID(i))
+			}
 		}
+	} else {
+		out = par.GatherOrdered(p, len(tails), func(mlo, mhi int) []bat.OID {
+			part := make([]bat.OID, 0, (mhi-mlo)/4)
+			for i := mlo; i < mhi; i++ {
+				if v := tails[i]; v >= lo && v <= hi {
+					part = append(part, bat.OID(i))
+				}
+			}
+			return part
+		})
 	}
 	if m != nil {
-		m.CPUWork(threads,
+		m.CPUWork(p.NThreads(),
 			b.TailBytes()+int64(len(out))*oidBytes, 0,
 			int64(len(tails))*OpsSelect)
 	}
@@ -63,16 +106,34 @@ func SelectRange(m *device.Meter, threads int, b *bat.BAT, lo, hi int64) []bat.O
 // ids whose value in b satisfies lo <= v <= hi, preserving candidate order.
 // Access to b is positional (gather).
 func SelectOIDs(m *device.Meter, threads int, b *bat.BAT, ids []bat.OID, lo, hi int64) []bat.OID {
+	return SelectOIDsPar(par.Bill(threads), m, b, ids, lo, hi)
+}
+
+// SelectOIDsPar is the morsel-parallel SelectOIDs.
+func SelectOIDsPar(p par.P, m *device.Meter, b *bat.BAT, ids []bat.OID, lo, hi int64) []bat.OID {
 	tails := b.Tails()
-	out := make([]bat.OID, 0, len(ids)/2)
-	for _, id := range ids {
-		if v := tails[id]; v >= lo && v <= hi {
-			out = append(out, id)
+	var out []bat.OID
+	if serial(p, len(ids)) {
+		out = make([]bat.OID, 0, len(ids)/2)
+		for _, id := range ids {
+			if v := tails[id]; v >= lo && v <= hi {
+				out = append(out, id)
+			}
 		}
+	} else {
+		out = par.GatherOrdered(p, len(ids), func(mlo, mhi int) []bat.OID {
+			part := make([]bat.OID, 0, (mhi-mlo)/2)
+			for _, id := range ids[mlo:mhi] {
+				if v := tails[id]; v >= lo && v <= hi {
+					part = append(part, id)
+				}
+			}
+			return part
+		})
 	}
 	if m != nil {
 		gather := device.RandomFetchBytes(int64(len(ids)), int64(b.Width()), b.TailBytes())
-		m.CPUWork(threads,
+		m.CPUWork(p.NThreads(),
 			int64(len(ids))*oidBytes+int64(len(out))*oidBytes+gather,
 			0,
 			int64(len(ids))*OpsSelect)
@@ -84,14 +145,28 @@ func SelectOIDs(m *device.Meter, threads int, b *bat.BAT, ids []bat.OID, lo, hi 
 // given positions, aligned with ids. This is how late-materializing
 // column stores implement projections (§IV-C).
 func Fetch(m *device.Meter, threads int, b *bat.BAT, ids []bat.OID) []int64 {
+	return FetchPar(par.Bill(threads), m, b, ids)
+}
+
+// FetchPar is the morsel-parallel Fetch: each worker writes a disjoint
+// slice of the output, so candidate alignment is preserved for free.
+func FetchPar(p par.P, m *device.Meter, b *bat.BAT, ids []bat.OID) []int64 {
 	tails := b.Tails()
 	out := make([]int64, len(ids))
-	for i, id := range ids {
-		out[i] = tails[id]
+	if serial(p, len(ids)) {
+		for i, id := range ids {
+			out[i] = tails[id]
+		}
+	} else {
+		p.For(len(ids), func(mlo, mhi int) {
+			for i := mlo; i < mhi; i++ {
+				out[i] = tails[ids[i]]
+			}
+		})
 	}
 	if m != nil {
 		gather := device.RandomFetchBytes(int64(len(ids)), int64(b.Width()), b.TailBytes())
-		m.CPUWork(threads,
+		m.CPUWork(p.NThreads(),
 			int64(len(ids))*oidBytes+int64(len(out))*int64(b.Width())+gather,
 			0,
 			int64(len(ids))*OpsFetch)
@@ -111,95 +186,316 @@ type Grouping struct {
 // GroupBy hash-groups the given keys, assigning dense group IDs in order
 // of first appearance.
 func GroupBy(m *device.Meter, threads int, keys []int64) *Grouping {
-	idx := make(map[int64]uint32, 64)
-	ids := make([]uint32, len(keys))
-	var uniq []int64
-	for i, k := range keys {
-		g, ok := idx[k]
-		if !ok {
-			g = uint32(len(uniq))
-			idx[k] = g
-			uniq = append(uniq, k)
+	return GroupByPar(par.Bill(threads), m, keys)
+}
+
+// GroupByPar is the morsel-parallel GroupBy: each worker hash-groups one
+// contiguous block into a partial grouping, the partials merge in block
+// order (so global group IDs follow global first appearance, exactly as
+// the serial loop assigns them), and the per-position ID rewrite runs
+// parallel again.
+func GroupByPar(p par.P, m *device.Meter, keys []int64) *Grouping {
+	var g *Grouping
+	if serial(p, len(keys)) {
+		idx := make(map[int64]uint32, 64)
+		ids := make([]uint32, len(keys))
+		var uniq []int64
+		for i, k := range keys {
+			gid, ok := idx[k]
+			if !ok {
+				gid = uint32(len(uniq))
+				idx[k] = gid
+				uniq = append(uniq, k)
+			}
+			ids[i] = gid
 		}
-		ids[i] = g
+		g = &Grouping{IDs: ids, NGroups: len(uniq), Keys: uniq}
+	} else {
+		g = groupByBlocks(p, keys)
 	}
 	if m != nil {
-		m.CPUWork(threads,
-			int64(len(keys))*8+int64(len(ids))*4, 0,
+		m.CPUWork(p.NThreads(),
+			int64(len(keys))*8+int64(len(g.IDs))*4, 0,
 			int64(len(keys))*OpsHashGroup)
 	}
+	return g
+}
+
+// groupByBlocks is the partial-state grouping core shared by GroupByPar.
+func groupByBlocks(p par.P, keys []int64) *Grouping {
+	blocks := p.Blocks(len(keys))
+	type partial struct {
+		idx  map[int64]uint32
+		uniq []int64
+	}
+	parts := make([]partial, len(blocks))
+	ids := make([]uint32, len(keys)) // block-local ids first, rewritten below
+	par.RunBlocks(p, len(keys), func(b, lo, hi int) {
+		pt := &parts[b]
+		if pt.idx == nil {
+			pt.idx = make(map[int64]uint32, 64)
+		}
+		for i := lo; i < hi; i++ {
+			k := keys[i]
+			gid, ok := pt.idx[k]
+			if !ok {
+				gid = uint32(len(pt.uniq))
+				pt.idx[k] = gid
+				pt.uniq = append(pt.uniq, k)
+			}
+			ids[i] = gid
+		}
+	})
+	// Merge block partials in block order: first appearance across blocks
+	// equals first appearance in the serial scan.
+	global := make(map[int64]uint32, 64)
+	var uniq []int64
+	remap := make([][]uint32, len(blocks))
+	for b := range parts {
+		remap[b] = make([]uint32, len(parts[b].uniq))
+		for localID, k := range parts[b].uniq {
+			gid, ok := global[k]
+			if !ok {
+				gid = uint32(len(uniq))
+				global[k] = gid
+				uniq = append(uniq, k)
+			}
+			remap[b][localID] = gid
+		}
+	}
+	blockOf := func(i int) int {
+		// Blocks are equal-sized except the last; derive the index from the
+		// first block's span.
+		size := blocks[0].Hi - blocks[0].Lo
+		b := i / size
+		if b >= len(blocks) {
+			b = len(blocks) - 1
+		}
+		return b
+	}
+	p.For(len(keys), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ids[i] = remap[blockOf(i)][ids[i]]
+		}
+	})
 	return &Grouping{IDs: ids, NGroups: len(uniq), Keys: uniq}
 }
 
 // CombineKeys packs two key columns into one, for multi-attribute grouping
-// (Q1 groups by l_returnflag, l_linestatus). b's values must be
-// non-negative; base must exceed every value in b.
-func CombineKeys(a, b []int64, base int64) []int64 {
+// (Q1 groups by l_returnflag, l_linestatus). The packing is positional:
+// b's values must lie in [0, base) so they occupy the low "digit" exactly;
+// a's values may be negative (SplitKey uses floored division to unpack
+// them). CombineKeys reports an error when a b value is outside its digit
+// or when a[i]*base+b[i] would overflow int64 — silently wrapped keys
+// would collide distinct groups.
+func CombineKeys(a, b []int64, base int64) ([]int64, error) {
+	if base <= 0 {
+		return nil, fmt.Errorf("bulk: CombineKeys base %d must be positive", base)
+	}
+	aMin := math.MinInt64 / base // truncation keeps aMin*base >= MinInt64
 	out := make([]int64, len(a))
 	for i := range a {
+		if b[i] < 0 || b[i] >= base {
+			return nil, fmt.Errorf("bulk: CombineKeys value %d at %d outside [0,%d)", b[i], i, base)
+		}
+		if a[i] > (math.MaxInt64-b[i])/base || a[i] < aMin {
+			return nil, fmt.Errorf("bulk: CombineKeys value %d at %d overflows int64 at base %d", a[i], i, base)
+		}
 		out[i] = a[i]*base + b[i]
 	}
-	return out
+	return out, nil
 }
 
-// SplitKey reverses CombineKeys.
-func SplitKey(k, base int64) (a, b int64) { return k / base, k % base }
+// SplitKey reverses CombineKeys. Go's truncating / and % mis-split
+// combined keys with a negative high part (e.g. a=-1, b=2, base=10 packs
+// to -8, which truncating division splits as (0,-8)), so the split floors:
+// the remainder is normalized into [0, base) and the quotient adjusted.
+func SplitKey(k, base int64) (a, b int64) {
+	a, b = k/base, k%base
+	if b < 0 {
+		a--
+		b += base
+	}
+	return a, b
+}
 
 // SumGrouped returns per-group sums of vals under the grouping.
 func SumGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64 {
+	return SumGroupedPar(par.Bill(threads), m, vals, g)
+}
+
+// SumGroupedPar is the morsel-parallel SumGrouped: per-worker partial sum
+// arrays merged by addition (exact for int64, so the result is identical
+// for every worker count).
+func SumGroupedPar(p par.P, m *device.Meter, vals []int64, g *Grouping) []int64 {
 	out := make([]int64, g.NGroups)
-	for i, v := range vals {
-		out[g.IDs[i]] += v
+	if serial(p, len(vals)) {
+		for i, v := range vals {
+			out[g.IDs[i]] += v
+		}
+	} else {
+		blocks := p.Blocks(len(vals))
+		parts := make([][]int64, len(blocks))
+		par.RunBlocks(p, len(vals), func(b, lo, hi int) {
+			if parts[b] == nil {
+				parts[b] = make([]int64, g.NGroups)
+			}
+			pb := parts[b]
+			for i := lo; i < hi; i++ {
+				pb[g.IDs[i]] += vals[i]
+			}
+		})
+		for _, pb := range parts {
+			for gi, v := range pb {
+				out[gi] += v
+			}
+		}
 	}
-	charge(m, threads, len(vals), 12)
+	charge(m, p.NThreads(), len(vals), 12)
 	return out
 }
 
 // CountGrouped returns per-group tuple counts.
 func CountGrouped(m *device.Meter, threads int, g *Grouping) []int64 {
+	return CountGroupedPar(par.Bill(threads), m, g)
+}
+
+// CountGroupedPar is the morsel-parallel CountGrouped.
+func CountGroupedPar(p par.P, m *device.Meter, g *Grouping) []int64 {
 	out := make([]int64, g.NGroups)
-	for _, id := range g.IDs {
-		out[id]++
+	if serial(p, len(g.IDs)) {
+		for _, id := range g.IDs {
+			out[id]++
+		}
+	} else {
+		blocks := p.Blocks(len(g.IDs))
+		parts := make([][]int64, len(blocks))
+		par.RunBlocks(p, len(g.IDs), func(b, lo, hi int) {
+			if parts[b] == nil {
+				parts[b] = make([]int64, g.NGroups)
+			}
+			pb := parts[b]
+			for i := lo; i < hi; i++ {
+				pb[g.IDs[i]]++
+			}
+		})
+		for _, pb := range parts {
+			for gi, v := range pb {
+				out[gi] += v
+			}
+		}
 	}
-	charge(m, threads, len(g.IDs), 4)
+	charge(m, p.NThreads(), len(g.IDs), 4)
 	return out
 }
 
 // MinGrouped returns per-group minima of vals under the grouping.
 func MinGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64 {
-	out := make([]int64, g.NGroups)
-	seen := make([]bool, g.NGroups)
-	for i, v := range vals {
-		id := g.IDs[i]
-		if !seen[id] || v < out[id] {
-			out[id], seen[id] = v, true
-		}
-	}
-	charge(m, threads, len(vals), 12)
+	return MinGroupedPar(par.Bill(threads), m, vals, g)
+}
+
+// MinGroupedPar is the morsel-parallel MinGrouped.
+func MinGroupedPar(p par.P, m *device.Meter, vals []int64, g *Grouping) []int64 {
+	out, _ := extremaGrouped(p, vals, g, true)
+	charge(m, p.NThreads(), len(vals), 12)
 	return out
 }
 
 // MaxGrouped returns per-group maxima of vals under the grouping.
 func MaxGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64 {
+	return MaxGroupedPar(par.Bill(threads), m, vals, g)
+}
+
+// MaxGroupedPar is the morsel-parallel MaxGrouped.
+func MaxGroupedPar(p par.P, m *device.Meter, vals []int64, g *Grouping) []int64 {
+	out, _ := extremaGrouped(p, vals, g, false)
+	charge(m, p.NThreads(), len(vals), 12)
+	return out
+}
+
+// extremaGrouped computes per-group minima (min=true) or maxima with
+// per-worker partial (value, seen) states merged per group.
+func extremaGrouped(p par.P, vals []int64, g *Grouping, min bool) ([]int64, []bool) {
+	better := func(a, b int64) bool {
+		if min {
+			return a < b
+		}
+		return a > b
+	}
+	if serial(p, len(vals)) {
+		out := make([]int64, g.NGroups)
+		seen := make([]bool, g.NGroups)
+		for i, v := range vals {
+			id := g.IDs[i]
+			if !seen[id] || better(v, out[id]) {
+				out[id], seen[id] = v, true
+			}
+		}
+		return out, seen
+	}
+	blocks := p.Blocks(len(vals))
+	type partial struct {
+		out  []int64
+		seen []bool
+	}
+	parts := make([]partial, len(blocks))
+	par.RunBlocks(p, len(vals), func(b, lo, hi int) {
+		if parts[b].out == nil {
+			parts[b] = partial{out: make([]int64, g.NGroups), seen: make([]bool, g.NGroups)}
+		}
+		pb := &parts[b]
+		for i := lo; i < hi; i++ {
+			id := g.IDs[i]
+			if !pb.seen[id] || better(vals[i], pb.out[id]) {
+				pb.out[id], pb.seen[id] = vals[i], true
+			}
+		}
+	})
 	out := make([]int64, g.NGroups)
 	seen := make([]bool, g.NGroups)
-	for i, v := range vals {
-		id := g.IDs[i]
-		if !seen[id] || v > out[id] {
-			out[id], seen[id] = v, true
+	for _, pb := range parts {
+		if pb.out == nil {
+			continue
+		}
+		for gi := range pb.out {
+			if !pb.seen[gi] {
+				continue
+			}
+			if !seen[gi] || better(pb.out[gi], out[gi]) {
+				out[gi], seen[gi] = pb.out[gi], true
+			}
 		}
 	}
-	charge(m, threads, len(vals), 12)
-	return out
+	return out, seen
 }
 
 // Sum returns the sum of vals.
 func Sum(m *device.Meter, threads int, vals []int64) int64 {
+	return SumPar(par.Bill(threads), m, vals)
+}
+
+// SumPar is the morsel-parallel Sum.
+func SumPar(p par.P, m *device.Meter, vals []int64) int64 {
 	var s int64
-	for _, v := range vals {
-		s += v
+	if serial(p, len(vals)) {
+		for _, v := range vals {
+			s += v
+		}
+	} else {
+		blocks := p.Blocks(len(vals))
+		parts := make([]int64, len(blocks))
+		par.RunBlocks(p, len(vals), func(b, lo, hi int) {
+			var bs int64
+			for _, v := range vals[lo:hi] {
+				bs += v
+			}
+			parts[b] += bs
+		})
+		for _, v := range parts {
+			s += v
+		}
 	}
-	charge(m, threads, len(vals), 8)
+	charge(m, p.NThreads(), len(vals), 8)
 	return s
 }
 
@@ -208,32 +504,64 @@ func Count(vals []int64) int64 { return int64(len(vals)) }
 
 // Min returns the smallest value; ok is false on empty input.
 func Min(m *device.Meter, threads int, vals []int64) (int64, bool) {
-	if len(vals) == 0 {
-		return 0, false
-	}
-	lo := vals[0]
-	for _, v := range vals[1:] {
-		if v < lo {
-			lo = v
-		}
-	}
-	charge(m, threads, len(vals), 8)
-	return lo, true
+	return MinPar(par.Bill(threads), m, vals)
+}
+
+// MinPar is the morsel-parallel Min.
+func MinPar(p par.P, m *device.Meter, vals []int64) (int64, bool) {
+	return extremaPar(p, m, vals, true)
 }
 
 // Max returns the largest value; ok is false on empty input.
 func Max(m *device.Meter, threads int, vals []int64) (int64, bool) {
+	return MaxPar(par.Bill(threads), m, vals)
+}
+
+// MaxPar is the morsel-parallel Max.
+func MaxPar(p par.P, m *device.Meter, vals []int64) (int64, bool) {
+	return extremaPar(p, m, vals, false)
+}
+
+func extremaPar(p par.P, m *device.Meter, vals []int64, min bool) (int64, bool) {
 	if len(vals) == 0 {
 		return 0, false
 	}
-	hi := vals[0]
-	for _, v := range vals[1:] {
-		if v > hi {
-			hi = v
+	better := func(a, b int64) bool {
+		if min {
+			return a < b
+		}
+		return a > b
+	}
+	best := vals[0]
+	if serial(p, len(vals)) {
+		for _, v := range vals[1:] {
+			if better(v, best) {
+				best = v
+			}
+		}
+	} else {
+		blocks := p.Blocks(len(vals))
+		parts := make([]int64, len(blocks))
+		par.RunBlocks(p, len(vals), func(b, lo, hi int) {
+			bb := vals[lo]
+			for _, v := range vals[lo+1 : hi] {
+				if better(v, bb) {
+					bb = v
+				}
+			}
+			if lo == blocks[b].Lo || better(bb, parts[b]) {
+				parts[b] = bb
+			}
+		})
+		best = parts[0]
+		for _, v := range parts[1:] {
+			if better(v, best) {
+				best = v
+			}
 		}
 	}
-	charge(m, threads, len(vals), 8)
-	return hi, true
+	charge(m, p.NThreads(), len(vals), 8)
+	return best, true
 }
 
 func charge(m *device.Meter, threads, n, bytesPer int) {
@@ -245,29 +573,105 @@ func charge(m *device.Meter, threads, n, bytesPer int) {
 // GroupByMulti hash-groups tuples by multi-column keys, returning the
 // grouping plus the per-group key values of every column.
 func GroupByMulti(m *device.Meter, threads int, cols [][]int64) (*Grouping, [][]int64) {
+	return GroupByMultiPar(par.Bill(threads), m, cols)
+}
+
+// GroupByMultiPar is the morsel-parallel GroupByMulti, built on the same
+// block-partial merge as GroupByPar (first-appearance order preserved).
+func GroupByMultiPar(p par.P, m *device.Meter, cols [][]int64) (*Grouping, [][]int64) {
 	if len(cols) == 0 {
 		return &Grouping{}, nil
 	}
 	n := len(cols[0])
-	idx := make(map[string]uint32, 64)
-	ids := make([]uint32, n)
-	var order []int
-	keyBuf := make([]byte, 0, len(cols)*8)
-	for i := 0; i < n; i++ {
-		keyBuf = keyBuf[:0]
+	g, keys := groupMultiCore(p, cols)
+	if m != nil {
+		// One group.new pass plus a group.derive pass per further column.
+		m.CPUWork(p.NThreads(), int64(n)*8*int64(len(cols))+int64(n)*4, 0,
+			int64(n)*OpsHashGroup*int64(len(cols)))
+	}
+	return g, keys
+}
+
+// groupMultiCore is the unmetered multi-column grouping shared by
+// GroupByMultiPar and the A&R group refinement: dense group IDs in
+// first-appearance order plus the per-group key values of every column.
+func groupMultiCore(p par.P, cols [][]int64) (*Grouping, [][]int64) {
+	n := len(cols[0])
+	packKey := func(buf []byte, i int) []byte {
+		buf = buf[:0]
 		for k := range cols {
 			v := uint64(cols[k][i])
 			for s := 0; s < 8; s++ {
-				keyBuf = append(keyBuf, byte(v>>(8*s)))
+				buf = append(buf, byte(v>>(8*s)))
 			}
 		}
-		g, ok := idx[string(keyBuf)]
-		if !ok {
-			g = uint32(len(order))
-			idx[string(keyBuf)] = g
-			order = append(order, i)
+		return buf
+	}
+	ids := make([]uint32, n)
+	var order []int // global first-appearance positions per group
+	if serial(p, n) {
+		idx := make(map[string]uint32, 64)
+		keyBuf := make([]byte, 0, len(cols)*8)
+		for i := 0; i < n; i++ {
+			keyBuf = packKey(keyBuf, i)
+			g, ok := idx[string(keyBuf)]
+			if !ok {
+				g = uint32(len(order))
+				idx[string(keyBuf)] = g
+				order = append(order, i)
+			}
+			ids[i] = g
 		}
-		ids[i] = g
+	} else {
+		blocks := p.Blocks(n)
+		type partial struct {
+			idx    map[string]uint32
+			firsts []int // global position of each local group's first row
+		}
+		parts := make([]partial, len(blocks))
+		par.RunBlocks(p, n, func(b, lo, hi int) {
+			pt := &parts[b]
+			if pt.idx == nil {
+				pt.idx = make(map[string]uint32, 64)
+			}
+			keyBuf := make([]byte, 0, len(cols)*8)
+			for i := lo; i < hi; i++ {
+				keyBuf = packKey(keyBuf, i)
+				g, ok := pt.idx[string(keyBuf)]
+				if !ok {
+					g = uint32(len(pt.firsts))
+					pt.idx[string(keyBuf)] = g
+					pt.firsts = append(pt.firsts, i)
+				}
+				ids[i] = g
+			}
+		})
+		global := make(map[string]uint32, 64)
+		remap := make([][]uint32, len(blocks))
+		keyBuf := make([]byte, 0, len(cols)*8)
+		for b := range parts {
+			remap[b] = make([]uint32, len(parts[b].firsts))
+			for localID, first := range parts[b].firsts {
+				keyBuf = packKey(keyBuf, first)
+				g, ok := global[string(keyBuf)]
+				if !ok {
+					g = uint32(len(order))
+					global[string(keyBuf)] = g
+					order = append(order, first)
+				}
+				remap[b][localID] = g
+			}
+		}
+		size := blocks[0].Hi - blocks[0].Lo
+		p.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				b := i / size
+				if b >= len(blocks) {
+					b = len(blocks) - 1
+				}
+				ids[i] = remap[b][ids[i]]
+			}
+		})
 	}
 	keys := make([][]int64, len(cols))
 	for k := range cols {
@@ -275,11 +679,6 @@ func GroupByMulti(m *device.Meter, threads int, cols [][]int64) (*Grouping, [][]
 		for gi, first := range order {
 			keys[k][gi] = cols[k][first]
 		}
-	}
-	if m != nil {
-		// One group.new pass plus a group.derive pass per further column.
-		m.CPUWork(threads, int64(n)*8*int64(len(cols))+int64(n)*4, 0,
-			int64(n)*OpsHashGroup*int64(len(cols)))
 	}
 	return &Grouping{IDs: ids, NGroups: len(order)}, keys
 }

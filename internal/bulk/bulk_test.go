@@ -1,12 +1,14 @@
 package bulk
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/bat"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 func intsBAT(vals ...int64) *bat.BAT { return bat.NewDense(vals, bat.Width32) }
@@ -107,12 +109,69 @@ func TestGroupByPropertyPartition(t *testing.T) {
 func TestCombineSplitKeys(t *testing.T) {
 	a := []int64{1, 2, 0}
 	b := []int64{5, 0, 9}
-	combined := CombineKeys(a, b, 10)
+	combined, err := CombineKeys(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		ga, gb := SplitKey(combined[i], 10)
 		if ga != a[i] || gb != b[i] {
 			t.Errorf("SplitKey(%d) = (%d,%d), want (%d,%d)", combined[i], ga, gb, a[i], b[i])
 		}
+	}
+}
+
+// TestCombineSplitKeysNegative is the regression for the truncating-division
+// split: combined keys with a negative high part round-trip exactly, and
+// grouping on a combined column with negative values produces the same
+// partition as grouping on the tuple directly.
+func TestCombineSplitKeysNegative(t *testing.T) {
+	a := []int64{-1, -3, 0, -1, 7, math.MinInt64 / 10, (math.MaxInt64 - 9) / 10}
+	b := []int64{2, 0, 9, 2, 5, 3, 9}
+	combined, err := CombineKeys(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ga, gb := SplitKey(combined[i], 10)
+		if ga != a[i] || gb != b[i] {
+			t.Errorf("SplitKey(%d) = (%d,%d), want (%d,%d)", combined[i], ga, gb, a[i], b[i])
+		}
+	}
+	// Grouping on the combined key must partition identically to grouping
+	// on the (a,b) tuples: equal combined keys iff equal tuples.
+	g := GroupBy(nil, 1, combined)
+	want, _ := GroupByMulti(nil, 1, [][]int64{a, b})
+	if g.NGroups != want.NGroups {
+		t.Fatalf("combined-key grouping found %d groups, tuple grouping %d", g.NGroups, want.NGroups)
+	}
+	for i := range g.IDs {
+		if g.IDs[i] != want.IDs[i] {
+			t.Fatalf("IDs[%d] = %d, tuple grouping says %d", i, g.IDs[i], want.IDs[i])
+		}
+	}
+}
+
+// TestCombineKeysRejectsBadDomain covers the validated domain: low-digit
+// values outside [0, base) and high parts that would overflow int64.
+func TestCombineKeysRejectsBadDomain(t *testing.T) {
+	if _, err := CombineKeys([]int64{1}, []int64{10}, 10); err == nil {
+		t.Error("b value == base accepted")
+	}
+	if _, err := CombineKeys([]int64{1}, []int64{-1}, 10); err == nil {
+		t.Error("negative b value accepted")
+	}
+	if _, err := CombineKeys([]int64{math.MaxInt64/10 + 1}, []int64{0}, 10); err == nil {
+		t.Error("overflowing a value accepted")
+	}
+	if _, err := CombineKeys([]int64{math.MaxInt64 / 10}, []int64{9}, 10); err == nil {
+		t.Error("boundary overflow (a*base+b > MaxInt64) accepted")
+	}
+	if _, err := CombineKeys([]int64{math.MinInt64/10 - 1}, []int64{0}, 10); err == nil {
+		t.Error("negative overflow accepted")
+	}
+	if _, err := CombineKeys([]int64{1}, []int64{0}, 0); err == nil {
+		t.Error("non-positive base accepted")
 	}
 }
 
@@ -274,6 +333,139 @@ func TestMeteredOperatorsCharge(t *testing.T) {
 	Fetch(m, 1, b, []bat.OID{1, 2, 3})
 	if m.CPU <= before {
 		t.Error("metered Fetch charged nothing")
+	}
+}
+
+// TestParallelKernelsMatchSerial asserts byte-identical output between the
+// serial kernels and their morsel-parallel forms across worker counts and
+// morsel sizes, including the first-appearance group order that downstream
+// results depend on.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 40_000
+	vals := make([]int64, n)
+	keys := make([]int64, n)
+	keys2 := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100_000)) - 50_000
+		keys[i] = int64(rng.Intn(97))
+		keys2[i] = int64(rng.Intn(11))
+	}
+	b := bat.NewDense(vals, bat.Width32)
+	wantIDs := SelectRange(nil, 1, b, -20_000, 20_000)
+	wantFetch := Fetch(nil, 1, b, wantIDs)
+	wantSub := SelectOIDs(nil, 1, b, wantIDs, -5_000, 5_000)
+	wantG := GroupBy(nil, 1, keys)
+	wantGM, wantKeysM := GroupByMulti(nil, 1, [][]int64{keys, keys2})
+	wantSums := SumGrouped(nil, 1, vals, wantG)
+	wantCounts := CountGrouped(nil, 1, wantG)
+	wantMins := MinGrouped(nil, 1, vals, wantG)
+	wantMaxs := MaxGrouped(nil, 1, vals, wantG)
+	wantSum := Sum(nil, 1, vals)
+	wantMin, _ := Min(nil, 1, vals)
+	wantMax, _ := Max(nil, 1, vals)
+
+	eqOID := func(t *testing.T, what string, got, want []bat.OID) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: len %d != %d", what, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: [%d] = %d, want %d", what, i, got[i], want[i])
+			}
+		}
+	}
+	eq64 := func(t *testing.T, what string, got, want []int64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: len %d != %d", what, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: [%d] = %d, want %d", what, i, got[i], want[i])
+			}
+		}
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		for _, chunk := range []int{0, 1, 97, 4096} {
+			p := par.P{Threads: 1, Workers: workers, Chunk: chunk}
+			t.Run("", func(t *testing.T) {
+				eqOID(t, "SelectRangePar", SelectRangePar(p, nil, b, -20_000, 20_000), wantIDs)
+				eq64(t, "FetchPar", FetchPar(p, nil, b, wantIDs), wantFetch)
+				eqOID(t, "SelectOIDsPar", SelectOIDsPar(p, nil, b, wantIDs, -5_000, 5_000), wantSub)
+				g := GroupByPar(p, nil, keys)
+				if g.NGroups != wantG.NGroups {
+					t.Fatalf("GroupByPar: %d groups, want %d", g.NGroups, wantG.NGroups)
+				}
+				eq64(t, "GroupByPar keys", g.Keys, wantG.Keys)
+				for i := range wantG.IDs {
+					if g.IDs[i] != wantG.IDs[i] {
+						t.Fatalf("GroupByPar IDs[%d] = %d, want %d", i, g.IDs[i], wantG.IDs[i])
+					}
+				}
+				gm, keysM := GroupByMultiPar(p, nil, [][]int64{keys, keys2})
+				if gm.NGroups != wantGM.NGroups {
+					t.Fatalf("GroupByMultiPar: %d groups, want %d", gm.NGroups, wantGM.NGroups)
+				}
+				for i := range wantGM.IDs {
+					if gm.IDs[i] != wantGM.IDs[i] {
+						t.Fatalf("GroupByMultiPar IDs[%d] = %d, want %d", i, gm.IDs[i], wantGM.IDs[i])
+					}
+				}
+				for k := range wantKeysM {
+					eq64(t, "GroupByMultiPar keys", keysM[k], wantKeysM[k])
+				}
+				eq64(t, "SumGroupedPar", SumGroupedPar(p, nil, vals, wantG), wantSums)
+				eq64(t, "CountGroupedPar", CountGroupedPar(p, nil, wantG), wantCounts)
+				eq64(t, "MinGroupedPar", MinGroupedPar(p, nil, vals, wantG), wantMins)
+				eq64(t, "MaxGroupedPar", MaxGroupedPar(p, nil, vals, wantG), wantMaxs)
+				if got := SumPar(p, nil, vals); got != wantSum {
+					t.Fatalf("SumPar = %d, want %d", got, wantSum)
+				}
+				if got, _ := MinPar(p, nil, vals); got != wantMin {
+					t.Fatalf("MinPar = %d, want %d", got, wantMin)
+				}
+				if got, _ := MaxPar(p, nil, vals); got != wantMax {
+					t.Fatalf("MaxPar = %d, want %d", got, wantMax)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelChargesMatchSerial pins the meter-identity invariant: a
+// kernel's simulated charge depends only on the billed thread count, never
+// on the worker budget or morsel size.
+func TestParallelChargesMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 50_000
+	vals := make([]int64, n)
+	keys := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1_000_000))
+		keys[i] = int64(rng.Intn(50))
+	}
+	b := bat.NewDense(vals, bat.Width32)
+	sys := device.PaperSystem()
+	run := func(p par.P) *device.Meter {
+		m := device.NewMeter(sys)
+		ids := SelectRangePar(p, m, b, 0, 500_000)
+		FetchPar(p, m, b, ids)
+		g := GroupByPar(p, m, keys)
+		SumGroupedPar(p, m, vals, g)
+		CountGroupedPar(p, m, g)
+		SumPar(p, m, vals)
+		return m
+	}
+	for _, threads := range []int{1, 4} {
+		want := run(par.Bill(threads))
+		for _, workers := range []int{2, 8} {
+			got := run(par.P{Threads: threads, Workers: workers, Chunk: 777})
+			if got.CPU != want.CPU || got.GPU != want.GPU || got.PCI != want.PCI {
+				t.Fatalf("threads=%d workers=%d: meter %v != serial %v", threads, workers, got, want)
+			}
+		}
 	}
 }
 

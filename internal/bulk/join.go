@@ -3,6 +3,7 @@ package bulk
 import (
 	"repro/internal/bat"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // HashJoin performs a generic equi-join of two value columns and returns
@@ -103,16 +104,29 @@ func (ix *FKIndex) Lookup(fk int64) (bat.OID, bool) {
 // join (§IV-D). Dangling foreign keys are dropped; hit[i] reports whether
 // fk position i found a partner.
 func FKJoin(m *device.Meter, threads int, ix *FKIndex, fks []int64) (pkPos []bat.OID, hit []bool) {
+	return FKJoinPar(par.Bill(threads), m, ix, fks)
+}
+
+// FKJoinPar is the morsel-parallel FKJoin: probes are independent and each
+// worker writes a disjoint slice of pkPos/hit.
+func FKJoinPar(p par.P, m *device.Meter, ix *FKIndex, fks []int64) (pkPos []bat.OID, hit []bool) {
 	pkPos = make([]bat.OID, len(fks))
 	hit = make([]bool, len(fks))
-	for i, fk := range fks {
-		if p, ok := ix.Lookup(fk); ok {
-			pkPos[i] = p
-			hit[i] = true
+	probe := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if pos, ok := ix.Lookup(fks[i]); ok {
+				pkPos[i] = pos
+				hit[i] = true
+			}
 		}
 	}
+	if serial(p, len(fks)) {
+		probe(0, len(fks))
+	} else {
+		p.For(len(fks), probe)
+	}
 	if m != nil {
-		m.CPUWork(threads, int64(len(fks))*8+int64(len(fks))*oidBytes, 0,
+		m.CPUWork(p.NThreads(), int64(len(fks))*8+int64(len(fks))*oidBytes, 0,
 			int64(len(fks))*OpsHashProbe)
 	}
 	return pkPos, hit

@@ -41,7 +41,12 @@ type Options struct {
 	CacheSize int
 	// Threads is the CPU thread count each query executes with (classic
 	// plan or A&R refinement). Defaults to 1, one stream per worker —
-	// cross-stream parallelism comes from the pool, as in Fig 11.
+	// cross-stream parallelism comes from the pool, as in Fig 11. Values
+	// above 1 run each query's CPU kernels morsel-parallel: the scheduler
+	// grants every admitted query its share of the CPU pool (at most
+	// Threads workers), so wall-clock scales with Threads while the
+	// simulated meter — which always bills Threads-way parallelism —
+	// reports the same figures as before.
 	Threads int
 	// MergeThreshold is the live-delta row count past which the background
 	// merger (StartMaintenance) compacts a table. Defaults to 65536;
@@ -216,7 +221,14 @@ func (e *Engine) compileCached(src string) (*sql.Binding, map[string]uint64, err
 	for _, name := range tables {
 		deps[name] = pre[name] // 0 when created mid-window: invalid on first hit
 	}
-	if !b.IsWrite() {
+	if !b.IsWrite() && e.depsValid(deps) {
+		// Re-validate on Put, not just on Get: if a table was dropped and
+		// re-created between the pre-compile epoch snapshot and this point,
+		// the binding may have been compiled against either generation, and
+		// the recorded epochs vouch for neither. Such a binding still
+		// executes once (resolution is by name at exec time) but must not
+		// enter the cache, where it would cost an invalidation round trip —
+		// or worse, if Put-time state were trusted — on every later hit.
 		e.cache.Put(key, b, deps)
 	}
 	return b, deps, nil

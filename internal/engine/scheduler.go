@@ -98,15 +98,21 @@ type Scheduler struct {
 	cpuSlots chan struct{}
 	gpuSlots chan struct{}
 	arQueue  int
+	cpuCap   int // CPU pool size: slots for classic streams, workers for morsels
 
 	// Totals aggregates the (contention-adjusted) meters of every query
-	// the scheduler ran.
+	// the scheduler ran. SharedMeter carries its own mutex, so the Merge
+	// calls in execAR/execClassic/execDDL are safe without holding s.mu —
+	// taking s.mu around them would only serialize finished queries behind
+	// each other (verified by TestParallelSchedulerTotalsStress under
+	// -race).
 	Totals device.SharedMeter
 
 	mu            sync.Mutex
 	activeClassic int
 	activeAR      int
 	waitingAR     int
+	allocWorkers  int // morsel workers currently granted out of cpuCap
 	peakClassic   int
 	peakAR        int
 	classicRun    int64
@@ -152,7 +158,47 @@ func NewScheduler(cat *plan.Catalog, cfg SchedConfig) *Scheduler {
 		cpuSlots: make(chan struct{}, cfg.CPUWorkers),
 		gpuSlots: make(chan struct{}, cfg.GPUStreams),
 		arQueue:  cfg.ARQueue,
+		cpuCap:   cfg.CPUWorkers,
 	}
+}
+
+// workerBudgetLocked allocates (and reserves) the real morsel-worker
+// budget for one admitted query: its fair share of the CPU pool given
+// every query currently active (classic streams plus A&R refinements),
+// capped both at the query's requested thread count and at the pool
+// capacity still unreserved — so staggered arrivals cannot oversubscribe
+// the pool (an early lone query that grabbed everything forces later
+// arrivals down to the 1-worker minimum until it finishes). The simulated
+// meter is unaffected — it always bills opts.Threads (see plan.ExecOpts).
+// Callers must hold s.mu, have already counted themselves active, and
+// release the returned grant via releaseWorkersLocked when done.
+func (s *Scheduler) workerBudgetLocked(requested int) int {
+	if requested <= 0 {
+		requested = 1
+	}
+	active := s.activeClassic + s.activeAR
+	if active < 1 {
+		active = 1
+	}
+	share := s.cpuCap / active
+	if remaining := s.cpuCap - s.allocWorkers; share > remaining {
+		share = remaining
+	}
+	if share < 1 {
+		share = 1
+	}
+	if share < requested {
+		requested = share
+	}
+	s.allocWorkers += requested
+	return requested
+}
+
+// releaseWorkersLocked returns a finished query's worker grant to the
+// pool. Callers must hold s.mu; granted is 0 when the caller brought its
+// own explicit Workers budget.
+func (s *Scheduler) releaseWorkersLocked(granted int) {
+	s.allocWorkers -= granted
 }
 
 // Exec routes one compiled binding to its device and executes it under
@@ -224,11 +270,17 @@ func (s *Scheduler) execClassic(ctx context.Context, b *sql.Binding, opts plan.E
 	}
 	t := s.activeClassic
 	arDraw := float64(s.activeAR) * s.avgDrawLocked()
+	granted := 0
+	if opts.Workers <= 0 {
+		opts.Workers = s.workerBudgetLocked(opts.Threads)
+		granted = opts.Workers
+	}
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		s.activeClassic--
 		s.classicRun++
+		s.releaseWorkersLocked(granted)
 		s.mu.Unlock()
 	}()
 
@@ -274,11 +326,18 @@ func (s *Scheduler) execAR(ctx context.Context, b *sql.Binding, opts plan.ExecOp
 	if s.activeAR > s.peakAR {
 		s.peakAR = s.activeAR
 	}
+	granted := 0
+	if opts.Workers <= 0 {
+		// The refinement subplan runs on the CPU pool like classic streams.
+		opts.Workers = s.workerBudgetLocked(opts.Threads)
+		granted = opts.Workers
+	}
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		s.activeAR--
 		s.arRun++
+		s.releaseWorkersLocked(granted)
 		s.mu.Unlock()
 		<-s.gpuSlots
 	}()

@@ -14,9 +14,17 @@
 //     costs" (§IV-A item 3). Determinism keeps tests reproducible while the
 //     output is demonstrably not input-ordered, which is exactly what forces
 //     the translucent join's general path.
+//
+// The P descriptor carries a kernel's degree of parallelism through the
+// executors (billed threads vs real workers vs morsel size vs context; see
+// DESIGN.md §7), and the block primitives (Blocks, RunBlocks) support the
+// partial-state aggregation pattern whose merge order is fixed by the
+// input partition — never by goroutine scheduling — so results are
+// byte-stable across worker counts.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -159,4 +167,253 @@ func gcd(a, b int) int {
 		a, b = b, a%b
 	}
 	return a
+}
+
+// P describes the degree of parallelism of one CPU kernel invocation. It
+// separates the two numbers that the rest of the system must never confuse:
+//
+//   - Threads is the *simulated* thread count charged to the device meter.
+//     It determines the simulated figures and nothing else, so experiments
+//     produce identical numbers no matter how a kernel actually executes.
+//   - Workers is the *real* goroutine budget used for morsel-parallel
+//     execution. The engine's scheduler allocates it from the shared CPU
+//     pool per admitted query; it never appears in a meter charge.
+//
+// Ctx is polled at morsel granularity: a cancelled context stops workers
+// from claiming further morsels, bounding cancellation latency by one
+// morsel instead of one full operator pass. A kernel interrupted this way
+// returns incomplete data — executors discard it at their next cooperative
+// checkpoint (plan.Stage), so partial results are never served.
+type P struct {
+	Threads int             // billed thread count; <= 0 means 1
+	Workers int             // real goroutines; <= 0 means Threads
+	Chunk   int             // morsel rows; <= 0 means DefaultChunk
+	Ctx     context.Context // polled per morsel; nil means never cancelled
+}
+
+// Bill returns a P that executes serially while charging the meter for the
+// given simulated thread count — the behaviour every pre-morsel call site
+// had, kept for the compatibility wrappers in packages bulk and ar.
+func Bill(threads int) P { return P{Threads: threads, Workers: 1} }
+
+// NThreads returns the billable thread count (at least 1).
+func (p P) NThreads() int {
+	if p.Threads > 0 {
+		return p.Threads
+	}
+	return 1
+}
+
+// NWorkers returns the real worker count (defaults to NThreads).
+func (p P) NWorkers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return p.NThreads()
+}
+
+// ChunkSize returns the morsel size in rows.
+func (p P) ChunkSize() int {
+	if p.Chunk > 0 {
+		return p.Chunk
+	}
+	return DefaultChunk
+}
+
+// cancelled reports whether the kernel's context is done.
+func (p P) cancelled() bool {
+	if p.Ctx == nil {
+		return false
+	}
+	select {
+	case <-p.Ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// For runs fn over [0,n) split into morsels that workers claim dynamically.
+// fn must be safe for concurrent invocation on disjoint ranges. The context
+// is checked before every morsel claim; on cancellation the remaining
+// morsels are skipped and For returns the context error (the caller must
+// discard whatever fn produced so far).
+func (p P) For(n int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	chunk := p.ChunkSize()
+	nchunks := (n + chunk - 1) / chunk
+	w := p.NWorkers()
+	if w > nchunks {
+		w = nchunks
+	}
+	if w <= 1 {
+		for lo := 0; lo < n; lo += chunk {
+			if p.cancelled() {
+				return p.Ctx.Err()
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return nil
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if p.cancelled() {
+					return
+				}
+				mu.Lock()
+				c := next
+				next++
+				mu.Unlock()
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.cancelled() {
+		return p.Ctx.Err()
+	}
+	return nil
+}
+
+// ForEach runs fn once per index in [0,n), with indices claimed
+// dynamically by NWorkers goroutines and the context polled between
+// claims. It is the item-granular For used to distribute pre-computed
+// morsel lists (e.g. store segment morsels) over workers.
+func ForEach(p P, n int, fn func(i int)) error {
+	item := p
+	item.Chunk = 1
+	return item.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// GatherOrdered runs fn over [0,n) in morsels and concatenates the
+// per-morsel results in morsel order, preserving the input permutation —
+// the order-preserving CPU discipline (§IV-A item 2). The output is
+// identical for every worker count.
+func GatherOrdered[T any](p P, n int, fn func(lo, hi int) []T) []T {
+	if n <= 0 {
+		return nil
+	}
+	chunk := p.ChunkSize()
+	nchunks := (n + chunk - 1) / chunk
+	parts := make([][]T, nchunks)
+	p.For(n, func(lo, hi int) {
+		parts[lo/chunk] = fn(lo, hi)
+	})
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]T, 0, total)
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Block is one contiguous sub-range of an input, processed by a single
+// worker so that per-worker partial states (groupings, aggregates) can be
+// merged deterministically in block order.
+type Block struct{ Lo, Hi int }
+
+// Blocks statically partitions [0,n) into at most NWorkers contiguous
+// blocks of near-equal size. The partition depends only on n and the worker
+// count, and merging per-block partial states left to right reproduces the
+// exact serial result: a key's global first appearance is its first block's
+// first appearance.
+func (p P) Blocks(n int) []Block {
+	if n <= 0 {
+		return nil
+	}
+	w := p.NWorkers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	size := (n + w - 1) / w
+	out := make([]Block, 0, w)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Block{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// RunBlocks executes fn(b, lo, hi) for morsel-sized sub-ranges of every
+// block returned by Blocks(n): calls for the same block index b run
+// sequentially in ascending range order on one goroutine (so per-block
+// state needs no locking), distinct blocks run concurrently, and the
+// context is polled between morsels. Returns the context error if the run
+// was interrupted (partial block states must then be discarded).
+func RunBlocks(p P, n int, fn func(b, lo, hi int)) error {
+	blocks := p.Blocks(n)
+	if len(blocks) == 0 {
+		return nil
+	}
+	chunk := p.ChunkSize()
+	if len(blocks) == 1 || p.NWorkers() <= 1 {
+		for b, blk := range blocks {
+			for lo := blk.Lo; lo < blk.Hi; lo += chunk {
+				if p.cancelled() {
+					return p.Ctx.Err()
+				}
+				hi := lo + chunk
+				if hi > blk.Hi {
+					hi = blk.Hi
+				}
+				fn(b, lo, hi)
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(blocks))
+	for b, blk := range blocks {
+		go func(b int, blk Block) {
+			defer wg.Done()
+			for lo := blk.Lo; lo < blk.Hi; lo += chunk {
+				if p.cancelled() {
+					return
+				}
+				hi := lo + chunk
+				if hi > blk.Hi {
+					hi = blk.Hi
+				}
+				fn(b, lo, hi)
+			}
+		}(b, blk)
+	}
+	wg.Wait()
+	if p.cancelled() {
+		return p.Ctx.Err()
+	}
+	return nil
 }

@@ -9,13 +9,27 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // ExecOpts tunes execution.
 type ExecOpts struct {
 	// Threads is the CPU thread count used by refinement (and by the whole
 	// classic plan). Defaults to 1, the paper's per-query baseline setup.
+	// It is the *simulated* thread count: the meter bills every CPU kernel
+	// as Threads-way parallel, and (absent an explicit Workers budget) it
+	// is also the real morsel-parallel worker count, so wall-clock follows
+	// the simulation.
 	Threads int
+	// Workers overrides the real worker-goroutine budget without touching
+	// the meter: the engine's scheduler sets it to this query's share of
+	// the CPU pool, so concurrent queries split the machine instead of
+	// each assuming all of it. 0 means Threads. Simulated figures are
+	// identical for every Workers value.
+	Workers int
+	// Morsel overrides the morsel size in rows (0 = the default 64k).
+	// Tests shrink it to push morsel boundaries through small inputs.
+	Morsel int
 	// OnStage, if set, is invoked at every cooperative checkpoint with the
 	// stage about to run. It exists for observability and deterministic
 	// cancellation tests; it must be fast and safe for concurrent use.
@@ -27,6 +41,22 @@ func (o ExecOpts) threads() int {
 		return o.Threads
 	}
 	return 1
+}
+
+// workers returns the real worker budget (Workers, else Threads).
+func (o ExecOpts) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return o.threads()
+}
+
+// par bundles the execution options and the query context into the
+// parallelism descriptor handed to every CPU kernel: meter charges use
+// threads(), real execution uses workers(), and ctx is polled at morsel
+// granularity so cancellation latency is bounded by one morsel.
+func (o ExecOpts) par(ctx context.Context) par.P {
+	return par.P{Threads: o.threads(), Workers: o.workers(), Chunk: o.Morsel, Ctx: ctx}
 }
 
 // ExecAR executes the query under the Approximate & Refine paradigm with a
@@ -61,7 +91,7 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	threads := opts.threads()
+	pp := opts.par(ctx)
 	m := device.NewMeter(c.sys)
 	res := &Result{Meter: m}
 	res.InputBytes = snap.inputBytes(q)
@@ -105,12 +135,15 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 	// the candidate IDs and the phase-A answer stays a strict bound over
 	// the live rows.
 	if fs := snap.fact; fs.BaseDeletedCount() > 0 {
-		keep := make([]int, 0, cands.Len())
-		for i, id := range cands.IDs {
-			if !fs.BaseDeleted(int(id)) {
-				keep = append(keep, i)
+		keep := par.GatherOrdered(pp, cands.Len(), func(lo, hi int) []int {
+			part := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				if !fs.BaseDeleted(int(cands.IDs[i])) {
+					part = append(part, i)
+				}
 			}
-		}
+			return part
+		})
 		m.GPUKernel(int64(cands.Len())*4+int64(fs.BaseLen()+7)/8, 0, int64(cands.Len()))
 		cands = cands.Filter(keep)
 		trace("bwd.maskdeleted(%s)", q.Table)
@@ -137,13 +170,24 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		}
 		trace("bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
 		if ds := snap.dim; ds.BaseDeletedCount() > 0 {
-			keep := make([]int, 0, cands.Len())
-			kept := make([]bat.OID, 0, len(dimPos))
-			for i, pos := range dimPos {
-				if !ds.BaseDeleted(int(pos)) {
-					keep = append(keep, i)
-					kept = append(kept, pos)
+			type keepPos struct {
+				i   int
+				pos bat.OID
+			}
+			pairs := par.GatherOrdered(pp, len(dimPos), func(lo, hi int) []keepPos {
+				part := make([]keepPos, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					if !ds.BaseDeleted(int(dimPos[i])) {
+						part = append(part, keepPos{i, dimPos[i]})
+					}
 				}
+				return part
+			})
+			keep := make([]int, len(pairs))
+			kept := make([]bat.OID, len(pairs))
+			for i, kp := range pairs {
+				keep[i] = kp.i
+				kept[i] = kp.pos
 			}
 			m.GPUKernel(int64(len(dimPos))*4+int64(ds.BaseLen()+7)/8, 0, int64(len(dimPos)))
 			cands = cands.Filter(keep)
@@ -214,7 +258,7 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		if err := step(ctx, opts, StageDelta); err != nil {
 			return nil, err
 		}
-		dset, err = scanDelta(m, threads, q, snap, need, lookup)
+		dset, err = scanDelta(m, pp, q, snap, need, lookup)
 		if err != nil {
 			return nil, err
 		}
@@ -256,11 +300,11 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		}
 		d := snap.get(q.Table, f.Col)
 		if atRefined == nil {
-			refined, _ = ar.SelectRefine(m, threads, d, f.Lo, f.Hi, refined)
+			refined, _ = ar.SelectRefinePar(pp, m, d, f.Lo, f.Hi, refined)
 		} else {
 			// Keep the joined positions aligned while filtering.
 			var keepPos []bat.OID
-			refined, keepPos = refineKeepingAt(m, threads, d, f.Lo, f.Hi, refined, atRefined)
+			refined, keepPos = refineKeepingAt(pp, m, d, f.Lo, f.Hi, refined, atRefined)
 			atRefined = keepPos
 		}
 		trace("bwd.uselectrefine(%s.%s)", q.Table, f.Col)
@@ -272,7 +316,7 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 				return nil, err
 			}
 			dd := snap.get(q.Join.Dim, f.Col)
-			refined, atRefined, _ = ar.SelectRefineAt(m, threads, dd, f.Lo, f.Hi, refined, atRefined)
+			refined, atRefined, _ = ar.SelectRefineAtPar(pp, m, dd, f.Lo, f.Hi, refined, atRefined)
 			trace("bwd.uselectrefine(%s.%s)", q.Join.Dim, f.Col)
 		}
 	}
@@ -291,9 +335,9 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		var vals []int64
 		var err error
 		if ref.Dim {
-			vals, err = ar.ProjectRefineAt(m, threads, p, refined, atRefined)
+			vals, err = ar.ProjectRefineAtPar(pp, m, p, refined, atRefined)
 		} else {
-			vals, err = ar.ProjectRefine(m, threads, p, refined)
+			vals, err = ar.ProjectRefinePar(pp, m, p, refined)
 		}
 		if err != nil {
 			return nil, err
@@ -318,7 +362,7 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		if err := step(ctx, opts, StageRefine); err != nil {
 			return nil, err
 		}
-		grouping, groupKeys, err = ar.GroupRefineMulti(m, threads, mg, refined)
+		grouping, groupKeys, err = ar.GroupRefineMultiPar(pp, m, mg, refined)
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +375,7 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		for k, g := range q.GroupBy {
 			cols[k] = ectx.fact[g]
 		}
-		grouping, groupKeys = bulk.GroupByMulti(m, threads, cols)
+		grouping, groupKeys = bulk.GroupByMultiPar(pp, m, cols)
 		trace("group.merge(%s)", join(q.GroupBy))
 	}
 
@@ -343,12 +387,18 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 	if err := step(ctx, opts, StageAggregate); err != nil {
 		return nil, err
 	}
-	rows, err := aggregateRows(m, threads, q, ectx, grouping, groupKeys, true)
+	rows, err := aggregateRows(m, pp, q, ectx, grouping, groupKeys, true)
 	if err != nil {
 		return nil, err
 	}
 	for _, a := range q.Aggs {
 		trace("bwd.%srefine(%s)", a.Func, a.Name)
+	}
+	// A context cancelled mid-kernel leaves that kernel's output incomplete
+	// (workers stop claiming morsels); the final check guarantees such
+	// partial results are never returned as an answer.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res.Rows = rows
 	return res, nil
@@ -356,17 +406,19 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 
 // refineKeepingAt runs a fact-side selection refinement while keeping an
 // auxiliary position list aligned with the surviving candidates.
-func refineKeepingAt(m *device.Meter, threads int, d *bwd.Column, lo, hi int64, in *ar.Candidates, at []bat.OID) (*ar.Candidates, []bat.OID) {
-	refined, _ := ar.SelectRefine(m, threads, d, lo, hi, in)
+func refineKeepingAt(pp par.P, m *device.Meter, d *bwd.Column, lo, hi int64, in *ar.Candidates, at []bat.OID) (*ar.Candidates, []bat.OID) {
+	refined, _ := ar.SelectRefinePar(pp, m, d, lo, hi, in)
 	pos, err := ar.TranslucentJoin(in.IDs, refined.IDs)
 	if err != nil {
 		// The refinement is an order-preserving subset by construction.
 		panic("plan: refinement broke candidate order: " + err.Error())
 	}
 	keep := make([]bat.OID, len(pos))
-	for i, p := range pos {
-		keep[i] = at[p]
-	}
+	pp.For(len(pos), func(mlo, mhi int) {
+		for i := mlo; i < mhi; i++ {
+			keep[i] = at[pos[i]]
+		}
+	})
 	return refined, keep
 }
 
@@ -467,7 +519,8 @@ func approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, projections ma
 
 // aggregateRows evaluates the aggregate expressions over the exact values
 // and groups them.
-func aggregateRows(m *device.Meter, threads int, q Query, ctx *exprCtx, grouping *bulk.Grouping, groupKeys [][]int64, fused bool) ([]Row, error) {
+func aggregateRows(m *device.Meter, pp par.P, q Query, ctx *exprCtx, grouping *bulk.Grouping, groupKeys [][]int64, fused bool) ([]Row, error) {
+	threads := pp.NThreads()
 	bulkMeter := m
 	if m != nil && fused {
 		// A&R refinement: one fused pass evaluates all expressions and
@@ -511,7 +564,7 @@ func aggregateRows(m *device.Meter, threads int, q Query, ctx *exprCtx, grouping
 	if grouping == nil {
 		row := Row{}
 		for _, a := range q.Aggs {
-			v, err := globalAgg(m, threads, a, ctx)
+			v, err := globalAgg(m, pp, a, ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -531,16 +584,16 @@ func aggregateRows(m *device.Meter, threads int, q Query, ctx *exprCtx, grouping
 		var per []int64
 		switch a.Func {
 		case Count:
-			per = bulk.CountGrouped(m, threads, grouping)
+			per = bulk.CountGroupedPar(pp, m, grouping)
 		case Sum:
-			per = bulk.SumGrouped(m, threads, a.Expr.Eval(ctx), grouping)
+			per = bulk.SumGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
 		case Min:
-			per = bulk.MinGrouped(m, threads, a.Expr.Eval(ctx), grouping)
+			per = bulk.MinGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
 		case Max:
-			per = bulk.MaxGrouped(m, threads, a.Expr.Eval(ctx), grouping)
+			per = bulk.MaxGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
 		case Avg:
-			sums := bulk.SumGrouped(m, threads, a.Expr.Eval(ctx), grouping)
-			counts := bulk.CountGrouped(m, threads, grouping)
+			sums := bulk.SumGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
+			counts := bulk.CountGroupedPar(pp, m, grouping)
 			per = make([]int64, len(sums))
 			for i := range per {
 				if counts[i] > 0 {
@@ -558,24 +611,24 @@ func aggregateRows(m *device.Meter, threads int, q Query, ctx *exprCtx, grouping
 	return rows, nil
 }
 
-func globalAgg(m *device.Meter, threads int, a AggSpec, ctx *exprCtx) (int64, error) {
+func globalAgg(m *device.Meter, pp par.P, a AggSpec, ctx *exprCtx) (int64, error) {
 	switch a.Func {
 	case Count:
 		return int64(ctx.n), nil
 	case Sum:
-		return bulk.Sum(m, threads, a.Expr.Eval(ctx)), nil
+		return bulk.SumPar(pp, m, a.Expr.Eval(ctx)), nil
 	case Min:
-		v, _ := bulk.Min(m, threads, a.Expr.Eval(ctx))
+		v, _ := bulk.MinPar(pp, m, a.Expr.Eval(ctx))
 		return v, nil
 	case Max:
-		v, _ := bulk.Max(m, threads, a.Expr.Eval(ctx))
+		v, _ := bulk.MaxPar(pp, m, a.Expr.Eval(ctx))
 		return v, nil
 	case Avg:
 		vals := a.Expr.Eval(ctx)
 		if len(vals) == 0 {
 			return 0, nil
 		}
-		return bulk.Sum(m, threads, vals) / int64(len(vals)), nil
+		return bulk.SumPar(pp, m, vals) / int64(len(vals)), nil
 	default:
 		return 0, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
 	}

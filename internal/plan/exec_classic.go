@@ -7,6 +7,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/bulk"
 	"repro/internal/device"
+	"repro/internal/par"
 )
 
 // ExecClassic executes the query with the classic bulk-processing model
@@ -32,7 +33,7 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 	if err != nil {
 		return nil, err
 	}
-	threads := opts.threads()
+	pp := opts.par(ctx)
 	m := device.NewMeter(c.sys)
 	res := &Result{Meter: m}
 	res.InputBytes = snap.inputBytes(q)
@@ -53,7 +54,7 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 		if err != nil {
 			return nil, err
 		}
-		ids = bulk.SelectRange(m, threads, b, q.Filters[0].Lo, q.Filters[0].Hi)
+		ids = bulk.SelectRangePar(pp, m, b, q.Filters[0].Lo, q.Filters[0].Hi)
 		trace("algebra.uselect(%s.%s)", q.Table, q.Filters[0].Col)
 		for _, f := range q.Filters[1:] {
 			if err := step(ctx, opts, StageBulk); err != nil {
@@ -63,21 +64,23 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 			if err != nil {
 				return nil, err
 			}
-			ids = bulk.SelectOIDs(m, threads, b, ids, f.Lo, f.Hi)
+			ids = bulk.SelectOIDsPar(pp, m, b, ids, f.Lo, f.Hi)
 			trace("algebra.uselect(%s.%s)", q.Table, f.Col)
 		}
 	} else {
 		ids = make([]bat.OID, fact.BaseLen())
-		for i := range ids {
-			ids[i] = bat.OID(i)
-		}
-		m.CPUWork(threads, int64(len(ids))*4, 0, int64(len(ids)))
+		pp.For(len(ids), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ids[i] = bat.OID(i)
+			}
+		})
+		m.CPUWork(pp.NThreads(), int64(len(ids))*4, 0, int64(len(ids)))
 		trace("algebra.scan(%s)", q.Table)
 	}
 
 	// Discharge deleted base rows with one bitmap pass.
 	if fact.BaseDeletedCount() > 0 {
-		ids = maskDeletedOIDs(m, threads, fact, ids)
+		ids = maskDeletedOIDs(m, pp, fact, ids)
 		trace("algebra.maskdeleted(%s)", q.Table)
 	}
 
@@ -97,34 +100,45 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 			return nil, fmt.Errorf("plan: no FK index on %s.%s; call BuildFKIndex first", q.Join.Dim, q.Join.DimPK)
 		}
 		lookup = ix.Lookup
-		fkVals := bulk.Fetch(m, threads, fkBAT, ids)
-		pos, hit := bulk.FKJoin(m, threads, ix, fkVals)
+		fkVals := bulk.FetchPar(pp, m, fkBAT, ids)
+		pos, hit := bulk.FKJoinPar(pp, m, ix, fkVals)
 		trace("algebra.leftjoin(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
-		keptIDs := make([]bat.OID, 0, len(ids))
-		dimPos = make([]bat.OID, 0, len(ids))
-		for i := range ids {
-			if hit[i] && !snap.dim.BaseDeleted(int(pos[i])) {
-				keptIDs = append(keptIDs, ids[i])
-				dimPos = append(dimPos, pos[i])
+		type idPos struct{ id, pos bat.OID }
+		split := func(pairs []idPos) ([]bat.OID, []bat.OID) {
+			outIDs := make([]bat.OID, len(pairs))
+			outPos := make([]bat.OID, len(pairs))
+			for i, ip := range pairs {
+				outIDs[i] = ip.id
+				outPos[i] = ip.pos
 			}
+			return outIDs, outPos
 		}
-		ids = keptIDs
+		ids, dimPos = split(par.GatherOrdered(pp, len(ids), func(lo, hi int) []idPos {
+			part := make([]idPos, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				if hit[i] && !snap.dim.BaseDeleted(int(pos[i])) {
+					part = append(part, idPos{ids[i], pos[i]})
+				}
+			}
+			return part
+		}))
 		for _, f := range q.Join.DimFilters {
 			db, err := snap.dim.Column(f.Col)
 			if err != nil {
 				return nil, err
 			}
-			vals := bulk.Fetch(m, threads, db, dimPos)
-			keptIDs = ids[:0:0]
-			keptPos := dimPos[:0:0]
-			for i, v := range vals {
-				if v >= f.Lo && v <= f.Hi {
-					keptIDs = append(keptIDs, ids[i])
-					keptPos = append(keptPos, dimPos[i])
+			vals := bulk.FetchPar(pp, m, db, dimPos)
+			curIDs, curPos := ids, dimPos
+			ids, dimPos = split(par.GatherOrdered(pp, len(vals), func(lo, hi int) []idPos {
+				part := make([]idPos, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					if vals[i] >= f.Lo && vals[i] <= f.Hi {
+						part = append(part, idPos{curIDs[i], curPos[i]})
+					}
 				}
-			}
-			m.CPUWork(threads, int64(len(vals))*8, 0, int64(len(vals)))
-			ids, dimPos = keptIDs, keptPos
+				return part
+			}))
+			m.CPUWork(pp.NThreads(), int64(len(vals))*8, 0, int64(len(vals)))
 			trace("algebra.uselect(%s.%s)", q.Join.Dim, f.Col)
 		}
 	}
@@ -137,7 +151,7 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 		if err := step(ctx, opts, StageDelta); err != nil {
 			return nil, err
 		}
-		dset, err = scanDelta(m, threads, q, snap, need, lookup)
+		dset, err = scanDelta(m, pp, q, snap, need, lookup)
 		if err != nil {
 			return nil, err
 		}
@@ -162,13 +176,13 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 			if err != nil {
 				return nil, err
 			}
-			ectx.dim[ref.Name] = bulk.Fetch(m, threads, db, dimPos)
+			ectx.dim[ref.Name] = bulk.FetchPar(pp, m, db, dimPos)
 		} else {
 			fb, err := fact.Column(ref.Name)
 			if err != nil {
 				return nil, err
 			}
-			ectx.fact[ref.Name] = bulk.Fetch(m, threads, fb, ids)
+			ectx.fact[ref.Name] = bulk.FetchPar(pp, m, fb, ids)
 		}
 		trace("algebra.leftjoin(%s)", ref.Name)
 	}
@@ -187,19 +201,23 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 		for k, g := range q.GroupBy {
 			cols[k] = ectx.fact[g]
 		}
-		grouping, groupKeys = bulk.GroupByMulti(m, threads, cols)
+		grouping, groupKeys = bulk.GroupByMultiPar(pp, m, cols)
 		trace("group.new(%s)", join(q.GroupBy))
 	}
 
 	if err := step(ctx, opts, StageAggregate); err != nil {
 		return nil, err
 	}
-	rows, err := aggregateRows(m, threads, q, ectx, grouping, groupKeys, false)
+	rows, err := aggregateRows(m, pp, q, ectx, grouping, groupKeys, false)
 	if err != nil {
 		return nil, err
 	}
 	for _, a := range q.Aggs {
 		trace("aggr.%s(%s)", a.Func, a.Name)
+	}
+	// Mid-kernel cancellation leaves partial morsel output; never serve it.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res.Rows = rows
 	return res, nil

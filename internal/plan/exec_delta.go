@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/device"
+	"repro/internal/par"
 	"repro/internal/store"
 )
 
@@ -47,10 +48,16 @@ func neededCols(q Query, withGroups bool) map[ColRef]bool {
 // a foreign-key value to the dimension base position (nil when the query
 // has no join). Returns nil when the snapshot has no delta rows.
 //
+// The scan is morsel-parallel over the store's delta-segment granules
+// (store.Snapshot.DeltaMorsels): each worker evaluates its morsels into a
+// private partial, and partials concatenate in morsel order, so the output
+// row order is identical to the serial row-major pass for every worker
+// count.
+//
 // The cost charged is one sequential row-major pass over the visible delta
 // (a row store reads whole rows) plus the dimension gathers for joined
 // references.
-func scanDelta(m *device.Meter, threads int, q Query, snap *execSnap, need map[ColRef]bool, lookup func(int64) (bat.OID, bool)) (*deltaSet, error) {
+func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColRef]bool, lookup func(int64) (bat.OID, bool)) (*deltaSet, error) {
 	fs := snap.fact
 	if fs.DeltaLen() == 0 {
 		return nil, nil
@@ -109,47 +116,80 @@ func scanDelta(m *device.Meter, threads int, q Query, snap *execSnap, need map[C
 		}
 	}
 
-	out := &deltaSet{fact: map[string][]int64{}, dim: map[string][]int64{}}
-	factVals := make([][]int64, len(factRefs))
-	dimVals := make([][]int64, len(dimRefs))
-	var dimGathers int64
-rows:
-	for j := 0; j < fs.DeltaLen(); j++ {
-		if fs.DeltaDeleted(j) {
-			continue
-		}
-		for k, f := range q.Filters {
-			if v := fs.DeltaValue(j, filterIdx[k]); v < f.Lo || v > f.Hi {
-				continue rows
-			}
-		}
-		var dimPos bat.OID
-		if q.Join != nil {
-			pos, ok := lookup(fs.DeltaValue(j, fkIdx))
-			if !ok || snap.dim.BaseDeleted(int(pos)) {
+	// One partial per delta morsel; the morsel boundaries come from the
+	// store, so they respect the segment edge and the deletion bitmap's
+	// word alignment.
+	morsels := fs.DeltaMorsels(pp.ChunkSize())
+	type deltaPart struct {
+		n          int
+		factVals   [][]int64
+		dimVals    [][]int64
+		dimGathers int64
+	}
+	parts := make([]deltaPart, len(morsels))
+	scanMorsel := func(mi int, mo store.Morsel) {
+		pt := &parts[mi]
+		pt.factVals = make([][]int64, len(factRefs))
+		pt.dimVals = make([][]int64, len(dimRefs))
+	rows:
+		for j := mo.Lo; j < mo.Hi; j++ {
+			if fs.DeltaDeleted(j) {
 				continue
 			}
-			for k, f := range q.Join.DimFilters {
-				if v := dimFilterCols[k][pos]; v < f.Lo || v > f.Hi {
+			for k, f := range q.Filters {
+				if v := fs.DeltaValue(j, filterIdx[k]); v < f.Lo || v > f.Hi {
 					continue rows
 				}
 			}
-			dimPos = pos
-			dimGathers++
+			var dimPos bat.OID
+			if q.Join != nil {
+				pos, ok := lookup(fs.DeltaValue(j, fkIdx))
+				if !ok || snap.dim.BaseDeleted(int(pos)) {
+					continue
+				}
+				for k, f := range q.Join.DimFilters {
+					if v := dimFilterCols[k][pos]; v < f.Lo || v > f.Hi {
+						continue rows
+					}
+				}
+				dimPos = pos
+				pt.dimGathers++
+			}
+			for k, ref := range factRefs {
+				pt.factVals[k] = append(pt.factVals[k], fs.DeltaValue(j, ref.idx))
+			}
+			for k, ref := range dimRefs {
+				pt.dimVals[k] = append(pt.dimVals[k], ref.col[dimPos])
+			}
+			pt.n++
 		}
-		for k, ref := range factRefs {
-			factVals[k] = append(factVals[k], fs.DeltaValue(j, ref.idx))
-		}
-		for k, ref := range dimRefs {
-			dimVals[k] = append(dimVals[k], ref.col[dimPos])
-		}
-		out.n++
+	}
+	// A cancellation mid-scan leaves unscanned morsels' partials nil;
+	// surface the context error instead of merging incomplete parts.
+	if err := par.ForEach(pp, len(morsels), func(mi int) { scanMorsel(mi, morsels[mi]) }); err != nil {
+		return nil, err
+	}
+
+	// Merge partials in morsel order: identical to the serial row order.
+	out := &deltaSet{fact: map[string][]int64{}, dim: map[string][]int64{}}
+	var dimGathers int64
+	for _, pt := range parts {
+		out.n += pt.n
+		dimGathers += pt.dimGathers
 	}
 	for k, ref := range factRefs {
-		out.fact[ref.name] = factVals[k]
+		vals := make([]int64, 0, out.n)
+		for pi := range parts {
+			vals = append(vals, parts[pi].factVals[k]...)
+		}
+		out.fact[ref.name] = vals
 	}
 	for k, ref := range dimRefs {
-		out.dim[ref.name] = dimVals[k]
+		vals := make([]int64, 0, out.n)
+		for pi := range parts {
+			vals = append(vals, parts[pi].dimVals[k]...)
+		}
+		out.dim[ref.name] = vals
 	}
 	if m != nil {
 		ops := int64(fs.DeltaLen()) * int64(1+len(q.Filters))
@@ -157,7 +197,7 @@ rows:
 		if dimGathers > 0 {
 			gatherBytes = dimGathers * 8 * int64(len(dimRefs)+len(dimFilterCols))
 		}
-		m.CPUWork(threads, fs.DeltaBytes()+int64(out.n)*8*int64(len(factRefs)), gatherBytes, ops)
+		m.CPUWork(pp.NThreads(), fs.DeltaBytes()+int64(out.n)*8*int64(len(factRefs)), gatherBytes, ops)
 	}
 	return out, nil
 }
@@ -191,19 +231,24 @@ func (ctx *exprCtx) appendDelta(d *deltaSet) {
 
 // maskDeletedOIDs drops the OIDs whose base row is deleted in the
 // snapshot, charging one bitmap-probe pass. It returns the input slice
-// when the snapshot has no deletions.
-func maskDeletedOIDs(m *device.Meter, threads int, s *store.Snapshot, ids []bat.OID) []bat.OID {
+// when the snapshot has no deletions. The probe is morsel-parallel over
+// the candidate list; morsel outputs concatenate in order, so candidate
+// order is preserved.
+func maskDeletedOIDs(m *device.Meter, pp par.P, s *store.Snapshot, ids []bat.OID) []bat.OID {
 	if s.BaseDeletedCount() == 0 {
 		return ids
 	}
-	out := ids[:0:0]
-	for _, id := range ids {
-		if !s.BaseDeleted(int(id)) {
-			out = append(out, id)
+	out := par.GatherOrdered(pp, len(ids), func(lo, hi int) []bat.OID {
+		part := make([]bat.OID, 0, hi-lo)
+		for _, id := range ids[lo:hi] {
+			if !s.BaseDeleted(int(id)) {
+				part = append(part, id)
+			}
 		}
-	}
+		return part
+	})
 	if m != nil {
-		m.CPUWork(threads, int64(len(ids))*8+int64(s.BaseLen()+7)/8, 0, int64(len(ids)))
+		m.CPUWork(pp.NThreads(), int64(len(ids))*8+int64(s.BaseLen()+7)/8, 0, int64(len(ids)))
 	}
 	return out
 }

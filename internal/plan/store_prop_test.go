@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -303,5 +305,113 @@ func TestJoinWithDimDeletionsAndEmptyDim(t *testing.T) {
 	}
 	if _, err := c.ExecClassic(qe, ExecOpts{}); err == nil {
 		t.Fatal("classic join with empty dimension accepted")
+	}
+}
+
+// TestPropParallelMorselEquivalence is the morsel-edge property test: for
+// random deletion-bitmap densities and delta sizes, the classic and A&R
+// executors must return results identical to the serial (Workers=1) run
+// for every worker count and morsel size — and the simulated meter must be
+// bit-identical too, since the worker budget must never leak into the cost
+// model. Small Morsel values force many morsel boundaries through the
+// deletion mask, the delta scan and the grouping merge.
+func TestPropParallelMorselEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := propCatalog(t, 6000, seed)
+			rng := rand.New(rand.NewSource(seed * 31))
+			// Random delta size and deletion density.
+			extra := rng.Intn(3000)
+			rows := make([][]int64, extra)
+			for i := range rows {
+				rows[i] = []int64{int64(rng.Intn(4096)), int64(rng.Intn(4096)), int64(rng.Intn(5))}
+			}
+			if _, err := c.InsertRows(nil, "fact", rows); err != nil {
+				t.Fatal(err)
+			}
+			for d := 0; d < 1+rng.Intn(4); d++ {
+				lo := int64(rng.Intn(4096))
+				if _, err := c.DeleteRows(nil, "fact", []Filter{{Col: "v", Lo: lo, Hi: lo + int64(rng.Intn(512))}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for qi, q := range propQueries(rng) {
+				serialAR, err := c.ExecAR(q, ExecOpts{Threads: 1, Workers: 1})
+				if err != nil {
+					t.Fatalf("query %d serial AR: %v", qi, err)
+				}
+				serialCl, err := c.ExecClassic(q, ExecOpts{Threads: 1, Workers: 1})
+				if err != nil {
+					t.Fatalf("query %d serial classic: %v", qi, err)
+				}
+				if !EqualResults(serialAR.Rows, serialCl.Rows) {
+					t.Fatalf("query %d: serial A&R %v != classic %v", qi, serialAR.Rows, serialCl.Rows)
+				}
+				for trial := 0; trial < 4; trial++ {
+					opts := ExecOpts{
+						Threads: 1,
+						Workers: 2 + rng.Intn(7),
+						Morsel:  []int{64, 128, 1024, 0}[rng.Intn(4)],
+					}
+					ar, err := c.ExecAR(q, opts)
+					if err != nil {
+						t.Fatalf("query %d %+v AR: %v", qi, opts, err)
+					}
+					cl, err := c.ExecClassic(q, opts)
+					if err != nil {
+						t.Fatalf("query %d %+v classic: %v", qi, opts, err)
+					}
+					if !EqualResults(ar.Rows, serialAR.Rows) {
+						t.Fatalf("query %d %+v: parallel A&R %v != serial %v", qi, opts, ar.Rows, serialAR.Rows)
+					}
+					if !EqualResults(cl.Rows, serialCl.Rows) {
+						t.Fatalf("query %d %+v: parallel classic %v != serial %v", qi, opts, cl.Rows, serialCl.Rows)
+					}
+					if *ar.Meter != *serialAR.Meter {
+						t.Fatalf("query %d %+v: A&R meter %v != serial %v (worker budget leaked into the cost model)",
+							qi, opts, ar.Meter, serialAR.Meter)
+					}
+					if *cl.Meter != *serialCl.Meter {
+						t.Fatalf("query %d %+v: classic meter %v != serial %v (worker budget leaked into the cost model)",
+							qi, opts, cl.Meter, serialCl.Meter)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCancelledDeltaScanReturnsError is the regression for the
+// nil-partial merge: a context cancelled mid-delta-scan must surface
+// ctx.Err() from scanDelta instead of merging (and panicking on) the
+// unscanned morsels' nil partials.
+func TestParallelCancelledDeltaScanReturnsError(t *testing.T) {
+	c := propCatalog(t, 2000, 1)
+	rows := make([][]int64, 500)
+	for i := range rows {
+		rows[i] = []int64{int64(i % 4096), int64(i % 4096), int64(i % 5)}
+	}
+	if _, err := c.InsertRows(nil, "fact", rows); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Table:   "fact",
+		Filters: []Filter{{Col: "v", Lo: 0, Hi: 4095}},
+		Aggs:    []AggSpec{{Name: "s", Func: Sum, Expr: Col("w")}},
+	}
+	snap, err := q.pinSnapshots(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pp := ExecOpts{Threads: 1, Workers: 4, Morsel: 64}.par(ctx)
+	dset, err := scanDelta(nil, pp, q, snap, neededCols(q, false), nil)
+	if err == nil {
+		t.Fatalf("cancelled delta scan returned %+v without error", dset)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled delta scan returned %v, want context.Canceled", err)
 	}
 }

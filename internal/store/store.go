@@ -191,6 +191,60 @@ func (s *Snapshot) DeltaBytes() int64 {
 // Table returns the mutable table this snapshot was taken from.
 func (s *Snapshot) Table() *Table { return s.t }
 
+// Morsel is one scan granule of a snapshot: a half-open row range [Lo, Hi)
+// that lies entirely within a single physical segment (Delta reports
+// which). Executors hand morsels to concurrent workers; because a morsel
+// never straddles the base/delta edge, a worker reads one storage layout
+// (bit-sliced columns or row-major delta) per granule.
+type Morsel struct {
+	Lo, Hi int
+	Delta  bool
+}
+
+// Morsels splits the snapshot's rows (including deleted ones — the
+// deletion bitmap is consulted per row, so ranges stay positional) into
+// granules of at most chunk rows. Boundaries are aligned to 64-row
+// multiples inside each segment so that concurrent workers probing the
+// deletion bitmap touch disjoint bitmap words, and they never cross the
+// base/delta segment edge. A chunk <= 0 defaults to 64k rows.
+func (s *Snapshot) Morsels(chunk int) []Morsel {
+	if chunk <= 0 {
+		chunk = 64 << 10
+	}
+	// Round the granule up to a bitmap-word multiple.
+	if chunk&63 != 0 {
+		chunk = (chunk + 63) &^ 63
+	}
+	var out []Morsel
+	for lo := 0; lo < s.base.n; lo += chunk {
+		hi := lo + chunk
+		if hi > s.base.n {
+			hi = s.base.n
+		}
+		out = append(out, Morsel{Lo: lo, Hi: hi})
+	}
+	for lo := 0; lo < s.deltaN; lo += chunk {
+		hi := lo + chunk
+		if hi > s.deltaN {
+			hi = s.deltaN
+		}
+		out = append(out, Morsel{Lo: lo, Hi: hi, Delta: true})
+	}
+	return out
+}
+
+// DeltaMorsels returns only the delta-segment granules of Morsels.
+func (s *Snapshot) DeltaMorsels(chunk int) []Morsel {
+	all := s.Morsels(chunk)
+	out := all[:0]
+	for _, m := range all {
+		if m.Delta {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 func bitSet(bits []uint64, i int) bool {
 	w := i >> 6
 	if w >= len(bits) {
