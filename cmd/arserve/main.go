@@ -13,7 +13,8 @@
 //	...
 //
 // Meta commands: \cost, \mode [auto|ar|classic], \tables, \stats,
-// \merge [table], \prepare <name> <sql>, \run <name> [params...], \q.
+// \merge [table], \explain <select>, \prepare <name> <sql>,
+// \run <name> [params...], \q.
 //
 // The SQL surface includes DML — INSERT INTO ... VALUES, DELETE FROM ...
 // WHERE, CREATE TABLE — served against the mutable column store: inserts

@@ -6,6 +6,10 @@
 //	ar> select bwdecompose(lon, 24), bwdecompose(lat, 24) from trips
 //	ar> select count(*) from trips where lon between 2.68288 and 2.70228
 //	                                 and lat between 50.4222 and 50.4485
+//	ar> select count(*) from trips where lon < 2.7 or lat > 50.44
+//	ar> select l_returnflag, sum(l_quantity) as q from lineitem
+//	        group by l_returnflag having count(*) > 100 order by q desc limit 2
+//	ar> \explain select count(*) from lineitem join part on lineitem.l_partkey = part.p_partkey
 //	ar> create table orders (qty int, price decimal2)
 //	ar> insert into orders values (5, 1.50), (10, 2.25)
 //	ar> delete from orders where qty < 6
@@ -16,8 +20,11 @@
 // The shell is a thin REPL over an engine session — the same
 // internal/engine facade the TCP server adapts — so its meta-command
 // surface is identical to the server's: \cost, \mode [auto|ar|classic],
-// \tables, \stats, \merge [table], \prepare <name> <sql>,
-// \run <name> [params...], \q. One command is shell-only because it reads
+// \tables, \stats, \merge [table], \explain <select>,
+// \prepare <name> <sql>, \run <name> [params...], \q. \explain renders
+// the assembled operator pipeline (scan strategy, cost-ordered filters
+// with estimated selectivities, join chain, delta/top-k stages) without
+// executing the statement. One command is shell-only because it reads
 // the local filesystem:
 //
 //	\load <csv> <table> <schema>   ingest a CSV file (schema syntax

@@ -28,12 +28,15 @@ import (
 // attachment carries the approximation codes of one column, positionally
 // aligned with a candidate list, together with the relaxed predicate range
 // that was applied on that column (zero ApproxRange when the column was
-// only projected, not filtered).
+// only projected, not filtered). Attachments sharing a non-zero group id
+// belong to one disjunction (OR) predicate: a candidate satisfies the
+// group when any member's predicate holds.
 type attachment struct {
 	col      *bwd.Column
 	codes    []uint64
 	rng      bwd.ApproxRange
 	filtered bool
+	group    int
 }
 
 // Candidates is the output of approximation operators on the structural
@@ -69,12 +72,42 @@ func (c *Candidates) CodesFor(col *bwd.Column) []uint64 {
 // Certain reports whether candidate i is guaranteed to satisfy every
 // relaxed predicate exactly (i.e. it cannot be a false positive): its code
 // on every filtered column lies strictly inside the relaxed range, away
-// from the boundary buckets. Approximate min/max aggregation uses this to
-// bound the true extremum (§IV-F, Fig 6).
+// from the boundary buckets. For a disjunction group, some member must be
+// certainly satisfied. Approximate min/max aggregation uses this to bound
+// the true extremum (§IV-F, Fig 6).
 func (c *Candidates) Certain(i int) bool {
 	for k := range c.attach {
 		a := &c.attach[k]
 		if !a.filtered {
+			continue
+		}
+		if a.group != 0 {
+			// Disjunction groups: each group needs one certainly-satisfied
+			// member. Evaluate a group once, at its first attachment —
+			// attachment lists are a handful of filters long, so the inner
+			// scans stay cheaper than any per-call scratch allocation
+			// (Certain runs per candidate in approxAnswer's hot loop).
+			first := true
+			for j := 0; j < k; j++ {
+				if c.attach[j].filtered && c.attach[j].group == a.group {
+					first = false
+					break
+				}
+			}
+			if !first {
+				continue
+			}
+			ok := false
+			for j := k; j < len(c.attach); j++ {
+				b := &c.attach[j]
+				if b.filtered && b.group == a.group && certainIn(b, i) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
 			continue
 		}
 		if a.col.Dec.ResBits == 0 {
@@ -89,6 +122,26 @@ func (c *Candidates) Certain(i int) bool {
 		}
 	}
 	return true
+}
+
+// certainIn reports whether candidate i certainly satisfies one
+// disjunct's exact predicate: its code lies inside the relaxed range and
+// away from the boundary buckets (always, for exact codes).
+func certainIn(a *attachment, i int) bool {
+	if a.rng.Empty {
+		return false
+	}
+	if a.rng.Full {
+		return true
+	}
+	code := a.codes[i]
+	if code < a.rng.Lo || code > a.rng.Hi {
+		return false
+	}
+	if a.col.Dec.ResBits == 0 {
+		return true
+	}
+	return code != a.rng.Lo && code != a.rng.Hi
 }
 
 // Ship charges the PCI-E transfer that moves the candidate set (IDs plus
@@ -133,7 +186,7 @@ func (c *Candidates) filterTo(keep []int) *Candidates {
 		for i, k := range keep {
 			codes[i] = src.codes[k]
 		}
-		out.attach[ai] = attachment{col: src.col, codes: codes, rng: src.rng, filtered: src.filtered}
+		out.attach[ai] = attachment{col: src.col, codes: codes, rng: src.rng, filtered: src.filtered, group: src.group}
 	}
 	return out
 }

@@ -1,0 +1,178 @@
+package ar
+
+import (
+	"repro/internal/bat"
+	"repro/internal/bwd"
+	"repro/internal/device"
+	"repro/internal/par"
+)
+
+// This file implements the disjunction (OR) selection operators: the
+// approximate select of a union of relaxed ranges — each disjunct relaxed
+// through its own column's BWD bounds — and its refinement. The candidate
+// union never materializes per-disjunct sets: one pass evaluates every
+// disjunct per tuple, so the device output is already the union, in the
+// same deterministic permutation as a conjunctive scan.
+
+// orCodes is the per-tuple scratch of one disjunction scan: the tuple id
+// plus the code of every disjunct column, kept aligned so all columns
+// attach to the candidate set.
+type orCodes struct {
+	id    bat.OID
+	codes []uint64
+}
+
+// SelectApproxAny is the approximation of a disjunctive selection over the
+// bitwise decomposed columns cols with relaxed ranges rs (one per
+// disjunct, possibly repeating a column): the device scans every disjunct
+// column's packed approximation and emits the tuples whose code matches
+// any relaxed range — a superset of the exact OR result. All disjunct
+// columns' codes attach to the candidates under one disjunction group id,
+// so Certain and the refinement can evaluate the group as a whole.
+func SelectApproxAny(m *device.Meter, cols []*bwd.Column, rs []bwd.ApproxRange, group int) *Candidates {
+	n := cols[0].Len()
+	pairs := par.Gather(n, gpuChunk, 0, false, func(lo, hi int) []orCodes {
+		out := make([]orCodes, 0, (hi-lo)/4)
+		for i := lo; i < hi; i++ {
+			keep := false
+			codes := make([]uint64, len(cols))
+			for k, col := range cols {
+				codes[k] = col.Approx.Get(i)
+				if rs[k].Contains(codes[k]) {
+					keep = true
+				}
+			}
+			if keep {
+				out = append(out, orCodes{bat.OID(i), codes})
+			}
+		}
+		return out
+	})
+	c := buildOrCandidates(pairs, cols, rs, group, false)
+	if m != nil {
+		var scanned int64
+		var written int64 = int64(len(pairs)) * 4
+		for _, col := range cols {
+			scanned += col.Approx.Bytes()
+			written += packedBytes(len(pairs), col.Dec.ApproxBits)
+		}
+		m.GPUKernel(scanned+written, 0, int64(n)*OpsPackedScan*int64(len(cols)))
+	}
+	return c
+}
+
+// SelectApproxAnyOver narrows an existing candidate set with a further
+// disjunctive predicate: the device gathers each disjunct column's codes
+// at the candidate positions and keeps the tuples matching any relaxed
+// range, preserving candidate order so later translucent joins remain
+// valid.
+func SelectApproxAnyOver(m *device.Meter, cols []*bwd.Column, rs []bwd.ApproxRange, in *Candidates, group int) *Candidates {
+	keep := make([]int, 0, len(in.IDs))
+	kept := make([][]uint64, 0, len(in.IDs))
+	for i, id := range in.IDs {
+		match := false
+		codes := make([]uint64, len(cols))
+		for k, col := range cols {
+			codes[k] = col.Approx.Get(int(id))
+			if rs[k].Contains(codes[k]) {
+				match = true
+			}
+		}
+		if match {
+			keep = append(keep, i)
+			kept = append(kept, codes)
+		}
+	}
+	out := in.filterTo(keep)
+	out.shipped = false // a fresh device-side intermediate
+	for k, col := range cols {
+		codes := make([]uint64, len(kept))
+		for i := range kept {
+			codes[i] = kept[i][k]
+		}
+		out.attach = append(out.attach, attachment{col: col, codes: codes, rng: rs[k], filtered: true, group: group})
+	}
+	if m != nil {
+		n := len(in.IDs)
+		seq := int64(n)*4 + int64(len(keep))*4
+		var rnd int64
+		for _, col := range cols {
+			seq += packedBytes(len(keep), col.Dec.ApproxBits)
+			rnd += packedBytes(n, col.Dec.ApproxBits)
+		}
+		m.GPUKernel(seq, rnd, int64(n)*OpsPackedScan*int64(len(cols)))
+	}
+	return out
+}
+
+// buildOrCandidates assembles a candidate set from disjunction scan pairs,
+// attaching every disjunct column's codes under the group id.
+func buildOrCandidates(pairs []orCodes, cols []*bwd.Column, rs []bwd.ApproxRange, group int, shipped bool) *Candidates {
+	c := &Candidates{IDs: make([]bat.OID, len(pairs)), shipped: shipped}
+	perCol := make([][]uint64, len(cols))
+	for k := range cols {
+		perCol[k] = make([]uint64, len(pairs))
+	}
+	for i, p := range pairs {
+		c.IDs[i] = p.id
+		for k := range cols {
+			perCol[k][i] = p.codes[k]
+		}
+	}
+	for k, col := range cols {
+		c.attach = append(c.attach, attachment{col: col, codes: perCol[k], rng: rs[k], filtered: true, group: group})
+	}
+	return c
+}
+
+// SelectRefineAnyPar is the refinement of a disjunctive selection: on the
+// CPU, each candidate's exact value is reconstructed per disjunct column
+// (shipped code + host-resident residual) and the precise disjunction —
+// any lo_k <= v_k <= hi_k — is re-evaluated, eliminating false positives.
+// Morsel survivors concatenate in morsel order, preserving candidate
+// order exactly like the conjunctive refinement.
+func SelectRefineAnyPar(p par.P, m *device.Meter, cols []*bwd.Column, los, his []int64, in *Candidates) *Candidates {
+	codes := make([][]uint64, len(cols))
+	for k, col := range cols {
+		codes[k] = in.CodesFor(col)
+		if codes[k] == nil {
+			panic("ar: SelectRefineAny on a column that was never approximated over these candidates")
+		}
+	}
+	n := len(in.IDs)
+	keep := par.GatherOrdered(p, n, func(mlo, mhi int) []int {
+		part := make([]int, 0, mhi-mlo)
+		for i := mlo; i < mhi; i++ {
+			for k, col := range cols {
+				var r uint64
+				if col.Dec.ResBits > 0 {
+					r = col.Residual.Get(int(in.IDs[i]))
+				}
+				v := col.ReconstructFrom(codes[k][i], r)
+				if v >= los[k] && v <= his[k] {
+					part = append(part, i)
+					break
+				}
+			}
+		}
+		return part
+	})
+	out := in.filterTo(keep)
+	if m != nil {
+		// Charge one fused disjunction pass: IDs and every disjunct's codes
+		// stream sequentially, residuals are touched at candidate order.
+		// Deterministic in (n, columns) — the short-circuit above only
+		// saves real work, never billed work.
+		seq := int64(n)*4 + int64(len(keep))*4
+		var ops int64
+		for _, col := range cols {
+			seq += packedBytes(n, col.Dec.ApproxBits)
+			if col.Dec.ResBits > 0 {
+				seq += device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
+			}
+			ops += int64(n) * 2
+		}
+		m.CPUWork(p.NThreads(), seq, 0, ops)
+	}
+	return out
+}

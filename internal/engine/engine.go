@@ -180,6 +180,29 @@ func (e *Engine) QueryPlan(ctx context.Context, q plan.Query) (*Result, error) {
 	return e.defaultSession().QueryPlan(ctx, q)
 }
 
+// DescribePlan renders the physical pipeline the query would run —
+// chosen scan strategy, cost-ordered filters with estimated
+// selectivities, join chain, delta/top-k stages — without executing it.
+// Mode resolves exactly like execution routing: auto picks A&R when every
+// touched column is decomposed.
+func (e *Engine) DescribePlan(q plan.Query, mode Mode) ([]string, error) {
+	classic := mode == ModeClassic || (mode == ModeAuto && !e.cat.CanExecAR(q))
+	return e.cat.ExplainQuery(q, classic)
+}
+
+// DescribeStatement compiles a SELECT statement and renders its pipeline
+// (the shell's \explain). Write statements have no pipeline to describe.
+func (e *Engine) DescribeStatement(src string, mode Mode) ([]string, error) {
+	b, err := e.compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if b.IsWrite() {
+		return nil, fmt.Errorf("engine: \\explain describes queries; %q is a write statement", strings.Fields(src)[0])
+	}
+	return e.DescribePlan(b.Query, mode)
+}
+
 // Totals returns the engine-wide meter totals across all sessions.
 func (e *Engine) Totals() *device.SharedMeter { return &e.sched.Totals }
 

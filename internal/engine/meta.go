@@ -12,7 +12,8 @@ import (
 // Meta executes one backslash meta command against the session and returns
 // the display lines. It is the single implementation behind both the
 // shell's and the server's meta surface (\cost, \mode, \tables, \stats,
-// \prepare, \run, \q), which is what keeps the two front-ends at parity.
+// \merge, \explain, \prepare, \run, \q), which is what keeps the two
+// front-ends at parity.
 //
 // handled is false when line is not a meta command (no backslash prefix) —
 // the caller should execute it as SQL. quit is true for \q. Unknown meta
@@ -75,6 +76,15 @@ func (s *Session) Meta(ctx context.Context, line string) (out []string, quit, ha
 		return out, false, true, nil
 	case `\stats`:
 		return s.eng.StatsLines(s), false, true, nil
+	case `\explain`:
+		if rest == "" {
+			return nil, false, true, errors.New(`engine: usage: \explain <select statement>`)
+		}
+		lines, err := s.eng.DescribeStatement(rest, s.Mode())
+		if err != nil {
+			return nil, false, true, err
+		}
+		return lines, false, true, nil
 	case `\prepare`:
 		name, stmt, ok := strings.Cut(rest, " ")
 		stmt = strings.TrimSpace(stmt)

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/ar"
 	"repro/internal/bat"
-	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
 	"repro/internal/par"
@@ -66,68 +65,95 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 }
 
 // ExecARCtx executes the query under the Approximate & Refine paradigm:
-// the approximation subplan runs entirely on the simulated device first
+// it validates the query (pinning one store snapshot per touched table),
+// assembles the operator pipeline with the A&R scan strategy, and runs it.
+// The approximation subplan runs entirely on the simulated device first
 // (its intermediate results never leave device memory), the candidate set
 // and device-side projections are shipped across the bus once, and the
 // refinement subplan discharges false positives and reconstructs exact
 // values on the CPU. The returned Result carries the exact rows, the
 // phase-A approximate answer, and the simulated GPU/CPU/PCI breakdown.
 //
-// The execution pins one store snapshot per touched table: the base
-// segment runs through the A&R operator set (rows masked by the deletion
-// bitmap are discharged device-side, where the bitmap is mirrored), the
-// delta segment is scanned with one classic host-side pass, and the two
-// contributions merge before aggregation — freshly inserted rows are
-// queryable without any re-decomposition.
-//
-// Cancellation is cooperative: the executor polls ctx between pipeline
-// stages (each approximate operator, the bus crossing, the delta scan,
-// each refinement batch, the final aggregation) and returns ctx.Err()
-// without a result once the context is done.
+// Cancellation is cooperative: the pipeline polls ctx between stages
+// (each approximate operator, the bus crossing, the delta scan, each
+// refinement batch, the final aggregation) and returns ctx.Err() without
+// a result once the context is done.
 func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
-	// Validation doubles as the snapshot pin: the whole execution works
-	// against the table versions and decomposition pointers resolved here.
 	snap, err := q.validate(c)
 	if err != nil {
 		return nil, err
 	}
-	pp := opts.par(ctx)
-	m := device.NewMeter(c.sys)
-	res := &Result{Meter: m}
-	res.InputBytes = snap.inputBytes(q)
-	trace := func(format string, args ...any) {
-		res.Plan = append(res.Plan, fmt.Sprintf(format, args...))
-	}
+	return buildPipeline(q, snap, false).run(ctx, c.sys, opts)
+}
 
-	// ---- Rule-based optimization: push the most selective approximate
-	// selections down (§III-A).
-	filters := orderFilters(snap, q.Table, q.Filters)
+// arJoinRT is the runtime state of one FK-probe stage in the A&R scan:
+// the dimension base positions aligned with the current candidate set and
+// the delta scan's FK lookup.
+type arJoinRT struct {
+	stage  joinStage
+	pos    []bat.OID
+	lookup func(int64) (bat.OID, bool)
+}
+
+// scanAR is the A&R scan strategy: the approximation subplan on the
+// device (selections, disjunctions, join probes, pre-grouping,
+// projections), the single bus crossing, and the refinement subplan on
+// the CPU — producing the base segment's exact tuple values for the
+// shared pipeline tail. The delta segment is scanned with one classic
+// row-major pass before the ship (so the phase-A answer can include its
+// exact contribution) and handed to the tail unmerged.
+func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
+	q := &pl.q
+	snap := pl.snap
+	pp := st.pp
+	m := st.m
 
 	// ---- Phase A: the approximation subplan on the device.
-	if err := step(ctx, opts, StageApprox); err != nil {
+	if err := st.step(StageApprox); err != nil {
 		return nil, err
 	}
 	var cands *ar.Candidates
-	if len(filters) > 0 {
-		d := snap.get(q.Table, filters[0].Col)
-		cands = ar.SelectApprox(m, d, d.Relax(filters[0].Lo, filters[0].Hi))
-		trace("bwd.uselectapproximate(%s.%s)", q.Table, filters[0].Col)
-		for _, f := range filters[1:] {
-			if err := step(ctx, opts, StageApprox); err != nil {
+	switch {
+	case len(pl.factFilters) > 0:
+		f0 := pl.factFilters[0].f
+		d := snap.get(q.Table, f0.Col)
+		cands = ar.SelectApprox(m, d, d.Relax(f0.Lo, f0.Hi))
+		st.trace("bwd.uselectapproximate(%s.%s)", q.Table, f0.Col)
+		for _, rf := range pl.factFilters[1:] {
+			if err := st.step(StageApprox); err != nil {
 				return nil, err
 			}
-			d := snap.get(q.Table, f.Col)
-			cands = ar.SelectApproxOver(m, d, d.Relax(f.Lo, f.Hi), cands)
-			trace("bwd.uselectapproximate(%s.%s)", q.Table, f.Col)
+			d := snap.get(q.Table, rf.f.Col)
+			cands = ar.SelectApproxOver(m, d, d.Relax(rf.f.Lo, rf.f.Hi), cands)
+			st.trace("bwd.uselectapproximate(%s.%s)", q.Table, rf.f.Col)
 		}
-	} else {
+	case len(pl.orGroups) > 0:
+		g := pl.orGroups[0]
+		cols, rs, _, _ := pl.orGroupRelax(g)
+		cands = ar.SelectApproxAny(m, cols, rs, g.id)
+		st.trace("bwd.uselectanyapproximate(%s)", orGroupText(q.Table, g.filters))
+	default:
 		anchor, ok := q.anchorColumn()
 		if !ok {
 			return nil, fmt.Errorf("plan: query references no fact columns")
 		}
 		d := snap.get(q.Table, anchor)
 		cands = ar.SelectApprox(m, d, bwd.ApproxRange{Full: true})
-		trace("bwd.scanapproximate(%s.%s)", q.Table, anchor)
+		st.trace("bwd.scanapproximate(%s.%s)", q.Table, anchor)
+	}
+	// Remaining disjunction groups narrow the candidate set like further
+	// conjuncts — each one the union of its per-disjunct relaxed ranges.
+	orStart := 0
+	if len(pl.factFilters) == 0 && len(pl.orGroups) > 0 {
+		orStart = 1
+	}
+	for _, g := range pl.orGroups[orStart:] {
+		if err := st.step(StageApprox); err != nil {
+			return nil, err
+		}
+		cols, rs, _, _ := pl.orGroupRelax(g)
+		cands = ar.SelectApproxAnyOver(m, cols, rs, cands, g.id)
+		st.trace("bwd.uselectanyapproximate(%s)", orGroupText(q.Table, g.filters))
 	}
 
 	// Discharge deleted base rows on the device: the deletion bitmap is
@@ -146,39 +172,42 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 		})
 		m.GPUKernel(int64(cands.Len())*4+int64(fs.BaseLen()+7)/8, 0, int64(cands.Len()))
 		cands = cands.Filter(keep)
-		trace("bwd.maskdeleted(%s)", q.Table)
+		st.trace("bwd.maskdeleted(%s)", q.Table)
 	}
 
-	// Foreign-key join and dimension-side approximate selections.
-	var dimPos []bat.OID
-	var lookup func(int64) (bat.OID, bool)
-	if q.Join != nil {
-		if err := step(ctx, opts, StageApprox); err != nil {
+	// Foreign-key join chain and dimension-side approximate selections.
+	joins := make([]*arJoinRT, len(pl.joins))
+	for ji := range pl.joins {
+		joins[ji] = &arJoinRT{stage: pl.joins[ji]}
+		jr := joins[ji]
+		spec := jr.stage.spec
+		if err := st.step(StageApprox); err != nil {
 			return nil, err
 		}
-		fkd := snap.get(q.Table, q.Join.FKCol)
-		dimLen := snap.dim.BaseLen()
-		pk, err := snap.dim.Column(q.Join.DimPK)
+		fkd := snap.get(q.Table, spec.FKCol)
+		ds := snap.dims[spec.Dim]
+		dimLen := ds.BaseLen()
+		pk, err := ds.Column(spec.DimPK)
 		if err != nil {
 			return nil, err
 		}
 		pkBase := pk.Tail(0)
-		lookup = denseLookup(pkBase, dimLen)
-		dimPos, err = ar.FKPositionsApprox(m, fkd, cands, pkBase, dimLen)
+		jr.lookup = denseLookup(pkBase, dimLen)
+		jr.pos, err = ar.FKPositionsApprox(m, fkd, cands, pkBase, dimLen)
 		if err != nil {
 			return nil, err
 		}
-		trace("bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
-		if ds := snap.dim; ds.BaseDeletedCount() > 0 {
+		st.trace("bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
+		if ds.BaseDeletedCount() > 0 {
 			type keepPos struct {
 				i   int
 				pos bat.OID
 			}
-			pairs := par.GatherOrdered(pp, len(dimPos), func(lo, hi int) []keepPos {
+			pairs := par.GatherOrdered(pp, len(jr.pos), func(lo, hi int) []keepPos {
 				part := make([]keepPos, 0, hi-lo)
 				for i := lo; i < hi; i++ {
-					if !ds.BaseDeleted(int(dimPos[i])) {
-						part = append(part, keepPos{i, dimPos[i]})
+					if !ds.BaseDeleted(int(jr.pos[i])) {
+						part = append(part, keepPos{i, jr.pos[i]})
 					}
 				}
 				return part
@@ -189,15 +218,20 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 				keep[i] = kp.i
 				kept[i] = kp.pos
 			}
-			m.GPUKernel(int64(len(dimPos))*4+int64(ds.BaseLen()+7)/8, 0, int64(len(dimPos)))
+			m.GPUKernel(int64(len(jr.pos))*4+int64(ds.BaseLen()+7)/8, 0, int64(len(jr.pos)))
 			cands = cands.Filter(keep)
-			dimPos = kept
-			trace("bwd.maskdeleted(%s)", q.Join.Dim)
+			jr.pos = kept
+			remapJoinPos(pp, joins[:ji], keep)
+			st.trace("bwd.maskdeleted(%s)", spec.Dim)
 		}
-		for _, f := range q.Join.DimFilters {
-			dd := snap.get(q.Join.Dim, f.Col)
-			cands, dimPos = ar.SelectApproxAt(m, dd, dd.Relax(f.Lo, f.Hi), cands, dimPos)
-			trace("bwd.uselectapproximate(%s.%s)", q.Join.Dim, f.Col)
+		for _, rf := range jr.stage.dimFilters {
+			dd := snap.get(spec.Dim, rf.f.Col)
+			prev := cands
+			cands, jr.pos = ar.SelectApproxAt(m, dd, dd.Relax(rf.f.Lo, rf.f.Hi), cands, jr.pos)
+			if err := remapJoinLists(pp, joins[:ji], nil, prev, cands); err != nil {
+				return nil, err
+			}
+			st.trace("bwd.uselectapproximate(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 
@@ -212,27 +246,35 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 			cols[i] = snap.get(q.Table, g)
 		}
 		mg = ar.GroupApproxMulti(m, cols, cands)
-		trace("bwd.groupapproximate(%s)", join(q.GroupBy))
+		st.trace("bwd.groupapproximate(%s)", join(q.GroupBy))
 	}
 
 	// Approximate projections for every column the aggregation phase
 	// needs: aggregate inputs, plus the grouping keys when grouping merges
 	// with the delta on the host.
-	need := neededCols(q, len(q.GroupBy) > 0 && !useDevGrouping)
+	posFor := func(dim string) []bat.OID {
+		for _, jr := range joins {
+			if jr.stage.spec.Dim == dim {
+				return jr.pos
+			}
+		}
+		return nil
+	}
+	need := neededCols(*q, len(q.GroupBy) > 0 && !useDevGrouping)
 	var refList []ColRef
 	projections := map[ColRef]*ar.Projection{}
 	addRef := func(ref ColRef) {
 		if _, done := projections[ref]; done {
 			return
 		}
-		if ref.Dim {
-			dd := snap.get(q.Join.Dim, ref.Name)
-			projections[ref] = ar.ProjectApproxAt(m, dd, cands, dimPos)
-			trace("bwd.leftjoinapproximate(%s.%s)", q.Join.Dim, ref.Name)
+		if ref.IsDim() {
+			dd := snap.get(ref.Dim, ref.Name)
+			projections[ref] = ar.ProjectApproxAt(m, dd, cands, posFor(ref.Dim))
+			st.trace("bwd.leftjoinapproximate(%s.%s)", ref.Dim, ref.Name)
 		} else {
 			fd := snap.get(q.Table, ref.Name)
 			projections[ref] = ar.ProjectApprox(m, fd, cands)
-			trace("bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
+			st.trace("bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
 		}
 		refList = append(refList, ref)
 	}
@@ -255,29 +297,31 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 	// predicates and materializes the needed values exactly.
 	var dset *deltaSet
 	if snap.fact.DeltaLen() > 0 {
-		if err := step(ctx, opts, StageDelta); err != nil {
+		if err := st.step(StageDelta); err != nil {
 			return nil, err
 		}
-		dset, err = scanDelta(m, pp, q, snap, need, lookup)
+		lookups := map[string]func(int64) (bat.OID, bool){}
+		for _, jr := range joins {
+			lookups[jr.stage.spec.Dim] = jr.lookup
+		}
+		var err error
+		dset, err = scanDelta(m, pp, *q, snap, need, lookups)
 		if err != nil {
 			return nil, err
 		}
-		trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
+		st.trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
 	}
 
 	// Phase-A approximate answer: strict bounds from approximations over
 	// the base segment, plus the (exact) delta contributions.
-	res.Approx = approxAnswer(m, q, cands, projections, dset)
-	res.Candidates = cands.Len()
-	if dset != nil {
-		res.Candidates += dset.n
-	}
+	st.res.Approx = approxAnswer(m, *q, cands, projections, dset)
+	st.res.Candidates = cands.Len()
 	for _, a := range q.Aggs {
-		trace("bwd.%sapproximate(%s)", a.Func, a.Name)
+		st.trace("bwd.%sapproximate(%s)", a.Func, a.Name)
 	}
 
 	// ---- Ship: one bus crossing for candidates, projections, groupings.
-	if err := step(ctx, opts, StageShip); err != nil {
+	if err := st.step(StageShip); err != nil {
 		return nil, err
 	}
 	cands.Ship(m)
@@ -287,139 +331,184 @@ func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Resul
 	if mg != nil {
 		mg.Ship(m)
 	}
-	if dimPos != nil {
-		m.Transfer(int64(len(dimPos)) * 4)
+	for _, jr := range joins {
+		if jr.pos != nil {
+			m.Transfer(int64(len(jr.pos)) * 4)
+		}
 	}
 
 	// ---- Phase R: the refinement subplan on the CPU.
 	refined := cands
-	atRefined := dimPos
-	for _, f := range filters {
-		if err := step(ctx, opts, StageRefine); err != nil {
+	for _, rf := range pl.factFilters {
+		if err := st.step(StageRefine); err != nil {
 			return nil, err
 		}
-		d := snap.get(q.Table, f.Col)
-		if atRefined == nil {
-			refined, _ = ar.SelectRefinePar(pp, m, d, f.Lo, f.Hi, refined)
+		d := snap.get(q.Table, rf.f.Col)
+		if len(joins) == 0 {
+			refined, _ = ar.SelectRefinePar(pp, m, d, rf.f.Lo, rf.f.Hi, refined)
 		} else {
-			// Keep the joined positions aligned while filtering.
-			var keepPos []bat.OID
-			refined, keepPos = refineKeepingAt(pp, m, d, f.Lo, f.Hi, refined, atRefined)
-			atRefined = keepPos
-		}
-		trace("bwd.uselectrefine(%s.%s)", q.Table, f.Col)
-	}
-	if q.Join != nil {
-		trace("bwd.leftjoinrefine(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
-		for _, f := range q.Join.DimFilters {
-			if err := step(ctx, opts, StageRefine); err != nil {
+			// Keep every join's positions aligned while filtering.
+			var err error
+			refined, err = refineKeepingJoins(pp, joins, func() *ar.Candidates {
+				out, _ := ar.SelectRefinePar(pp, m, d, rf.f.Lo, rf.f.Hi, refined)
+				return out
+			}, refined)
+			if err != nil {
 				return nil, err
 			}
-			dd := snap.get(q.Join.Dim, f.Col)
-			refined, atRefined, _ = ar.SelectRefineAtPar(pp, m, dd, f.Lo, f.Hi, refined, atRefined)
-			trace("bwd.uselectrefine(%s.%s)", q.Join.Dim, f.Col)
+		}
+		st.trace("bwd.uselectrefine(%s.%s)", q.Table, rf.f.Col)
+	}
+	for _, g := range pl.orGroups {
+		if err := st.step(StageRefine); err != nil {
+			return nil, err
+		}
+		cols, _, los, his := pl.orGroupRelax(g)
+		cur := refined
+		var err error
+		refined, err = refineKeepingJoins(pp, joins, func() *ar.Candidates {
+			return ar.SelectRefineAnyPar(pp, m, cols, los, his, cur)
+		}, refined)
+		if err != nil {
+			return nil, err
+		}
+		st.trace("bwd.uselectanyrefine(%s)", orGroupText(q.Table, g.filters))
+	}
+	for _, jr := range joins {
+		spec := jr.stage.spec
+		st.trace("bwd.leftjoinrefine(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
+		for _, rf := range jr.stage.dimFilters {
+			if err := st.step(StageRefine); err != nil {
+				return nil, err
+			}
+			dd := snap.get(spec.Dim, rf.f.Col)
+			prev := refined
+			refined, jr.pos, _ = ar.SelectRefineAtPar(pp, m, dd, rf.f.Lo, rf.f.Hi, refined, jr.pos)
+			if err := remapJoinLists(pp, joins, jr, prev, refined); err != nil {
+				return nil, err
+			}
+			st.trace("bwd.uselectrefine(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
-	res.Refined = refined.Len()
-	if dset != nil {
-		res.Refined += dset.n
-	}
+	st.res.Refined = refined.Len()
 
 	// Exact values for every referenced column.
-	ectx := &exprCtx{n: refined.Len(), fact: map[string][]int64{}, dim: map[string][]int64{}}
+	ectx := &exprCtx{n: refined.Len(), vals: map[ColRef][]int64{}}
 	for _, ref := range refList {
-		if err := step(ctx, opts, StageRefine); err != nil {
+		if err := st.step(StageRefine); err != nil {
 			return nil, err
 		}
 		p := projections[ref]
 		var vals []int64
 		var err error
-		if ref.Dim {
-			vals, err = ar.ProjectRefineAtPar(pp, m, p, refined, atRefined)
+		if ref.IsDim() {
+			vals, err = ar.ProjectRefineAtPar(pp, m, p, refined, posFor(ref.Dim))
 		} else {
 			vals, err = ar.ProjectRefinePar(pp, m, p, refined)
 		}
 		if err != nil {
 			return nil, err
 		}
-		if ref.Dim {
-			ectx.dim[ref.Name] = vals
-		} else {
-			ectx.fact[ref.Name] = vals
-		}
-		trace("bwd.leftjoinrefine(%s)", ref.Name)
+		ectx.vals[ref] = vals
+		st.trace("bwd.leftjoinrefine(%s)", ref.Name)
 	}
 
-	// Merge the delta contribution: base and delta tuples meet in one
-	// combined exact-value context.
-	ectx.appendDelta(dset)
-
-	// Exact grouping — refined from the device pre-grouping, or rebuilt on
-	// the host over the combined tuple set when a delta is present.
-	var grouping *bulk.Grouping
-	var groupKeys [][]int64
-	if mg != nil {
-		if err := step(ctx, opts, StageRefine); err != nil {
-			return nil, err
-		}
-		grouping, groupKeys, err = ar.GroupRefineMultiPar(pp, m, mg, refined)
-		if err != nil {
-			return nil, err
-		}
-		trace("bwd.grouprefine(%s)", join(q.GroupBy))
-	} else if len(q.GroupBy) > 0 {
-		if err := step(ctx, opts, StageRefine); err != nil {
-			return nil, err
-		}
-		cols := make([][]int64, len(q.GroupBy))
-		for k, g := range q.GroupBy {
-			cols[k] = ectx.fact[g]
-		}
-		grouping, groupKeys = bulk.GroupByMultiPar(pp, m, cols)
-		trace("group.merge(%s)", join(q.GroupBy))
-	}
-
-	// Aggregation (§IV-F; sums of products are recomputed on the CPU due
-	// to destructive distributivity, §IV-G). The refinement aggregation is
-	// a fused, statically expanded loop (§V-C) reading each input column
-	// once — unlike the classic engine, which materializes every
-	// arithmetic intermediate (§II-B).
-	if err := step(ctx, opts, StageAggregate); err != nil {
-		return nil, err
-	}
-	rows, err := aggregateRows(m, pp, q, ectx, grouping, groupKeys, true)
-	if err != nil {
-		return nil, err
-	}
-	for _, a := range q.Aggs {
-		trace("bwd.%srefine(%s)", a.Func, a.Name)
-	}
-	// A context cancelled mid-kernel leaves that kernel's output incomplete
-	// (workers stop claiming morsels); the final check guarantees such
-	// partial results are never returned as an answer.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Rows = rows
-	return res, nil
+	return &scanOut{ectx: ectx, dset: dset, mg: mg, refined: refined}, nil
 }
 
-// refineKeepingAt runs a fact-side selection refinement while keeping an
-// auxiliary position list aligned with the surviving candidates.
-func refineKeepingAt(pp par.P, m *device.Meter, d *bwd.Column, lo, hi int64, in *ar.Candidates, at []bat.OID) (*ar.Candidates, []bat.OID) {
-	refined, _ := ar.SelectRefinePar(pp, m, d, lo, hi, in)
-	pos, err := ar.TranslucentJoin(in.IDs, refined.IDs)
-	if err != nil {
-		// The refinement is an order-preserving subset by construction.
-		panic("plan: refinement broke candidate order: " + err.Error())
+// orGroupRelax resolves one disjunction group against the snapshot: the
+// decomposed columns, the per-disjunct relaxed ranges (each through its
+// own column's BWD bounds), and the exact bounds for refinement.
+func (pl *pipeline) orGroupRelax(g orGroupStage) (cols []*bwd.Column, rs []bwd.ApproxRange, los, his []int64) {
+	cols = make([]*bwd.Column, len(g.filters))
+	rs = make([]bwd.ApproxRange, len(g.filters))
+	los = make([]int64, len(g.filters))
+	his = make([]int64, len(g.filters))
+	for i, f := range g.filters {
+		cols[i] = pl.snap.get(pl.q.Table, f.Col)
+		rs[i] = cols[i].Relax(f.Lo, f.Hi)
+		los[i], his[i] = f.Lo, f.Hi
 	}
-	keep := make([]bat.OID, len(pos))
-	pp.For(len(pos), func(mlo, mhi int) {
-		for i := mlo; i < mhi; i++ {
-			keep[i] = at[pos[i]]
+	return cols, rs, los, his
+}
+
+func orGroupText(table string, filters []Filter) string {
+	out := ""
+	for i, f := range filters {
+		if i > 0 {
+			out += "|"
 		}
-	})
-	return refined, keep
+		out += table + "." + f.Col
+	}
+	return out
+}
+
+// refineKeepingJoins runs a candidate refinement produced by refine while
+// keeping every join stage's position list aligned with the surviving
+// candidates. With no joins the caller should refine directly; the
+// position remap costs no metered work (the translucent join is the
+// order-preserving positional fast path).
+func refineKeepingJoins(pp par.P, joins []*arJoinRT, refine func() *ar.Candidates, in *ar.Candidates) (*ar.Candidates, error) {
+	refined := refine()
+	if err := remapJoinLists(pp, joins, nil, in, refined); err != nil {
+		return nil, err
+	}
+	return refined, nil
+}
+
+// remapJoinLists compacts the position lists of every join (except skip,
+// usually the stage whose own operator already returned its filtered
+// list) after an order-preserving selection shrank the candidate set from
+// prev to cur. The translucent join recovers the surviving positions; the
+// remap itself is unmetered bookkeeping.
+func remapJoinLists(pp par.P, joins []*arJoinRT, skip *arJoinRT, prev, cur *ar.Candidates) error {
+	any := false
+	for _, jr := range joins {
+		if jr != skip && jr.pos != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	pos, err := ar.TranslucentJoin(prev.IDs, cur.IDs)
+	if err != nil {
+		// Selections are order-preserving subsets by construction.
+		return fmt.Errorf("plan: selection broke candidate order: %w", err)
+	}
+	for _, jr := range joins {
+		if jr == skip || jr.pos == nil {
+			continue
+		}
+		keep := make([]bat.OID, len(pos))
+		at := jr.pos
+		pp.For(len(pos), func(mlo, mhi int) {
+			for i := mlo; i < mhi; i++ {
+				keep[i] = at[pos[i]]
+			}
+		})
+		jr.pos = keep
+	}
+	return nil
+}
+
+// remapJoinPos compacts earlier joins' position lists with an index keep
+// list (device-side mask), aligning them with the filtered candidates.
+func remapJoinPos(pp par.P, joins []*arJoinRT, keep []int) {
+	for _, jr := range joins {
+		if jr.pos == nil {
+			continue
+		}
+		kept := make([]bat.OID, len(keep))
+		at := jr.pos
+		pp.For(len(keep), func(mlo, mhi int) {
+			for i := mlo; i < mhi; i++ {
+				kept[i] = at[keep[i]]
+			}
+		})
+		jr.pos = kept
+	}
 }
 
 // approxAnswer derives the phase-A bounds: candidate-count interval and
@@ -433,9 +522,9 @@ func approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, projections ma
 	if delta != nil {
 		out.Count.Lo += int64(delta.n)
 		out.Count.Hi += int64(delta.n)
-		dctx = &exprCtx{n: delta.n, fact: delta.fact, dim: delta.dim}
+		dctx = &exprCtx{n: delta.n, vals: delta.vals}
 	}
-	bctx := &boundsCtx{n: cands.Len(), fact: map[string][]ar.Interval{}, dim: map[string][]ar.Interval{}}
+	bctx := &boundsCtx{n: cands.Len(), vals: map[ColRef][]ar.Interval{}}
 	for ref, p := range projections {
 		ivs := make([]ar.Interval, p.Len())
 		err := p.Col.Dec.Err()
@@ -443,11 +532,7 @@ func approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, projections ma
 			lo := p.ApproxLow(i)
 			ivs[i] = ar.Interval{Lo: lo, Hi: lo + err}
 		}
-		if ref.Dim {
-			bctx.dim[ref.Name] = ivs
-		} else {
-			bctx.fact[ref.Name] = ivs
-		}
+		bctx.vals[ref] = ivs
 	}
 	for _, a := range q.Aggs {
 		switch a.Func {
@@ -513,182 +598,6 @@ func approxAnswer(m *device.Meter, q Query, cands *ar.Candidates, projections ma
 			}
 			out.Aggs = append(out.Aggs, total)
 		}
-	}
-	return out
-}
-
-// aggregateRows evaluates the aggregate expressions over the exact values
-// and groups them.
-func aggregateRows(m *device.Meter, pp par.P, q Query, ctx *exprCtx, grouping *bulk.Grouping, groupKeys [][]int64, fused bool) ([]Row, error) {
-	threads := pp.NThreads()
-	bulkMeter := m
-	if m != nil && fused {
-		// A&R refinement: one fused pass evaluates all expressions and
-		// aggregates, reading each referenced column once (§V-C static
-		// type expansion). Charge it here and run the arithmetic below
-		// unmetered.
-		uniq := map[ColRef]bool{}
-		var nodes int
-		for _, a := range q.Aggs {
-			nodes++ // the aggregate update itself
-			if a.Expr == nil {
-				continue
-			}
-			nodes += a.Expr.Ops()
-			for _, ref := range a.Expr.Cols() {
-				uniq[ref] = true
-			}
-		}
-		n := int64(ctx.n)
-		bytes := n * 8 * int64(len(uniq))
-		if grouping != nil {
-			bytes += n * 4 // group ids
-		}
-		m.CPUWork(threads, bytes, 0, n*int64(nodes)*bulk.OpsArith)
-		bulkMeter = nil
-	} else if m != nil {
-		// Classic bulk evaluation fully materializes one intermediate per
-		// arithmetic node (§II-B); the aggregate passes below charge
-		// separately through bulkMeter.
-		for _, a := range q.Aggs {
-			if a.Expr == nil {
-				continue
-			}
-			if ops := a.Expr.Ops(); ops > 0 {
-				n := int64(ctx.n)
-				m.CPUWork(threads, n*24*int64(ops), 0, n*int64(ops)*bulk.OpsArith)
-			}
-		}
-	}
-	m = bulkMeter
-	if grouping == nil {
-		row := Row{}
-		for _, a := range q.Aggs {
-			v, err := globalAgg(m, pp, a, ctx)
-			if err != nil {
-				return nil, err
-			}
-			row.Vals = append(row.Vals, v)
-		}
-		return []Row{row}, nil
-	}
-	rows := make([]Row, grouping.NGroups)
-	for g := 0; g < grouping.NGroups; g++ {
-		keys := make([]int64, len(groupKeys))
-		for k := range groupKeys {
-			keys[k] = groupKeys[k][g]
-		}
-		rows[g].Keys = keys
-	}
-	for _, a := range q.Aggs {
-		var per []int64
-		switch a.Func {
-		case Count:
-			per = bulk.CountGroupedPar(pp, m, grouping)
-		case Sum:
-			per = bulk.SumGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
-		case Min:
-			per = bulk.MinGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
-		case Max:
-			per = bulk.MaxGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
-		case Avg:
-			sums := bulk.SumGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
-			counts := bulk.CountGroupedPar(pp, m, grouping)
-			per = make([]int64, len(sums))
-			for i := range per {
-				if counts[i] > 0 {
-					per[i] = sums[i] / counts[i]
-				}
-			}
-		default:
-			return nil, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
-		}
-		for g := range rows {
-			rows[g].Vals = append(rows[g].Vals, per[g])
-		}
-	}
-	sortRows(rows)
-	return rows, nil
-}
-
-func globalAgg(m *device.Meter, pp par.P, a AggSpec, ctx *exprCtx) (int64, error) {
-	switch a.Func {
-	case Count:
-		return int64(ctx.n), nil
-	case Sum:
-		return bulk.SumPar(pp, m, a.Expr.Eval(ctx)), nil
-	case Min:
-		v, _ := bulk.MinPar(pp, m, a.Expr.Eval(ctx))
-		return v, nil
-	case Max:
-		v, _ := bulk.MaxPar(pp, m, a.Expr.Eval(ctx))
-		return v, nil
-	case Avg:
-		vals := a.Expr.Eval(ctx)
-		if len(vals) == 0 {
-			return 0, nil
-		}
-		return bulk.SumPar(pp, m, vals) / int64(len(vals)), nil
-	default:
-		return 0, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
-	}
-}
-
-// inputBytes sums the physical footprint of every column the query reads —
-// the stream-baseline input volume — over the pinned snapshots, including
-// the row-major delta segment when present.
-func (s *execSnap) inputBytes(q Query) int64 {
-	seen := map[string]bool{}
-	var total int64
-	add := func(snap interface {
-		Column(string) (*bat.BAT, error)
-	}, table, col string) {
-		key := table + "." + col
-		if seen[key] {
-			return
-		}
-		seen[key] = true
-		b, err := snap.Column(col)
-		if err != nil {
-			return
-		}
-		total += b.TailBytes()
-	}
-	for _, f := range q.Filters {
-		add(s.fact, q.Table, f.Col)
-	}
-	for _, g := range q.GroupBy {
-		add(s.fact, q.Table, g)
-	}
-	if q.Join != nil {
-		add(s.fact, q.Table, q.Join.FKCol)
-		for _, f := range q.Join.DimFilters {
-			add(s.dim, q.Join.Dim, f.Col)
-		}
-	}
-	for _, a := range q.Aggs {
-		if a.Expr == nil {
-			continue
-		}
-		for _, ref := range a.Expr.Cols() {
-			if ref.Dim {
-				add(s.dim, q.Join.Dim, ref.Name)
-			} else {
-				add(s.fact, q.Table, ref.Name)
-			}
-		}
-	}
-	total += s.fact.DeltaBytes()
-	return total
-}
-
-func join(ss []string) string {
-	out := ""
-	for i, s := range ss {
-		if i > 0 {
-			out += ","
-		}
-		out += s
 	}
 	return out
 }

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/bulk"
-	"repro/internal/device"
 	"repro/internal/par"
 )
 
@@ -17,55 +16,60 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 }
 
 // ExecClassicCtx executes the query with the classic bulk-processing model
-// on the CPU only — the paper's "MonetDB" baseline. Operators are the
-// fully-materializing tight loops of package bulk; no device or bus time
-// is ever charged.
+// on the CPU only — the paper's "MonetDB" baseline. It validates the
+// query (pinning one store snapshot per touched table), assembles the
+// operator pipeline with the classic scan strategy, and runs it.
+// Operators are the fully-materializing tight loops of package bulk; no
+// device or bus time is ever charged.
 //
-// Like the A&R executor, the execution pins one store snapshot per table:
-// the base segment runs through the bulk operator chain (deleted rows are
-// filtered with one bitmap pass), the delta segment is scanned row-major,
-// and both contributions merge before grouping and aggregation.
-//
-// Cancellation is cooperative: the executor polls ctx between bulk passes
+// Cancellation is cooperative: the pipeline polls ctx between bulk passes
 // and returns ctx.Err() without a result once the context is done.
 func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
 	snap, err := q.validateClassic(c)
 	if err != nil {
 		return nil, err
 	}
-	pp := opts.par(ctx)
-	m := device.NewMeter(c.sys)
-	res := &Result{Meter: m}
-	res.InputBytes = snap.inputBytes(q)
-	trace := func(format string, args ...any) {
-		res.Plan = append(res.Plan, fmt.Sprintf(format, args...))
-	}
+	return buildPipeline(q, snap, true).run(ctx, c.sys, opts)
+}
 
+// scanClassic is the classic scan strategy: MonetDB-style uselect chains
+// over the row-major base segment, one bitmap pass for deletions, the
+// FK-probe join chain through the pre-built indexes, and full
+// materialization of every referenced column — producing the same
+// exact-value tuple stream as the A&R scan for the shared pipeline tail.
+// The delta segment is scanned by the shared delta source and handed to
+// the tail unmerged.
+func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
+	q := &pl.q
+	snap := pl.snap
+	pp := st.pp
+	m := st.m
 	fact := snap.fact
 
 	// Selections: first a full scan, then progressively narrower
 	// candidate-list filters (MonetDB's uselect chains).
-	if err := step(ctx, opts, StageBulk); err != nil {
+	if err := st.step(StageBulk); err != nil {
 		return nil, err
 	}
 	var ids []bat.OID
-	if len(q.Filters) > 0 {
-		b, err := fact.Column(q.Filters[0].Col)
+	if len(pl.factFilters) > 0 {
+		f0 := pl.factFilters[0].f
+		b, err := fact.Column(f0.Col)
 		if err != nil {
 			return nil, err
 		}
-		ids = bulk.SelectRangePar(pp, m, b, q.Filters[0].Lo, q.Filters[0].Hi)
-		trace("algebra.uselect(%s.%s)", q.Table, q.Filters[0].Col)
-		for _, f := range q.Filters[1:] {
-			if err := step(ctx, opts, StageBulk); err != nil {
+		ids = bulk.SelectRangePar(pp, m, b, f0.Lo, f0.Hi)
+		st.trace("algebra.uselect(%s.%s)", q.Table, f0.Col)
+		for _, rf := range pl.factFilters[1:] {
+			if err := st.step(StageBulk); err != nil {
 				return nil, err
 			}
-			b, err := fact.Column(f.Col)
+			b, err := fact.Column(rf.f.Col)
 			if err != nil {
 				return nil, err
 			}
-			ids = bulk.SelectOIDsPar(pp, m, b, ids, f.Lo, f.Hi)
-			trace("algebra.uselect(%s.%s)", q.Table, f.Col)
+			ids = bulk.SelectOIDsPar(pp, m, b, ids, rf.f.Lo, rf.f.Hi)
+			st.trace("algebra.uselect(%s.%s)", q.Table, rf.f.Col)
 		}
 	} else {
 		ids = make([]bat.OID, fact.BaseLen())
@@ -75,206 +79,195 @@ func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*
 			}
 		})
 		m.CPUWork(pp.NThreads(), int64(len(ids))*4, 0, int64(len(ids)))
-		trace("algebra.scan(%s)", q.Table)
+		st.trace("algebra.scan(%s)", q.Table)
+	}
+
+	// Disjunction groups: fetch each disjunct column at the surviving
+	// positions and keep the rows matching any range — one
+	// fully-materializing pass per group, like every classic operator.
+	for _, g := range pl.orGroups {
+		if err := st.step(StageBulk); err != nil {
+			return nil, err
+		}
+		cols := make([][]int64, len(g.filters))
+		for k, f := range g.filters {
+			b, err := fact.Column(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			cols[k] = bulk.FetchPar(pp, m, b, ids)
+		}
+		filters := g.filters
+		ids = par.GatherOrdered(pp, len(ids), func(lo, hi int) []bat.OID {
+			part := make([]bat.OID, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				for k, f := range filters {
+					if v := cols[k][i]; v >= f.Lo && v <= f.Hi {
+						part = append(part, ids[i])
+						break
+					}
+				}
+			}
+			return part
+		})
+		m.CPUWork(pp.NThreads(), int64(len(cols))*int64(len(cols[0]))*8, 0, int64(len(cols))*int64(len(cols[0])))
+		st.trace("algebra.uselectany(%s)", orGroupText(q.Table, g.filters))
 	}
 
 	// Discharge deleted base rows with one bitmap pass.
 	if fact.BaseDeletedCount() > 0 {
 		ids = maskDeletedOIDs(m, pp, fact, ids)
-		trace("algebra.maskdeleted(%s)", q.Table)
+		st.trace("algebra.maskdeleted(%s)", q.Table)
 	}
 
-	// Foreign-key join through the pre-built index.
-	var dimPos []bat.OID
-	var lookup func(int64) (bat.OID, bool)
-	if q.Join != nil {
-		if err := step(ctx, opts, StageBulk); err != nil {
+	// Foreign-key join chain through the pre-built indexes.
+	joinPos := make([][]bat.OID, len(pl.joins))
+	lookups := map[string]func(int64) (bat.OID, bool){}
+	for ji, js := range pl.joins {
+		spec := js.spec
+		if err := st.step(StageBulk); err != nil {
 			return nil, err
 		}
-		fkBAT, err := fact.Column(q.Join.FKCol)
+		fkBAT, err := fact.Column(spec.FKCol)
 		if err != nil {
 			return nil, err
 		}
-		ix := snap.dim.FKIndex(q.Join.DimPK)
+		ds := snap.dims[spec.Dim]
+		ix := ds.FKIndex(spec.DimPK)
 		if ix == nil {
-			return nil, fmt.Errorf("plan: no FK index on %s.%s; call BuildFKIndex first", q.Join.Dim, q.Join.DimPK)
+			return nil, fmt.Errorf("plan: no FK index on %s.%s; call BuildFKIndex first", spec.Dim, spec.DimPK)
 		}
-		lookup = ix.Lookup
+		lookups[spec.Dim] = ix.Lookup
 		fkVals := bulk.FetchPar(pp, m, fkBAT, ids)
 		pos, hit := bulk.FKJoinPar(pp, m, ix, fkVals)
-		trace("algebra.leftjoin(%s.%s -> %s)", q.Table, q.Join.FKCol, q.Join.Dim)
-		type idPos struct{ id, pos bat.OID }
-		split := func(pairs []idPos) ([]bat.OID, []bat.OID) {
-			outIDs := make([]bat.OID, len(pairs))
-			outPos := make([]bat.OID, len(pairs))
-			for i, ip := range pairs {
-				outIDs[i] = ip.id
-				outPos[i] = ip.pos
-			}
-			return outIDs, outPos
-		}
-		ids, dimPos = split(par.GatherOrdered(pp, len(ids), func(lo, hi int) []idPos {
-			part := make([]idPos, 0, hi-lo)
+		st.trace("algebra.leftjoin(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
+		// Keep the id list, this join's positions, and every earlier
+		// join's positions aligned while dropping misses and rows joined
+		// to deleted dimension rows.
+		pairs := par.GatherOrdered(pp, len(ids), func(lo, hi int) []idKeep {
+			part := make([]idKeep, 0, hi-lo)
 			for i := lo; i < hi; i++ {
-				if hit[i] && !snap.dim.BaseDeleted(int(pos[i])) {
-					part = append(part, idPos{ids[i], pos[i]})
+				if hit[i] && !ds.BaseDeleted(int(pos[i])) {
+					part = append(part, idKeep{i, ids[i], pos[i]})
 				}
 			}
 			return part
-		}))
-		for _, f := range q.Join.DimFilters {
-			db, err := snap.dim.Column(f.Col)
+		})
+		var keep []int
+		ids, joinPos[ji], keep = splitKeep(pairs)
+		compactJoinPos(pp, joinPos[:ji], keep)
+
+		for _, rf := range js.dimFilters {
+			db, err := ds.Column(rf.f.Col)
 			if err != nil {
 				return nil, err
 			}
-			vals := bulk.FetchPar(pp, m, db, dimPos)
-			curIDs, curPos := ids, dimPos
-			ids, dimPos = split(par.GatherOrdered(pp, len(vals), func(lo, hi int) []idPos {
-				part := make([]idPos, 0, hi-lo)
+			vals := bulk.FetchPar(pp, m, db, joinPos[ji])
+			f := rf.f
+			curIDs, curPos := ids, joinPos[ji]
+			pairs := par.GatherOrdered(pp, len(vals), func(lo, hi int) []idKeep {
+				part := make([]idKeep, 0, hi-lo)
 				for i := lo; i < hi; i++ {
 					if vals[i] >= f.Lo && vals[i] <= f.Hi {
-						part = append(part, idPos{curIDs[i], curPos[i]})
+						part = append(part, idKeep{i, curIDs[i], curPos[i]})
 					}
 				}
 				return part
-			}))
+			})
+			ids, joinPos[ji], keep = splitKeep(pairs)
+			compactJoinPos(pp, joinPos[:ji], keep)
 			m.CPUWork(pp.NThreads(), int64(len(vals))*8, 0, int64(len(vals)))
-			trace("algebra.uselect(%s.%s)", q.Join.Dim, f.Col)
+			st.trace("algebra.uselect(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 
 	// Delta scan: evaluate the predicates over the live delta rows and
 	// materialize the needed values in the same pass.
-	need := neededCols(q, len(q.GroupBy) > 0)
+	need := neededCols(*q, len(q.GroupBy) > 0)
 	var dset *deltaSet
 	if fact.DeltaLen() > 0 {
-		if err := step(ctx, opts, StageDelta); err != nil {
+		if err := st.step(StageDelta); err != nil {
 			return nil, err
 		}
-		dset, err = scanDelta(m, pp, q, snap, need, lookup)
+		var err error
+		dset, err = scanDelta(m, pp, *q, snap, need, lookups)
 		if err != nil {
 			return nil, err
 		}
-		trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
+		st.trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
 	}
-	res.Candidates = len(ids)
-	res.Refined = len(ids)
-	if dset != nil {
-		res.Candidates += dset.n
-		res.Refined += dset.n
-	}
+	st.res.Candidates = len(ids)
+	st.res.Refined = len(ids)
 
 	// Materialize referenced columns at the qualifying base positions;
 	// grouping keys ride along when a grouping is present.
-	ectx := &exprCtx{n: len(ids), fact: map[string][]int64{}, dim: map[string][]int64{}}
+	posFor := func(dim string) []bat.OID {
+		for ji, js := range pl.joins {
+			if js.spec.Dim == dim {
+				return joinPos[ji]
+			}
+		}
+		return nil
+	}
+	ectx := &exprCtx{n: len(ids), vals: map[ColRef][]int64{}}
 	for ref := range need {
-		if err := step(ctx, opts, StageBulk); err != nil {
+		if err := st.step(StageBulk); err != nil {
 			return nil, err
 		}
-		if ref.Dim {
-			db, err := snap.dim.Column(ref.Name)
+		if ref.IsDim() {
+			db, err := snap.dims[ref.Dim].Column(ref.Name)
 			if err != nil {
 				return nil, err
 			}
-			ectx.dim[ref.Name] = bulk.FetchPar(pp, m, db, dimPos)
+			ectx.vals[ref] = bulk.FetchPar(pp, m, db, posFor(ref.Dim))
 		} else {
 			fb, err := fact.Column(ref.Name)
 			if err != nil {
 				return nil, err
 			}
-			ectx.fact[ref.Name] = bulk.FetchPar(pp, m, fb, ids)
+			ectx.vals[ref] = bulk.FetchPar(pp, m, fb, ids)
 		}
-		trace("algebra.leftjoin(%s)", ref.Name)
+		st.trace("algebra.leftjoin(%s)", ref.Name)
 	}
 
-	// Merge the delta contribution into the combined tuple set.
-	ectx.appendDelta(dset)
-
-	// Grouping over the combined key columns.
-	var grouping *bulk.Grouping
-	var groupKeys [][]int64
-	if len(q.GroupBy) > 0 {
-		if err := step(ctx, opts, StageBulk); err != nil {
-			return nil, err
-		}
-		cols := make([][]int64, len(q.GroupBy))
-		for k, g := range q.GroupBy {
-			cols[k] = ectx.fact[g]
-		}
-		grouping, groupKeys = bulk.GroupByMultiPar(pp, m, cols)
-		trace("group.new(%s)", join(q.GroupBy))
-	}
-
-	if err := step(ctx, opts, StageAggregate); err != nil {
-		return nil, err
-	}
-	rows, err := aggregateRows(m, pp, q, ectx, grouping, groupKeys, false)
-	if err != nil {
-		return nil, err
-	}
-	for _, a := range q.Aggs {
-		trace("aggr.%s(%s)", a.Func, a.Name)
-	}
-	// Mid-kernel cancellation leaves partial morsel output; never serve it.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res.Rows = rows
-	return res, nil
+	return &scanOut{ectx: ectx, dset: dset}, nil
 }
 
-// validateClassic checks table/column references and pins the snapshots
-// without requiring decompositions.
-func (q *Query) validateClassic(c *Catalog) (*execSnap, error) {
-	snap, err := q.pinSnapshots(c)
-	if err != nil {
-		return nil, err
+// idKeep is one surviving row of a join or dimension-filter pass: its
+// index in the pre-pass candidate list plus the fact id and dimension
+// position that survive.
+type idKeep struct {
+	i       int
+	id, pos bat.OID
+}
+
+// splitKeep unpacks gathered survivors into the new id list, the new
+// position list, and the keep indexes that realign earlier joins.
+func splitKeep(pairs []idKeep) (ids, pos []bat.OID, keep []int) {
+	ids = make([]bat.OID, len(pairs))
+	pos = make([]bat.OID, len(pairs))
+	keep = make([]int, len(pairs))
+	for i, ik := range pairs {
+		ids[i] = ik.id
+		pos[i] = ik.pos
+		keep[i] = ik.i
 	}
-	check := func(table, col string) error {
-		if _, err := snap.snapFor(q, table).Column(col); err != nil {
-			return err
-		}
-		return nil
-	}
-	for _, f := range q.Filters {
-		if err := check(q.Table, f.Col); err != nil {
-			return nil, err
-		}
-	}
-	for _, g := range q.GroupBy {
-		if err := check(q.Table, g); err != nil {
-			return nil, err
-		}
-	}
-	if q.Join != nil {
-		if err := check(q.Table, q.Join.FKCol); err != nil {
-			return nil, err
-		}
-		for _, f := range q.Join.DimFilters {
-			if err := check(q.Join.Dim, f.Col); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, a := range q.Aggs {
-		if a.Expr == nil {
+	return ids, pos, keep
+}
+
+// compactJoinPos compacts earlier joins' position lists with the keep
+// index list produced by a later join or dimension filter.
+func compactJoinPos(pp par.P, lists [][]bat.OID, keep []int) {
+	for li, at := range lists {
+		if at == nil {
 			continue
 		}
-		for _, ref := range a.Expr.Cols() {
-			tbl := q.Table
-			if ref.Dim {
-				if q.Join == nil {
-					return nil, fmt.Errorf("plan: dimension column %s referenced without a join", ref.Name)
-				}
-				tbl = q.Join.Dim
+		kept := make([]bat.OID, len(keep))
+		pp.For(len(keep), func(mlo, mhi int) {
+			for i := mlo; i < mhi; i++ {
+				kept[i] = at[keep[i]]
 			}
-			if err := check(tbl, ref.Name); err != nil {
-				return nil, err
-			}
-		}
+		})
+		lists[li] = kept
 	}
-	if len(q.Filters) == 0 && len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
-		return nil, fmt.Errorf("plan: empty query")
-	}
-	return snap, nil
 }

@@ -11,15 +11,14 @@ import (
 
 // deltaSet is the delta segment's contribution to a query: the values of
 // every referenced column for the live delta rows that satisfy all
-// predicates (fact-side filters, FK join, dimension-side filters). Both
-// executors scan the delta with one classic row-major bulk pass — delta
-// rows live in host memory and are never decomposed, so the A&R executor
-// too reads them the classic way and merges the results (the paper's
-// operators apply to the base segment only).
+// predicates (fact-side filters and disjunctions, the FK join chain,
+// dimension-side filters). Both scan strategies use this one source — the
+// delta lives in host memory and is never decomposed, so the A&R pipeline
+// too reads it with one classic row-major pass and the shared tail merges
+// the result (the paper's operators apply to the base segment only).
 type deltaSet struct {
 	n    int
-	fact map[string][]int64
-	dim  map[string][]int64
+	vals map[ColRef][]int64
 }
 
 // neededCols collects every column whose exact values the aggregation
@@ -43,10 +42,20 @@ func neededCols(q Query, withGroups bool) map[ColRef]bool {
 	return need
 }
 
+// deltaJoin is the per-join state of a delta scan: the fact-side FK
+// column index, the dimension lookup, and the dimension filter columns.
+type deltaJoin struct {
+	spec       JoinSpec
+	fkIdx      int
+	lookup     func(int64) (bat.OID, bool)
+	filterCols [][]int64
+}
+
 // scanDelta evaluates the query's predicates over the live delta rows of
-// the fact snapshot and materializes the needed column values. lookup maps
-// a foreign-key value to the dimension base position (nil when the query
-// has no join). Returns nil when the snapshot has no delta rows.
+// the fact snapshot and materializes the needed column values. lookups
+// maps each joined dimension table to its FK-value → base-position
+// function (empty when the query has no joins). Returns nil when the
+// snapshot has no delta rows.
 //
 // The scan is morsel-parallel over the store's delta-segment granules
 // (store.Snapshot.DeltaMorsels): each worker evaluates its morsels into a
@@ -57,7 +66,7 @@ func neededCols(q Query, withGroups bool) map[ColRef]bool {
 // The cost charged is one sequential row-major pass over the visible delta
 // (a row store reads whole rows) plus the dimension gathers for joined
 // references.
-func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColRef]bool, lookup func(int64) (bat.OID, bool)) (*deltaSet, error) {
+func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColRef]bool, lookups map[string]func(int64) (bat.OID, bool)) (*deltaSet, error) {
 	fs := snap.fact
 	if fs.DeltaLen() == 0 {
 		return nil, nil
@@ -71,48 +80,68 @@ func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColR
 		}
 		filterIdx[k] = i
 	}
+	orIdx := make([][]int, len(q.Or))
+	for gi, group := range q.Or {
+		orIdx[gi] = make([]int, len(group))
+		for k, f := range group {
+			i, err := ft.ColIndex(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			orIdx[gi][k] = i
+		}
+	}
 	type factRef struct {
-		name string
-		idx  int
+		ref ColRef
+		idx int
 	}
 	type dimRef struct {
-		name string
+		ref  ColRef
+		join int // index into joins
 		col  []int64
+	}
+	joins := make([]deltaJoin, len(q.Joins))
+	joinOf := map[string]int{}
+	var nDimFilterCols int
+	for ji, spec := range q.Joins {
+		i, err := ft.ColIndex(spec.FKCol)
+		if err != nil {
+			return nil, err
+		}
+		lookup := lookups[spec.Dim]
+		if lookup == nil {
+			return nil, fmt.Errorf("plan: delta scan of %s needs a dimension lookup for the join with %s", q.Table, spec.Dim)
+		}
+		joins[ji] = deltaJoin{spec: spec, fkIdx: i, lookup: lookup}
+		joinOf[spec.Dim] = ji
+		for _, f := range spec.DimFilters {
+			db, err := snap.dims[spec.Dim].Column(f.Col)
+			if err != nil {
+				return nil, err
+			}
+			joins[ji].filterCols = append(joins[ji].filterCols, db.Tails())
+			nDimFilterCols++
+		}
 	}
 	var factRefs []factRef
 	var dimRefs []dimRef
 	for ref := range need {
-		if ref.Dim {
-			db, err := snap.dim.Column(ref.Name)
+		if ref.IsDim() {
+			ji, ok := joinOf[ref.Dim]
+			if !ok {
+				return nil, fmt.Errorf("plan: dimension column %s.%s referenced without joining %s", ref.Dim, ref.Name, ref.Dim)
+			}
+			db, err := snap.dims[ref.Dim].Column(ref.Name)
 			if err != nil {
 				return nil, err
 			}
-			dimRefs = append(dimRefs, dimRef{name: ref.Name, col: db.Tails()})
+			dimRefs = append(dimRefs, dimRef{ref: ref, join: ji, col: db.Tails()})
 		} else {
 			i, err := ft.ColIndex(ref.Name)
 			if err != nil {
 				return nil, err
 			}
-			factRefs = append(factRefs, factRef{name: ref.Name, idx: i})
-		}
-	}
-	var fkIdx int
-	var dimFilterCols [][]int64
-	if q.Join != nil {
-		i, err := ft.ColIndex(q.Join.FKCol)
-		if err != nil {
-			return nil, err
-		}
-		fkIdx = i
-		if lookup == nil {
-			return nil, fmt.Errorf("plan: delta scan of %s needs a dimension lookup for the join", q.Table)
-		}
-		for _, f := range q.Join.DimFilters {
-			db, err := snap.dim.Column(f.Col)
-			if err != nil {
-				return nil, err
-			}
-			dimFilterCols = append(dimFilterCols, db.Tails())
+			factRefs = append(factRefs, factRef{ref: ref, idx: i})
 		}
 	}
 
@@ -131,6 +160,7 @@ func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColR
 		pt := &parts[mi]
 		pt.factVals = make([][]int64, len(factRefs))
 		pt.dimVals = make([][]int64, len(dimRefs))
+		dimPos := make([]bat.OID, len(joins))
 	rows:
 		for j := mo.Lo; j < mo.Hi; j++ {
 			if fs.DeltaDeleted(j) {
@@ -141,25 +171,39 @@ func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColR
 					continue rows
 				}
 			}
-			var dimPos bat.OID
-			if q.Join != nil {
-				pos, ok := lookup(fs.DeltaValue(j, fkIdx))
-				if !ok || snap.dim.BaseDeleted(int(pos)) {
-					continue
+			for gi, group := range q.Or {
+				match := false
+				for k, f := range group {
+					if v := fs.DeltaValue(j, orIdx[gi][k]); v >= f.Lo && v <= f.Hi {
+						match = true
+						break
+					}
 				}
-				for k, f := range q.Join.DimFilters {
-					if v := dimFilterCols[k][pos]; v < f.Lo || v > f.Hi {
+				if !match {
+					continue rows
+				}
+			}
+			for ji := range joins {
+				dj := &joins[ji]
+				pos, ok := dj.lookup(fs.DeltaValue(j, dj.fkIdx))
+				if !ok || snap.dims[dj.spec.Dim].BaseDeleted(int(pos)) {
+					continue rows
+				}
+				for k, f := range dj.spec.DimFilters {
+					if v := dj.filterCols[k][pos]; v < f.Lo || v > f.Hi {
 						continue rows
 					}
 				}
-				dimPos = pos
+				dimPos[ji] = pos
+			}
+			if len(joins) > 0 {
 				pt.dimGathers++
 			}
 			for k, ref := range factRefs {
 				pt.factVals[k] = append(pt.factVals[k], fs.DeltaValue(j, ref.idx))
 			}
 			for k, ref := range dimRefs {
-				pt.dimVals[k] = append(pt.dimVals[k], ref.col[dimPos])
+				pt.dimVals[k] = append(pt.dimVals[k], ref.col[dimPos[ref.join]])
 			}
 			pt.n++
 		}
@@ -171,7 +215,7 @@ func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColR
 	}
 
 	// Merge partials in morsel order: identical to the serial row order.
-	out := &deltaSet{fact: map[string][]int64{}, dim: map[string][]int64{}}
+	out := &deltaSet{vals: map[ColRef][]int64{}}
 	var dimGathers int64
 	for _, pt := range parts {
 		out.n += pt.n
@@ -182,20 +226,24 @@ func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColR
 		for pi := range parts {
 			vals = append(vals, parts[pi].factVals[k]...)
 		}
-		out.fact[ref.name] = vals
+		out.vals[ref.ref] = vals
 	}
 	for k, ref := range dimRefs {
 		vals := make([]int64, 0, out.n)
 		for pi := range parts {
 			vals = append(vals, parts[pi].dimVals[k]...)
 		}
-		out.dim[ref.name] = vals
+		out.vals[ref.ref] = vals
 	}
 	if m != nil {
-		ops := int64(fs.DeltaLen()) * int64(1+len(q.Filters))
+		nPreds := len(q.Filters)
+		for _, group := range q.Or {
+			nPreds += len(group)
+		}
+		ops := int64(fs.DeltaLen()) * int64(1+nPreds)
 		var gatherBytes int64
 		if dimGathers > 0 {
-			gatherBytes = dimGathers * 8 * int64(len(dimRefs)+len(dimFilterCols))
+			gatherBytes = dimGathers * 8 * int64(len(dimRefs)+nDimFilterCols)
 		}
 		m.CPUWork(pp.NThreads(), fs.DeltaBytes()+int64(out.n)*8*int64(len(factRefs)), gatherBytes, ops)
 	}
@@ -220,11 +268,8 @@ func (ctx *exprCtx) appendDelta(d *deltaSet) {
 	if d == nil {
 		return
 	}
-	for name, vals := range d.fact {
-		ctx.fact[name] = append(ctx.fact[name], vals...)
-	}
-	for name, vals := range d.dim {
-		ctx.dim[name] = append(ctx.dim[name], vals...)
+	for ref, vals := range d.vals {
+		ctx.vals[ref] = append(ctx.vals[ref], vals...)
 	}
 	ctx.n += d.n
 }

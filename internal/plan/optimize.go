@@ -8,28 +8,44 @@ import (
 	"repro/internal/store"
 )
 
+// rankedFilter is a filter with the selectivity estimate that ordered it —
+// the pipeline keeps the estimates so \explain can show why the optimizer
+// chose this order.
+type rankedFilter struct {
+	f   Filter
+	sel float64
+}
+
 // orderFilters implements the rule-based optimizer of §III-A: approximate
 // selections are pushed down (executed first) in order of estimated
 // selectivity, so the cheapest, most selective approximate scans shrink
 // the candidate set before the more expensive operators run. The estimate
 // is the relaxed code-range fraction of the column's code domain — derived
 // purely from the decomposition metadata (taken from the execution's
-// snapshot), no data statistics needed.
-func orderFilters(snap *execSnap, table string, filters []Filter) []Filter {
-	type ranked struct {
-		f   Filter
-		sel float64
-	}
-	rs := make([]ranked, 0, len(filters))
+// snapshot), no data statistics needed. It applies to fact-side and
+// dimension-side filters alike; the caller passes the owning table.
+func orderFilters(snap *execSnap, table string, filters []Filter) []rankedFilter {
+	rs := make([]rankedFilter, 0, len(filters))
 	for _, f := range filters {
-		rs = append(rs, ranked{f, estimateSelectivity(snap.get(table, f.Col), f)})
+		rs = append(rs, rankedFilter{f, estimateSelectivity(snap.get(table, f.Col), f)})
 	}
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].sel < rs[j].sel })
-	out := make([]Filter, len(rs))
-	for i, r := range rs {
-		out[i] = r.f
+	return rs
+}
+
+// rankFilters wraps filters with their selectivity estimates without
+// reordering — the classic pipeline preserves the written predicate order
+// but still reports the estimates in \explain when decompositions exist.
+func rankFilters(snap *execSnap, table string, filters []Filter) []rankedFilter {
+	rs := make([]rankedFilter, 0, len(filters))
+	for _, f := range filters {
+		sel := -1.0 // unknown: classic plans don't need a decomposition
+		if d := snap.get(table, f.Col); d != nil {
+			sel = estimateSelectivity(d, f)
+		}
+		rs = append(rs, rankedFilter{f, sel})
 	}
-	return out
+	return rs
 }
 
 // estimateSelectivity returns the fraction of the code domain admitted by
@@ -47,26 +63,43 @@ func estimateSelectivity(d *bwd.Column, f Filter) float64 {
 	}
 }
 
+// estimateOrSelectivity bounds the selectivity of a disjunction group: the
+// union of the disjuncts admits at most the sum of their fractions.
+func estimateOrSelectivity(snap *execSnap, table string, group []Filter) float64 {
+	var sum float64
+	for _, f := range group {
+		d := snap.get(table, f.Col)
+		if d == nil {
+			return 1
+		}
+		sum += estimateSelectivity(d, f)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
 // execSnap is the set of table versions one query execution works against:
-// the fact (and optional dimension) store snapshot, pinned exactly once at
-// query start, plus the resolved decompositions of every column an A&R
-// plan touches. A&R operators key candidate code columns on bwd.Column
+// the fact (and every joined dimension) store snapshot, pinned exactly
+// once at query start, plus the resolved decompositions of every column an
+// A&R plan touches. A&R operators key candidate code columns on bwd.Column
 // pointer identity, so the approximate and refine phases must see the same
 // pointer even if a concurrent merge or bwdecompose swaps the table
 // version mid-query — pinning the snapshot guarantees exactly that, and
 // makes the whole read snapshot isolated against concurrent DML.
 type execSnap struct {
 	fact *store.Snapshot
-	dim  *store.Snapshot // nil without a join
+	dims map[string]*store.Snapshot // keyed by dimension table name
 	decs map[string]*bwd.Column
 }
 
 func (s *execSnap) get(table, col string) *bwd.Column { return s.decs[table+"."+col] }
 
-// snapFor returns the snapshot holding table's data (fact or dim).
-func (s *execSnap) snapFor(q *Query, table string) *store.Snapshot {
-	if q.Join != nil && table == q.Join.Dim {
-		return s.dim
+// snapFor returns the snapshot holding table's data (fact or a dimension).
+func (s *execSnap) snapFor(table string) *store.Snapshot {
+	if d, ok := s.dims[table]; ok {
+		return d
 	}
 	return s.fact
 }
@@ -81,23 +114,134 @@ func (q *Query) pinSnapshots(c *Catalog) (*execSnap, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap := &execSnap{fact: fact.Snapshot(), decs: map[string]*bwd.Column{}}
-	if q.Join != nil {
-		dim, err := c.Table(q.Join.Dim)
+	snap := &execSnap{fact: fact.Snapshot(), dims: map[string]*store.Snapshot{}, decs: map[string]*bwd.Column{}}
+	for _, j := range q.Joins {
+		if j.Dim == q.Table {
+			return nil, fmt.Errorf("plan: table %s cannot join itself as a dimension", q.Table)
+		}
+		if _, dup := snap.dims[j.Dim]; dup {
+			return nil, fmt.Errorf("plan: dimension table %s joined twice", j.Dim)
+		}
+		dim, err := c.Table(j.Dim)
 		if err != nil {
 			return nil, err
 		}
-		snap.dim = dim.Snapshot()
-		if snap.dim.DeltaLen() > 0 {
-			return nil, fmt.Errorf("plan: dimension table %s has unmerged delta rows; merge it before joining", q.Join.Dim)
+		ds := dim.Snapshot()
+		if ds.DeltaLen() > 0 {
+			return nil, fmt.Errorf("plan: dimension table %s has unmerged delta rows; merge it before joining", j.Dim)
 		}
-		if snap.dim.BaseLen() == 0 {
+		if ds.BaseLen() == 0 {
 			// Guard both executors: the A&R dense-PK arithmetic reads
 			// pk.Tail(0), and the classic path has no index to probe.
-			return nil, fmt.Errorf("plan: dimension table %s is empty; load it before joining", q.Join.Dim)
+			return nil, fmt.Errorf("plan: dimension table %s is empty; load it before joining", j.Dim)
 		}
+		snap.dims[j.Dim] = ds
 	}
 	return snap, nil
+}
+
+// checkShape validates the parts of the query that are independent of the
+// executor: aggregate shapes, HAVING indexes, ORDER BY indexes, hidden
+// aggregate placement, and the LIMIT value.
+func (q *Query) checkShape() error {
+	seenHidden := false
+	for _, a := range q.Aggs {
+		if a.Hidden {
+			seenHidden = true
+		} else if seenHidden {
+			return fmt.Errorf("plan: hidden aggregates must follow every visible aggregate")
+		}
+		if a.Expr == nil && a.Func != Count {
+			return fmt.Errorf("plan: aggregate %s needs an expression", a.Func)
+		}
+	}
+	for _, h := range q.Having {
+		if h.Agg < 0 || h.Agg >= len(q.Aggs) {
+			return fmt.Errorf("plan: HAVING references aggregate %d of %d", h.Agg, len(q.Aggs))
+		}
+	}
+	for _, k := range q.OrderBy {
+		if k.Key {
+			if k.Index < 0 || k.Index >= len(q.GroupBy) {
+				return fmt.Errorf("plan: ORDER BY references group key %d of %d", k.Index, len(q.GroupBy))
+			}
+		} else if k.Index < 0 || k.Index >= len(q.Aggs) {
+			return fmt.Errorf("plan: ORDER BY references aggregate %d of %d", k.Index, len(q.Aggs))
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("plan: negative LIMIT %d", q.Limit)
+	}
+	for _, group := range q.Or {
+		if len(group) == 0 {
+			return fmt.Errorf("plan: empty OR group")
+		}
+	}
+	if len(q.Filters) == 0 && len(q.Or) == 0 && len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
+		return fmt.Errorf("plan: empty query")
+	}
+	return nil
+}
+
+// walkCols visits every (table, column) reference of the query in a fixed
+// order: fact filters, OR groups, grouping keys, each join's FK and
+// dimension filters, then aggregate expression references.
+func (q *Query) walkCols(visit func(table, col string) error) error {
+	for _, f := range q.Filters {
+		if err := visit(q.Table, f.Col); err != nil {
+			return err
+		}
+	}
+	for _, group := range q.Or {
+		for _, f := range group {
+			if err := visit(q.Table, f.Col); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := visit(q.Table, g); err != nil {
+			return err
+		}
+	}
+	for _, j := range q.Joins {
+		if err := visit(q.Table, j.FKCol); err != nil {
+			return err
+		}
+		for _, f := range j.DimFilters {
+			if err := visit(j.Dim, f.Col); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Expr == nil {
+			continue
+		}
+		for _, ref := range a.Expr.Cols() {
+			tbl := q.Table
+			if ref.IsDim() {
+				if !q.joinsDim(ref.Dim) {
+					return fmt.Errorf("plan: dimension column %s.%s referenced without joining %s", ref.Dim, ref.Name, ref.Dim)
+				}
+				tbl = ref.Dim
+			}
+			if err := visit(tbl, ref.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// joinsDim reports whether the query joins the named dimension table.
+func (q *Query) joinsDim(dim string) bool {
+	for _, j := range q.Joins {
+		if j.Dim == dim {
+			return true
+		}
+	}
+	return false
 }
 
 // validate checks that the query references only known tables/columns and
@@ -106,6 +250,9 @@ func (q *Query) pinSnapshots(c *Catalog) (*execSnap, error) {
 // snapshot. One walk does both, so validation and snapshot can never cover
 // different column sets.
 func (q *Query) validate(c *Catalog) (*execSnap, error) {
+	if err := q.checkShape(); err != nil {
+		return nil, err
+	}
 	snap, err := q.pinSnapshots(c)
 	if err != nil {
 		return nil, err
@@ -115,10 +262,10 @@ func (q *Query) validate(c *Catalog) (*execSnap, error) {
 		if _, done := snap.decs[key]; done {
 			return nil
 		}
-		d := snap.snapFor(q, table).Dec(col)
+		d := snap.snapFor(table).Dec(col)
 		if d == nil {
 			// Distinguish unknown columns from undecomposed ones.
-			if _, cerr := snap.snapFor(q, table).Column(col); cerr != nil {
+			if _, cerr := snap.snapFor(table).Column(col); cerr != nil {
 				return fmt.Errorf("plan: unknown column %s.%s", table, col)
 			}
 			return fmt.Errorf("plan: column %s.%s is not bitwise decomposed; call Decompose first", table, col)
@@ -126,56 +273,38 @@ func (q *Query) validate(c *Catalog) (*execSnap, error) {
 		snap.decs[key] = d
 		return nil
 	}
-	for _, f := range q.Filters {
-		if err := add(q.Table, f.Col); err != nil {
-			return nil, err
-		}
+	if err := q.walkCols(add); err != nil {
+		return nil, err
 	}
-	for _, g := range q.GroupBy {
-		if err := add(q.Table, g); err != nil {
-			return nil, err
-		}
-	}
-	if q.Join != nil {
-		if err := add(q.Table, q.Join.FKCol); err != nil {
-			return nil, err
-		}
-		for _, f := range q.Join.DimFilters {
-			if err := add(q.Join.Dim, f.Col); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, a := range q.Aggs {
-		if a.Expr == nil {
-			if a.Func != Count {
-				return nil, fmt.Errorf("plan: aggregate %s needs an expression", a.Func)
-			}
-			continue
-		}
-		for _, ref := range a.Expr.Cols() {
-			tbl := q.Table
-			if ref.Dim {
-				if q.Join == nil {
-					return nil, fmt.Errorf("plan: dimension column %s referenced without a join", ref.Name)
-				}
-				tbl = q.Join.Dim
-			}
-			if err := add(tbl, ref.Name); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if len(q.Filters) == 0 && len(q.GroupBy) == 0 && len(q.Aggs) == 0 {
-		return nil, fmt.Errorf("plan: empty query")
-	}
-	if len(q.Filters) == 0 {
+	if len(q.Filters) == 0 && len(q.Or) == 0 {
 		// The approximation subplan needs a fact-side column to scan.
 		// Rejecting here keeps CanExecAR aligned with what ExecAR can
 		// actually run, so auto-mode routing falls back to classic.
 		if _, ok := q.anchorColumn(); !ok {
 			return nil, fmt.Errorf("plan: A&R plan needs a fact-side column to scan (add a filter, grouping, or fact-column aggregate)")
 		}
+	}
+	return snap, nil
+}
+
+// validateClassic checks table/column references and pins the snapshots
+// without requiring decompositions.
+func (q *Query) validateClassic(c *Catalog) (*execSnap, error) {
+	if err := q.checkShape(); err != nil {
+		return nil, err
+	}
+	snap, err := q.pinSnapshots(c)
+	if err != nil {
+		return nil, err
+	}
+	check := func(table, col string) error {
+		if _, err := snap.snapFor(table).Column(col); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := q.walkCols(check); err != nil {
+		return nil, err
 	}
 	return snap, nil
 }
@@ -197,7 +326,9 @@ func (c *Catalog) CanExecAR(q Query) bool {
 }
 
 // anchorColumn picks the column whose approximation the full-table scan
-// uses when the query has no filters (pure grouping/aggregation).
+// uses when the query has no fact-side filters: a grouping key, a
+// fact-side aggregate input, or — for dimension-only workloads — the
+// first join's foreign-key column (always decomposed for an A&R join).
 func (q *Query) anchorColumn() (string, bool) {
 	if len(q.GroupBy) > 0 {
 		return q.GroupBy[0], true
@@ -207,10 +338,13 @@ func (q *Query) anchorColumn() (string, bool) {
 			continue
 		}
 		for _, ref := range a.Expr.Cols() {
-			if !ref.Dim {
+			if !ref.IsDim() {
 				return ref.Name, true
 			}
 		}
+	}
+	if len(q.Joins) > 0 {
+		return q.Joins[0].FKCol, true
 	}
 	return "", false
 }

@@ -1,0 +1,593 @@
+// The physical-operator pipeline layer: one executor skeleton that both
+// execution models share. A pipeline is assembled from the logical Query
+// in two pieces:
+//
+//   - a scan source — the A&R bit-sliced base scan (approximate select →
+//     ship → refine) or the classic row-major bulk scan — that applies the
+//     selections and joins and emits the same product either way: the
+//     exact-value tuple stream of the base segment plus the delta
+//     segment's contribution (scanned once, by the shared delta source in
+//     exec_delta.go);
+//   - the shared downstream operators — delta merge, grouping,
+//     aggregation, HAVING, ORDER BY / LIMIT (top-k) — that run identically
+//     for every scan strategy, so classic vs A&R is a scan-strategy choice
+//     instead of a separate executor, and base/delta/deletion merging
+//     exists in exactly one place.
+//
+// Assembly is also where the rule-based optimizer lives (§III-A): filters
+// are cost-ordered by estimated selectivity — fact-side and, per join,
+// dimension-side — and the chosen order is preserved on the pipeline so
+// \explain can render it with the estimates.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/ar"
+	"repro/internal/bulk"
+	"repro/internal/device"
+	"repro/internal/par"
+)
+
+// pipeline is one assembled physical plan: the scan-strategy choice plus
+// the cost-ordered predicate chains and join stages the scan will execute.
+type pipeline struct {
+	q       Query
+	snap    *execSnap
+	classic bool
+
+	factFilters []rankedFilter
+	orGroups    []orGroupStage
+	joins       []joinStage
+}
+
+// orGroupStage is one disjunction operator: the group's predicates, the
+// candidate-attachment group id, and the selectivity bound for \explain.
+type orGroupStage struct {
+	filters []Filter
+	id      int
+	sel     float64
+}
+
+// joinStage is one FK-probe stage of the join chain with its (possibly
+// cost-ordered) dimension-side filters.
+type joinStage struct {
+	spec       JoinSpec
+	dimFilters []rankedFilter
+}
+
+// buildPipeline assembles the physical pipeline for one execution. The
+// A&R assembly cost-orders the fact-side and dimension-side filters by
+// estimated selectivity; the classic assembly preserves the written order
+// (the bulk engine has no approximation metadata to estimate from) but
+// still records estimates for \explain when decompositions exist.
+func buildPipeline(q Query, snap *execSnap, classic bool) *pipeline {
+	pl := &pipeline{q: q, snap: snap, classic: classic}
+	if classic {
+		pl.factFilters = rankFilters(snap, q.Table, q.Filters)
+	} else {
+		pl.factFilters = orderFilters(snap, q.Table, q.Filters)
+	}
+	for i, group := range q.Or {
+		pl.orGroups = append(pl.orGroups, orGroupStage{
+			filters: group,
+			id:      i + 1,
+			sel:     estimateOrSelectivity(snap, q.Table, group),
+		})
+	}
+	for _, j := range q.Joins {
+		st := joinStage{spec: j}
+		if classic {
+			st.dimFilters = rankFilters(snap, j.Dim, j.DimFilters)
+		} else {
+			st.dimFilters = orderFilters(snap, j.Dim, j.DimFilters)
+		}
+		pl.joins = append(pl.joins, st)
+	}
+	return pl
+}
+
+// pipeState is the mutable state of one pipeline execution: the context,
+// parallelism descriptor, meter and result under construction.
+type pipeState struct {
+	ctx  context.Context
+	opts ExecOpts
+	pp   par.P
+	m    *device.Meter
+	res  *Result
+}
+
+func (st *pipeState) trace(format string, args ...any) {
+	st.res.Plan = append(st.res.Plan, fmt.Sprintf(format, args...))
+}
+
+func (st *pipeState) step(s Stage) error { return step(st.ctx, st.opts, s) }
+
+// scanOut is what every scan source produces: the base segment's exact
+// tuple values, the delta segment's contribution, and — A&R only — the
+// device pre-grouping awaiting refinement with its surviving candidates.
+type scanOut struct {
+	ectx    *exprCtx
+	dset    *deltaSet
+	mg      *ar.MultiGrouping
+	refined *ar.Candidates
+}
+
+// run executes the assembled pipeline: scan source, then the shared tail.
+func (pl *pipeline) run(ctx context.Context, sys *device.System, opts ExecOpts) (*Result, error) {
+	m := device.NewMeter(sys)
+	st := &pipeState{ctx: ctx, opts: opts, pp: opts.par(ctx), m: m, res: &Result{Meter: m}}
+	st.res.InputBytes = pl.snap.inputBytes(pl.q)
+	var out *scanOut
+	var err error
+	if pl.classic {
+		out, err = pl.scanClassic(st)
+	} else {
+		out, err = pl.scanAR(st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := pl.finish(st, out); err != nil {
+		return nil, err
+	}
+	// A context cancelled mid-kernel leaves that kernel's output incomplete
+	// (workers stop claiming morsels); the final check guarantees such
+	// partial results are never returned as an answer.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return st.res, nil
+}
+
+// finish is the shared downstream pipeline: merge the delta contribution
+// into the combined tuple set, group, aggregate, filter with HAVING, and
+// order/limit. It is the only place base and delta tuples meet.
+func (pl *pipeline) finish(st *pipeState, out *scanOut) error {
+	q := &pl.q
+	ectx := out.ectx
+	ectx.appendDelta(out.dset)
+	if out.dset != nil {
+		st.res.Candidates += out.dset.n
+		st.res.Refined += out.dset.n
+	}
+
+	// Grouping — refined from the A&R device pre-grouping when one exists,
+	// rebuilt on the host over the combined tuple set otherwise.
+	var grouping *bulk.Grouping
+	var groupKeys [][]int64
+	var err error
+	switch {
+	case out.mg != nil:
+		if err := st.step(StageRefine); err != nil {
+			return err
+		}
+		grouping, groupKeys, err = ar.GroupRefineMultiPar(st.pp, st.m, out.mg, out.refined)
+		if err != nil {
+			return err
+		}
+		st.trace("bwd.grouprefine(%s)", join(q.GroupBy))
+	case len(q.GroupBy) > 0:
+		stage, label := StageRefine, "group.merge"
+		if pl.classic {
+			stage, label = StageBulk, "group.new"
+		}
+		if err := st.step(stage); err != nil {
+			return err
+		}
+		cols := make([][]int64, len(q.GroupBy))
+		for k, g := range q.GroupBy {
+			cols[k] = ectx.vals[ColRef{Name: g}]
+		}
+		grouping, groupKeys = bulk.GroupByMultiPar(st.pp, st.m, cols)
+		st.trace("%s(%s)", label, join(q.GroupBy))
+	}
+
+	// Aggregation (§IV-F; sums of products are recomputed on the CPU due
+	// to destructive distributivity, §IV-G). The A&R refinement aggregation
+	// is a fused, statically expanded loop (§V-C) reading each input column
+	// once — unlike the classic engine, which materializes every
+	// arithmetic intermediate (§II-B).
+	if err := st.step(StageAggregate); err != nil {
+		return err
+	}
+	rows, err := aggregateRows(st.m, st.pp, *q, ectx, grouping, groupKeys, !pl.classic)
+	if err != nil {
+		return err
+	}
+	for _, a := range q.Aggs {
+		if pl.classic {
+			st.trace("aggr.%s(%s)", a.Func, a.Name)
+		} else {
+			st.trace("bwd.%srefine(%s)", a.Func, a.Name)
+		}
+	}
+	sortRows(rows)
+	rows = pl.applyHaving(st, rows)
+	rows, err = pl.orderLimit(st, rows)
+	if err != nil {
+		return err
+	}
+	st.res.Rows = dropHidden(q, rows)
+	return nil
+}
+
+// applyHaving filters the aggregated rows with the HAVING conjunction.
+func (pl *pipeline) applyHaving(st *pipeState, rows []Row) []Row {
+	q := &pl.q
+	if len(q.Having) == 0 {
+		return rows
+	}
+	kept := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		ok := true
+		for _, h := range q.Having {
+			if v := r.Vals[h.Agg]; v < h.Lo || v > h.Hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, r)
+		}
+	}
+	if st.m != nil {
+		st.m.CPUWork(st.pp.NThreads(), int64(len(rows))*8*int64(len(q.Having)), 0, int64(len(rows))*int64(len(q.Having)))
+	}
+	st.trace("having(%d of %d groups)", len(kept), len(rows))
+	return kept
+}
+
+// orderLimit applies ORDER BY and LIMIT: a morsel-parallel top-k heap
+// when both are present, a full deterministic sort for ORDER BY alone, a
+// plain prefix for LIMIT alone. Rows arrive in canonical group-key order,
+// so the kernel's index tie-break is the deterministic key-order
+// tie-break the result contract requires.
+func (pl *pipeline) orderLimit(st *pipeState, rows []Row) ([]Row, error) {
+	q := &pl.q
+	if len(q.OrderBy) == 0 {
+		if q.Limit > 0 && len(rows) > q.Limit {
+			rows = rows[:q.Limit]
+			st.trace("limit(%d)", q.Limit)
+		}
+		return rows, nil
+	}
+	less := func(i, j int) bool {
+		for _, k := range q.OrderBy {
+			var a, b int64
+			if k.Key {
+				a, b = rows[i].Keys[k.Index], rows[j].Keys[k.Index]
+			} else {
+				a, b = rows[i].Vals[k.Index], rows[j].Vals[k.Index]
+			}
+			if a != b {
+				if k.Desc {
+					return a > b
+				}
+				return a < b
+			}
+		}
+		return false
+	}
+	k := q.Limit
+	if k <= 0 || k > len(rows) {
+		k = len(rows)
+	}
+	bytesPer := int64(8 * (len(q.GroupBy) + len(q.Aggs)))
+	idx := bulk.TopKPar(st.pp, st.m, len(rows), k, bytesPer, less)
+	out := make([]Row, len(idx))
+	for i, at := range idx {
+		out[i] = rows[at]
+	}
+	if q.Limit > 0 && q.Limit < len(rows) {
+		st.trace("order.topk(%s, k=%d of %d groups)", describeOrder(q), q.Limit, len(rows))
+	} else {
+		st.trace("order.sort(%s)", describeOrder(q))
+	}
+	return out, nil
+}
+
+// dropHidden truncates each row's values to the visible aggregates,
+// discarding the HAVING/ORDER BY-only columns.
+func dropHidden(q *Query, rows []Row) []Row {
+	visible := 0
+	for _, a := range q.Aggs {
+		if !a.Hidden {
+			visible++
+		}
+	}
+	if visible == len(q.Aggs) {
+		return rows
+	}
+	for i := range rows {
+		rows[i].Vals = rows[i].Vals[:visible]
+	}
+	return rows
+}
+
+// ---- Pipeline description (\explain) ----
+
+// Describe renders the assembled pipeline without executing it: the scan
+// strategy, the cost-ordered filters with their estimated selectivities,
+// the join chain, and the delta / grouping / having / top-k stages.
+func (pl *pipeline) describe() []string {
+	q := &pl.q
+	mode := "ar"
+	if pl.classic {
+		mode = "classic"
+	}
+	var out []string
+	out = append(out, fmt.Sprintf("pipeline: mode=%s over %s", mode, q.Table))
+	if pl.classic {
+		out = append(out, fmt.Sprintf("  scan: classic row-major base of %s (filters in written order)", q.Table))
+	} else {
+		out = append(out, fmt.Sprintf("  scan: a&r bit-sliced base of %s (filters cost-ordered by estimated selectivity)", q.Table))
+	}
+	for _, rf := range pl.factFilters {
+		out = append(out, fmt.Sprintf("    filter %s.%s in %s%s", q.Table, rf.f.Col, rangeText(rf.f), selText(rf.sel)))
+	}
+	for _, g := range pl.orGroups {
+		parts := make([]string, len(g.filters))
+		for i, f := range g.filters {
+			parts[i] = fmt.Sprintf("%s.%s in %s", q.Table, f.Col, rangeText(f))
+		}
+		out = append(out, fmt.Sprintf("    or: %s (est sel <= %s)", strings.Join(parts, " | "), pctText(g.sel)))
+	}
+	for i, j := range pl.joins {
+		out = append(out, fmt.Sprintf("  join %d/%d: %s.%s -> %s.%s (fk probe)",
+			i+1, len(pl.joins), q.Table, j.spec.FKCol, j.spec.Dim, j.spec.DimPK))
+		for _, rf := range j.dimFilters {
+			out = append(out, fmt.Sprintf("    filter %s.%s in %s%s", j.spec.Dim, rf.f.Col, rangeText(rf.f), selText(rf.sel)))
+		}
+	}
+	if n := pl.snap.fact.DeltaLen(); n > 0 {
+		out = append(out, fmt.Sprintf("  delta: %d rows scanned row-major, merged before grouping", n))
+	} else {
+		out = append(out, "  delta: none")
+	}
+	if len(q.GroupBy) > 0 {
+		how := "host rebuild over combined tuples"
+		if !pl.classic && pl.snap.fact.LiveDelta() == 0 {
+			how = "device pre-group + refine"
+		}
+		out = append(out, fmt.Sprintf("  group: %s (%s)", join(q.GroupBy), how))
+	}
+	var aggs []string
+	for _, a := range q.Aggs {
+		label := fmt.Sprintf("%s=%s(%s)", a.Name, a.Func, exprText(a.Expr))
+		if a.Hidden {
+			label += " [hidden]"
+		}
+		aggs = append(aggs, label)
+	}
+	if len(aggs) > 0 {
+		out = append(out, "  aggregate: "+strings.Join(aggs, ", "))
+	}
+	for _, h := range q.Having {
+		out = append(out, fmt.Sprintf("  having: %s in %s", q.Aggs[h.Agg].Name, rangeText(Filter{Lo: h.Lo, Hi: h.Hi})))
+	}
+	if len(q.OrderBy) > 0 {
+		kind := "full sort"
+		if q.Limit > 0 {
+			kind = fmt.Sprintf("top-%d heap", q.Limit)
+		}
+		out = append(out, fmt.Sprintf("  order: %s (%s)", describeOrder(q), kind))
+	} else if q.Limit > 0 {
+		out = append(out, fmt.Sprintf("  limit: %d", q.Limit))
+	}
+	return out
+}
+
+// ExplainQuery assembles the pipeline the query would run — classic or
+// A&R — and renders it without executing: the programmatic face of the
+// shell's \explain.
+func (c *Catalog) ExplainQuery(q Query, classic bool) ([]string, error) {
+	var snap *execSnap
+	var err error
+	if classic {
+		snap, err = q.validateClassic(c)
+	} else {
+		snap, err = q.validate(c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buildPipeline(q, snap, classic).describe(), nil
+}
+
+func describeOrder(q *Query) string {
+	parts := make([]string, len(q.OrderBy))
+	for i, k := range q.OrderBy {
+		name := ""
+		if k.Key {
+			name = q.GroupBy[k.Index]
+		} else {
+			name = q.Aggs[k.Index].Name
+		}
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		parts[i] = name + " " + dir
+	}
+	return strings.Join(parts, ", ")
+}
+
+func rangeText(f Filter) string {
+	lo, hi := "-inf", "+inf"
+	if f.Lo != NoLo {
+		lo = fmt.Sprintf("%d", f.Lo)
+	}
+	if f.Hi != NoHi {
+		hi = fmt.Sprintf("%d", f.Hi)
+	}
+	return fmt.Sprintf("[%s,%s]", lo, hi)
+}
+
+func selText(sel float64) string {
+	if sel < 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (est sel %s)", pctText(sel))
+}
+
+func pctText(sel float64) string {
+	return fmt.Sprintf("%.2f%%", sel*100)
+}
+
+func exprText(e Expr) string {
+	if e == nil {
+		return "*"
+	}
+	return e.String()
+}
+
+// ---- Shared aggregation operators ----
+
+// aggregateRows evaluates the aggregate expressions over the exact values
+// and groups them. Rows come out in group-discovery order; the caller
+// establishes the canonical key order (sortRows) before HAVING and
+// ORDER BY run.
+func aggregateRows(m *device.Meter, pp par.P, q Query, ctx *exprCtx, grouping *bulk.Grouping, groupKeys [][]int64, fused bool) ([]Row, error) {
+	threads := pp.NThreads()
+	bulkMeter := m
+	if m != nil && fused {
+		// A&R refinement: one fused pass evaluates all expressions and
+		// aggregates, reading each referenced column once (§V-C static
+		// type expansion). Charge it here and run the arithmetic below
+		// unmetered.
+		uniq := map[ColRef]bool{}
+		var nodes int
+		for _, a := range q.Aggs {
+			nodes++ // the aggregate update itself
+			if a.Expr == nil {
+				continue
+			}
+			nodes += a.Expr.Ops()
+			for _, ref := range a.Expr.Cols() {
+				uniq[ref] = true
+			}
+		}
+		n := int64(ctx.n)
+		bytes := n * 8 * int64(len(uniq))
+		if grouping != nil {
+			bytes += n * 4 // group ids
+		}
+		m.CPUWork(threads, bytes, 0, n*int64(nodes)*bulk.OpsArith)
+		bulkMeter = nil
+	} else if m != nil {
+		// Classic bulk evaluation fully materializes one intermediate per
+		// arithmetic node (§II-B); the aggregate passes below charge
+		// separately through bulkMeter.
+		for _, a := range q.Aggs {
+			if a.Expr == nil {
+				continue
+			}
+			if ops := a.Expr.Ops(); ops > 0 {
+				n := int64(ctx.n)
+				m.CPUWork(threads, n*24*int64(ops), 0, n*int64(ops)*bulk.OpsArith)
+			}
+		}
+	}
+	m = bulkMeter
+	if grouping == nil {
+		row := Row{}
+		for _, a := range q.Aggs {
+			v, err := globalAgg(m, pp, a, ctx)
+			if err != nil {
+				return nil, err
+			}
+			row.Vals = append(row.Vals, v)
+		}
+		return []Row{row}, nil
+	}
+	rows := make([]Row, grouping.NGroups)
+	for g := 0; g < grouping.NGroups; g++ {
+		keys := make([]int64, len(groupKeys))
+		for k := range groupKeys {
+			keys[k] = groupKeys[k][g]
+		}
+		rows[g].Keys = keys
+	}
+	for _, a := range q.Aggs {
+		var per []int64
+		switch a.Func {
+		case Count:
+			per = bulk.CountGroupedPar(pp, m, grouping)
+		case Sum:
+			per = bulk.SumGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
+		case Min:
+			per = bulk.MinGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
+		case Max:
+			per = bulk.MaxGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
+		case Avg:
+			sums := bulk.SumGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
+			counts := bulk.CountGroupedPar(pp, m, grouping)
+			per = make([]int64, len(sums))
+			for i := range per {
+				if counts[i] > 0 {
+					per[i] = sums[i] / counts[i]
+				}
+			}
+		default:
+			return nil, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
+		}
+		for g := range rows {
+			rows[g].Vals = append(rows[g].Vals, per[g])
+		}
+	}
+	return rows, nil
+}
+
+func globalAgg(m *device.Meter, pp par.P, a AggSpec, ctx *exprCtx) (int64, error) {
+	switch a.Func {
+	case Count:
+		return int64(ctx.n), nil
+	case Sum:
+		return bulk.SumPar(pp, m, a.Expr.Eval(ctx)), nil
+	case Min:
+		v, _ := bulk.MinPar(pp, m, a.Expr.Eval(ctx))
+		return v, nil
+	case Max:
+		v, _ := bulk.MaxPar(pp, m, a.Expr.Eval(ctx))
+		return v, nil
+	case Avg:
+		vals := a.Expr.Eval(ctx)
+		if len(vals) == 0 {
+			return 0, nil
+		}
+		return bulk.SumPar(pp, m, vals) / int64(len(vals)), nil
+	default:
+		return 0, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
+	}
+}
+
+// inputBytes sums the physical footprint of every column the query reads —
+// the stream-baseline input volume — over the pinned snapshots, including
+// the row-major delta segment when present.
+func (s *execSnap) inputBytes(q Query) int64 {
+	seen := map[string]bool{}
+	var total int64
+	add := func(table, col string) error {
+		key := table + "." + col
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		b, err := s.snapFor(table).Column(col)
+		if err != nil {
+			return nil // validation already rejected truly unknown columns
+		}
+		total += b.TailBytes()
+		return nil
+	}
+	_ = q.walkCols(add)
+	total += s.fact.DeltaBytes()
+	return total
+}
+
+func join(ss []string) string {
+	return strings.Join(ss, ",")
+}

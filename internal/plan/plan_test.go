@@ -232,13 +232,13 @@ func TestARMatchesClassicJoin(t *testing.T) {
 	q := Query{
 		Table:   "fact",
 		Filters: []Filter{{Col: "date", Lo: 300, Hi: 600}},
-		Join: &JoinSpec{
+		Joins: []JoinSpec{{
 			FKCol: "fk", Dim: "part", DimPK: "p_partkey",
 			DimFilters: []Filter{{Col: "p_type", Lo: 5, Hi: 9}},
-		},
+		}},
 		Aggs: []AggSpec{
 			{Name: "rev", Func: Sum, Expr: Col("price")},
-			{Name: "promo", Func: Sum, Expr: CaseRange(DimCol("p_type"), 5, 7, Col("price"), Const(0))},
+			{Name: "promo", Func: Sum, Expr: CaseRange(DimCol("part", "p_type"), 5, 7, Col("price"), Const(0))},
 			{Name: "n", Func: Count},
 		},
 	}

@@ -7,19 +7,55 @@ import (
 	"repro/internal/ar"
 )
 
-// Query is the logical query model: a conjunctive range selection over a
-// fact table, an optional foreign-key join into one dimension table with
-// further dimension-side selections, a grouping, and a list of aggregates
-// over arithmetic expressions. This shape covers the paper's entire
-// workload — the microbenchmarks, the spatial range queries (Table I) and
-// TPC-H Q1, Q6 and Q14 — and is exactly the class of plans the A&R
-// operator set supports (§IV).
+// Query is the logical query model: a selection over a fact table written
+// as a conjunction of range predicates (Filters) and range disjunctions
+// (Or), foreign-key joins into any number of dimension tables with further
+// dimension-side selections (star schema), a grouping, aggregates over
+// arithmetic expressions, a HAVING conjunction over the aggregates, and an
+// ORDER BY / LIMIT over the output rows. The paper's entire workload — the
+// microbenchmarks, the spatial range queries (Table I) and TPC-H Q1, Q6
+// and Q14 — is the single-join conjunctive subset; the pipeline layer
+// executes every shape through the same composable operator set (§IV).
 type Query struct {
 	Table   string
 	Filters []Filter
-	Join    *JoinSpec
+	// Or holds disjunction groups, each ANDed with Filters and the other
+	// groups: a row qualifies for a group when at least one of the group's
+	// fact-side range predicates holds. In A&R mode a group is one
+	// approximate operator — the union of the per-disjunct candidate sets,
+	// each disjunct relaxed through its own BWD bounds.
+	Or      [][]Filter
+	Joins   []JoinSpec
 	GroupBy []string
-	Aggs    []AggSpec
+	// Aggs lists the aggregates, visible outputs first: aggregates that
+	// exist only to feed HAVING or ORDER BY (Hidden) are appended after
+	// every visible one, and their values are dropped from the result rows.
+	Aggs   []AggSpec
+	Having []HavingFilter
+	// OrderBy sorts the output rows; without it rows are in group-key
+	// order. Limit (when > 0) caps the output — combined with OrderBy it
+	// runs as a morsel-parallel top-k heap instead of a full sort.
+	OrderBy []OrderKey
+	Limit   int
+}
+
+// HavingFilter is one conjunct of the HAVING clause: a closed-range
+// predicate over the aggregate at index Agg in Query.Aggs (canonicalized
+// exactly like WHERE ranges).
+type HavingFilter struct {
+	Agg    int
+	Lo, Hi int64
+}
+
+// OrderKey is one ORDER BY sort column: a group key (Key true, Index into
+// GroupBy) or an aggregate (Index into Aggs). Ties — and everything, when
+// OrderBy is empty — break by the full key tuple then the aggregate
+// values, ascending, so output order is deterministic in both executors
+// for every worker count.
+type OrderKey struct {
+	Key   bool
+	Index int
+	Desc  bool
 }
 
 // Filter is a closed-range predicate lo <= col <= hi. Open-ended and
@@ -37,7 +73,9 @@ const (
 )
 
 // JoinSpec joins the fact table to one dimension table over a pre-indexed
-// foreign key; DimFilters are applied to the joined dimension rows.
+// foreign key; DimFilters are applied to the joined dimension rows. A
+// query may carry several (star schema); each dimension table appears at
+// most once in the chain.
 type JoinSpec struct {
 	FKCol      string // fact-side foreign-key column
 	Dim        string // dimension table name
@@ -75,28 +113,28 @@ func (f AggFunc) String() string {
 }
 
 // AggSpec is one output aggregate: Func applied to Expr (Expr may be nil
-// for Count).
+// for Count). Hidden aggregates are computed for HAVING / ORDER BY only
+// and never appear in the result rows.
 type AggSpec struct {
-	Name string
-	Func AggFunc
-	Expr Expr
+	Name   string
+	Func   AggFunc
+	Expr   Expr
+	Hidden bool
 }
 
 // exprCtx provides the exact column values (positionally aligned with the
-// refined tuple set) to expression evaluation. Dim columns are the joined
-// dimension attributes.
+// refined tuple set) to expression evaluation, keyed by column reference —
+// fact columns and the joined attributes of every dimension.
 type exprCtx struct {
 	n    int
-	fact map[string][]int64
-	dim  map[string][]int64
+	vals map[ColRef][]int64
 }
 
 // boundsCtx provides per-tuple value intervals derived from approximations
 // for the approximate (phase-A) answer.
 type boundsCtx struct {
 	n    int
-	fact map[string][]ar.Interval
-	dim  map[string][]ar.Interval
+	vals map[ColRef][]ar.Interval
 }
 
 // Expr is an arithmetic expression over column values. Eval computes exact
@@ -113,41 +151,35 @@ type Expr interface {
 	String() string
 }
 
-// ColRef names a column, either on the fact table or the joined dimension.
+// ColRef names a column: Dim is the dimension table holding it, or empty
+// for the fact table.
 type ColRef struct {
 	Name string
-	Dim  bool
+	Dim  string
 }
+
+// IsDim reports whether the reference names a dimension column.
+func (r ColRef) IsDim() bool { return r.Dim != "" }
 
 // Col references a fact-table column.
 func Col(name string) Expr { return colExpr{ColRef{Name: name}} }
 
-// DimCol references a joined dimension column.
-func DimCol(name string) Expr { return colExpr{ColRef{Name: name, Dim: true}} }
+// DimCol references a column of the joined dimension table dim.
+func DimCol(dim, name string) Expr { return colExpr{ColRef{Name: name, Dim: dim}} }
 
 type colExpr struct{ ref ColRef }
 
-func (e colExpr) Eval(ctx *exprCtx) []int64 {
-	if e.ref.Dim {
-		return ctx.dim[e.ref.Name]
-	}
-	return ctx.fact[e.ref.Name]
-}
+func (e colExpr) Eval(ctx *exprCtx) []int64 { return ctx.vals[e.ref] }
 
-func (e colExpr) Bounds(ctx *boundsCtx) []ar.Interval {
-	if e.ref.Dim {
-		return ctx.dim[e.ref.Name]
-	}
-	return ctx.fact[e.ref.Name]
-}
+func (e colExpr) Bounds(ctx *boundsCtx) []ar.Interval { return ctx.vals[e.ref] }
 
 func (e colExpr) Cols() []ColRef { return []ColRef{e.ref} }
 
 func (e colExpr) Ops() int { return 0 }
 
 func (e colExpr) String() string {
-	if e.ref.Dim {
-		return "dim." + e.ref.Name
+	if e.ref.IsDim() {
+		return e.ref.Dim + "." + e.ref.Name
 	}
 	return e.ref.Name
 }

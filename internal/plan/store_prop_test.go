@@ -263,8 +263,8 @@ func TestJoinWithDimDeletionsAndEmptyDim(t *testing.T) {
 	q := Query{
 		Table:   "fact",
 		Filters: []Filter{{Col: "v", Lo: 0, Hi: 500}},
-		Join:    &JoinSpec{FKCol: "fk", Dim: "dim", DimPK: "id"},
-		Aggs:    []AggSpec{{Name: "n", Func: Count}, {Name: "s", Func: Sum, Expr: DimCol("pay")}},
+		Joins:   []JoinSpec{{FKCol: "fk", Dim: "dim", DimPK: "id"}},
+		Aggs:    []AggSpec{{Name: "n", Func: Count}, {Name: "s", Func: Sum, Expr: DimCol("dim", "pay")}},
 	}
 	before, err := c.ExecClassic(q, ExecOpts{})
 	if err != nil {
@@ -298,7 +298,7 @@ func TestJoinWithDimDeletionsAndEmptyDim(t *testing.T) {
 		t.Fatal(err)
 	}
 	qe := q
-	qe.Join = &JoinSpec{FKCol: "fk", Dim: "empty", DimPK: "id"}
+	qe.Joins = []JoinSpec{{FKCol: "fk", Dim: "empty", DimPK: "id"}}
 	qe.Aggs = []AggSpec{{Name: "n", Func: Count}}
 	if _, err := c.ExecAR(qe, ExecOpts{}); err == nil {
 		t.Fatal("A&R join with empty dimension accepted")
@@ -379,6 +379,193 @@ func TestPropParallelMorselEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// newShapePropQueries is the widened-surface query mix for the DML
+// property test over the star catalog: multi-join, OR, HAVING, ORDER
+// BY/LIMIT — the shapes the pipeline layer added.
+func newShapePropQueries(rng *rand.Rand) []Query {
+	lo := int64(rng.Intn(3000))
+	hi := lo + int64(rng.Intn(2000))
+	return []Query{
+		{ // two chained FK probes with dimension-side filters
+			Table:   "fact",
+			Filters: []Filter{{Col: "v", Lo: lo, Hi: hi}},
+			Joins:   starJoins([]Filter{{Col: "a", Lo: 0, Hi: 70}}, []Filter{{Col: "b", Lo: 20, Hi: NoHi}}),
+			Aggs: []AggSpec{
+				{Name: "n", Func: Count},
+				{Name: "s", Func: Sum, Expr: Add(Col("w"), DimCol("dim2", "b"))},
+			},
+		},
+		{ // disjunction over two fact columns
+			Table: "fact",
+			Or:    [][]Filter{{{Col: "v", Lo: NoLo, Hi: lo}, {Col: "w", Lo: hi, Hi: NoHi}}},
+			Aggs:  []AggSpec{{Name: "n", Func: Count}, {Name: "mx", Func: Max, Expr: Col("v")}},
+		},
+		{ // HAVING over a hidden aggregate
+			Table:   "fact",
+			Filters: []Filter{{Col: "v", Lo: lo, Hi: NoHi}},
+			GroupBy: []string{"g"},
+			Aggs: []AggSpec{
+				{Name: "n", Func: Count},
+				{Name: "hs", Func: Sum, Expr: Col("w"), Hidden: true},
+			},
+			Having: []HavingFilter{{Agg: 1, Lo: int64(rng.Intn(10000)), Hi: NoHi}},
+		},
+		{ // ORDER BY ... LIMIT with a join and an OR conjunct
+			Table:   "fact",
+			Or:      [][]Filter{{{Col: "v", Lo: 0, Hi: hi}, {Col: "w", Lo: 0, Hi: lo}}},
+			Joins:   starJoins(nil, nil),
+			GroupBy: []string{"g"},
+			Aggs:    []AggSpec{{Name: "n", Func: Count}, {Name: "s", Func: Sum, Expr: DimCol("dim1", "a")}},
+			OrderBy: []OrderKey{{Index: 1, Desc: true}, {Key: true, Index: 0}},
+			Limit:   1 + rng.Intn(4),
+		},
+	}
+}
+
+// starInsertRow generates one fact row for the star catalog (v, w, g,
+// fk1, fk2 — keys always within the dimension domains).
+func starInsertRow(rng *rand.Rand) []int64 {
+	return []int64{int64(rng.Intn(4096)), int64(rng.Intn(4096)), int64(rng.Intn(5)),
+		int64(rng.Intn(40)), int64(rng.Intn(25))}
+}
+
+// TestNewShapesMatchUnderDML extends the classic==A&R equivalence
+// property to the widened query surface: after every step of a random
+// interleaving of fact inserts, deletes and merges, every new shape
+// (multi-join, OR, HAVING, ORDER BY/LIMIT) must return identical results
+// in both modes — and stay byte-stable with bit-identical meters across a
+// worker-count/morsel sweep.
+func TestNewShapesMatchUnderDML(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := buildStarCatalog(t, 4000, seed*1000)
+			rng := rand.New(rand.NewSource(seed * 77))
+			for step := 0; step < 12; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // insert a batch
+					rows := make([][]int64, 1+rng.Intn(40))
+					for i := range rows {
+						rows[i] = starInsertRow(rng)
+					}
+					if _, err := c.InsertRows(nil, "fact", rows); err != nil {
+						t.Fatal(err)
+					}
+				case op < 8: // delete a range
+					lo := int64(rng.Intn(4096))
+					if _, err := c.DeleteRows(nil, "fact", []Filter{{Col: "v", Lo: lo, Hi: lo + int64(rng.Intn(256))}}); err != nil {
+						t.Fatal(err)
+					}
+				default: // merge
+					if _, err := c.MergeTable(nil, "fact", false); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for qi, q := range newShapePropQueries(rng) {
+					ar, err := c.ExecAR(q, ExecOpts{Threads: 1, Workers: 1})
+					if err != nil {
+						t.Fatalf("step %d query %d AR: %v", step, qi, err)
+					}
+					cl, err := c.ExecClassic(q, ExecOpts{Threads: 1, Workers: 1})
+					if err != nil {
+						t.Fatalf("step %d query %d classic: %v", step, qi, err)
+					}
+					if !EqualResults(ar.Rows, cl.Rows) {
+						t.Fatalf("step %d query %d: A&R %v != classic %v", step, qi, ar.Rows, cl.Rows)
+					}
+					// Worker/morsel sweep: byte-stable rows, bit-identical meters.
+					opts := ExecOpts{Threads: 1, Workers: 2 + rng.Intn(6), Morsel: []int{64, 512, 0}[rng.Intn(3)]}
+					arp, err := c.ExecAR(q, opts)
+					if err != nil {
+						t.Fatalf("step %d query %d AR %+v: %v", step, qi, opts, err)
+					}
+					if !EqualResults(arp.Rows, ar.Rows) {
+						t.Fatalf("step %d query %d %+v: parallel A&R %v != serial %v", step, qi, opts, arp.Rows, ar.Rows)
+					}
+					if *arp.Meter != *ar.Meter {
+						t.Fatalf("step %d query %d %+v: A&R meter %v != serial %v", step, qi, opts, arp.Meter, ar.Meter)
+					}
+					clp, err := c.ExecClassic(q, opts)
+					if err != nil {
+						t.Fatalf("step %d query %d classic %+v: %v", step, qi, opts, err)
+					}
+					if !EqualResults(clp.Rows, cl.Rows) {
+						t.Fatalf("step %d query %d %+v: parallel classic %v != serial %v", step, qi, opts, clp.Rows, cl.Rows)
+					}
+					if *clp.Meter != *cl.Meter {
+						t.Fatalf("step %d query %d %+v: classic meter %v != serial %v", step, qi, opts, clp.Meter, cl.Meter)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentDMLNewShapes races fact-side writers against readers
+// running the widened query shapes in both modes — the snapshot-isolation
+// stress for the pipeline layer. Run with -race.
+func TestConcurrentDMLNewShapes(t *testing.T) {
+	c := buildStarCatalog(t, 2000, 99)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 25; i++ {
+			rows := make([][]int64, 15)
+			for r := range rows {
+				rows[r] = starInsertRow(rng)
+			}
+			if _, err := c.InsertRows(nil, "fact", rows); err != nil {
+				errs <- err
+				return
+			}
+			if i%5 == 1 {
+				lo := int64(rng.Intn(4096))
+				if _, err := c.DeleteRows(nil, "fact", []Filter{{Col: "v", Lo: lo, Hi: lo + 64}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if i%7 == 3 {
+				if _, err := c.MergeTable(nil, "fact", false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		classic := r%2 == 0
+		seed := int64(r)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 25; i++ {
+				for _, q := range newShapePropQueries(rng) {
+					var err error
+					if classic {
+						_, err = c.ExecClassic(q, ExecOpts{Workers: 2, Morsel: 256})
+					} else {
+						_, err = c.ExecAR(q, ExecOpts{Workers: 2, Morsel: 256})
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

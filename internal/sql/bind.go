@@ -75,8 +75,8 @@ func (b *Binding) Tables() []string {
 		return out
 	default:
 		out := []string{b.Query.Table}
-		if b.Query.Join != nil {
-			out = append(out, b.Query.Join.Dim)
+		for _, j := range b.Query.Joins {
+			out = append(out, j.Dim)
 		}
 		return out
 	}
@@ -118,69 +118,105 @@ func Bind(stmt *Stmt, c *plan.Catalog) (*Binding, error) {
 	}
 
 	q := plan.Query{Table: sel.From}
-	var dimTable string
-	if sel.Join != nil {
-		fkSide, pkSide := sel.Join.LeftCol, sel.Join.RightCol
+	dims := map[string]bool{}
+	for _, jc := range sel.Joins {
+		fkSide, pkSide := jc.LeftCol, jc.RightCol
 		// Normalize: the fact side is sel.From.
-		if fkSide.Table == sel.Join.Table || pkSide.Table == sel.From {
+		if fkSide.Table == jc.Table || pkSide.Table == sel.From {
 			fkSide, pkSide = pkSide, fkSide
 		}
 		if fkSide.Table != "" && fkSide.Table != sel.From {
-			return nil, fmt.Errorf("sql: join condition must relate %s to %s", sel.From, sel.Join.Table)
+			return nil, fmt.Errorf("sql: join condition must relate %s to %s", sel.From, jc.Table)
 		}
-		if pkSide.Table != "" && pkSide.Table != sel.Join.Table {
-			return nil, fmt.Errorf("sql: join condition must relate %s to %s", sel.From, sel.Join.Table)
+		if pkSide.Table != "" && pkSide.Table != jc.Table {
+			return nil, fmt.Errorf("sql: join condition must relate %s to %s", sel.From, jc.Table)
 		}
-		dimTable = sel.Join.Table
-		q.Join = &plan.JoinSpec{FKCol: fkSide.Name, Dim: dimTable, DimPK: pkSide.Name}
+		if dims[jc.Table] {
+			return nil, fmt.Errorf("sql: dimension table %s joined twice", jc.Table)
+		}
+		dims[jc.Table] = true
+		q.Joins = append(q.Joins, plan.JoinSpec{FKCol: fkSide.Name, Dim: jc.Table, DimPK: pkSide.Name})
 	}
 
-	onDim := func(col QualCol) (bool, error) {
-		switch col.Table {
-		case "", sel.From:
-			return false, nil
-		case dimTable:
-			if dimTable == "" {
-				return false, fmt.Errorf("sql: unknown table %q", col.Table)
-			}
-			return true, nil
+	// onDim resolves a column reference to its dimension table ("" = the
+	// fact table; unqualified names bind to the fact side).
+	onDim := func(col QualCol) (string, error) {
+		switch {
+		case col.Table == "" || col.Table == sel.From:
+			return "", nil
+		case dims[col.Table]:
+			return col.Table, nil
 		default:
-			return false, fmt.Errorf("sql: unknown table %q", col.Table)
+			return "", fmt.Errorf("sql: unknown table %q", col.Table)
 		}
 	}
 
-	// WHERE: conjunctive predicates canonicalized to closed ranges, with
-	// decimal literals aligned to the column's fixed-point scale.
-	for _, p := range sel.Preds {
-		dim, err := onDim(p.Col)
-		if err != nil {
-			return nil, err
+	// joinFor finds the join spec owning a dimension table.
+	joinFor := func(dim string) *plan.JoinSpec {
+		for i := range q.Joins {
+			if q.Joins[i].Dim == dim {
+				return &q.Joins[i]
+			}
 		}
-		tbl := sel.From
-		if dim {
-			tbl = dimTable
+		return nil
+	}
+
+	// WHERE: conjuncts canonicalized to closed ranges (decimal literals
+	// aligned to the column's fixed-point scale); disjunction groups
+	// become Or entries and must be entirely fact-side — a dimension
+	// disjunct would have to survive the join probe, which the candidate
+	// union does not model.
+	for _, group := range sel.Where {
+		if len(group.Preds) == 1 {
+			p := group.Preds[0]
+			dim, err := onDim(p.Col)
+			if err != nil {
+				return nil, err
+			}
+			tbl := sel.From
+			if dim != "" {
+				tbl = dim
+			}
+			f, err := filterFromPred(c, tbl, p)
+			if err != nil {
+				return nil, err
+			}
+			if dim != "" {
+				js := joinFor(dim)
+				js.DimFilters = append(js.DimFilters, f)
+			} else {
+				q.Filters = append(q.Filters, f)
+			}
+			continue
 		}
-		f, err := filterFromPred(c, tbl, p)
-		if err != nil {
-			return nil, err
+		var disj []plan.Filter
+		for _, p := range group.Preds {
+			dim, err := onDim(p.Col)
+			if err != nil {
+				return nil, err
+			}
+			if dim != "" {
+				return nil, fmt.Errorf("sql: OR over dimension column %s is not supported (disjunctions must be fact-side)", p.Col)
+			}
+			f, err := filterFromPred(c, sel.From, p)
+			if err != nil {
+				return nil, err
+			}
+			disj = append(disj, f)
 		}
-		if dim {
-			q.Join.DimFilters = append(q.Join.DimFilters, f)
-		} else {
-			q.Filters = append(q.Filters, f)
-		}
+		q.Or = append(q.Or, disj)
 	}
 
 	// GROUP BY columns (fact side only, like the engine).
-	groupSet := map[string]bool{}
-	for _, g := range sel.GroupBy {
+	groupSet := map[string]int{}
+	for gi, g := range sel.GroupBy {
 		if dim, err := onDim(g); err != nil {
 			return nil, err
-		} else if dim {
+		} else if dim != "" {
 			return nil, fmt.Errorf("sql: grouping by dimension columns is not supported")
 		}
 		q.GroupBy = append(q.GroupBy, g.Name)
-		groupSet[g.Name] = true
+		groupSet[g.Name] = gi
 	}
 
 	// SELECT items: plain grouped columns or aggregates.
@@ -191,43 +227,193 @@ func Bind(stmt *Stmt, c *plan.Catalog) (*Binding, error) {
 		}
 		if item.Agg == "" {
 			// A bare expression must be a grouped column reference.
-			if item.Expr == nil || item.Expr.Op != "col" || !groupSet[item.Expr.Col.Name] {
+			if item.Expr == nil || item.Expr.Op != "col" {
+				return nil, fmt.Errorf("sql: select item %d is neither an aggregate nor a grouped column", i+1)
+			}
+			if _, ok := groupSet[item.Expr.Col.Name]; !ok {
 				return nil, fmt.Errorf("sql: select item %d is neither an aggregate nor a grouped column", i+1)
 			}
 			continue // grouped columns appear as result keys automatically
 		}
-		spec := plan.AggSpec{Name: name}
-		switch item.Agg {
-		case "count":
-			spec.Func = plan.Count
-			if !item.Star && item.Expr != nil {
-				// count(col) == count(*) in this NULL-free engine.
-				if _, err := bindArith(item.Expr, onDim); err != nil {
-					return nil, err
-				}
-			}
-		case "sum", "min", "max", "avg":
-			spec.Func = map[string]plan.AggFunc{
-				"sum": plan.Sum, "min": plan.Min, "max": plan.Max, "avg": plan.Avg,
-			}[item.Agg]
-			if item.Expr == nil {
-				return nil, fmt.Errorf("sql: %s needs an argument", item.Agg)
-			}
-			expr, err := bindArith(item.Expr, onDim)
-			if err != nil {
-				return nil, err
-			}
-			spec.Expr = expr
-		default:
-			return nil, fmt.Errorf("sql: unknown aggregate %q", item.Agg)
+		spec, err := bindAggCall(AggRef{Func: item.Agg, Star: item.Star, Expr: item.Expr}, name, onDim)
+		if err != nil {
+			return nil, err
 		}
-		q.Aggs = append(q.Aggs, spec)
+		q.Aggs = append(q.Aggs, *spec)
 	}
 	if len(q.Aggs) == 0 {
 		return nil, fmt.Errorf("sql: query computes no aggregates (projection-only queries are not supported)")
 	}
+
+	// HAVING: each conjunct binds its aggregate call to an existing output
+	// aggregate when one matches structurally, otherwise computes it as a
+	// hidden aggregate that never reaches the result rows.
+	for _, hp := range sel.Having {
+		idx, err := resolveAgg(&q, hp.Agg, onDim)
+		if err != nil {
+			return nil, err
+		}
+		f, err := havingRange(c, sel.From, hp, onDim)
+		if err != nil {
+			return nil, err
+		}
+		q.Having = append(q.Having, plan.HavingFilter{Agg: idx, Lo: f.Lo, Hi: f.Hi})
+	}
+
+	// ORDER BY: each item is an alias, a grouped column, or an aggregate
+	// call (resolved like HAVING).
+	for _, oi := range sel.OrderBy {
+		key := plan.OrderKey{Desc: oi.Desc}
+		switch {
+		case oi.Agg != nil:
+			idx, err := resolveAgg(&q, *oi.Agg, onDim)
+			if err != nil {
+				return nil, err
+			}
+			key.Index = idx
+		case oi.Col.Table == "" && aliasIndex(&q, oi.Col.Name) >= 0:
+			key.Index = aliasIndex(&q, oi.Col.Name)
+		default:
+			dim, err := onDim(*oi.Col)
+			if err != nil {
+				return nil, err
+			}
+			gi, ok := groupSet[oi.Col.Name]
+			if dim != "" || !ok {
+				return nil, fmt.Errorf("sql: ORDER BY %s is neither an output aggregate nor a grouped column", oi.Col)
+			}
+			key.Key = true
+			key.Index = gi
+		}
+		q.OrderBy = append(q.OrderBy, key)
+	}
+	if sel.Limit > 0 {
+		q.Limit = int(sel.Limit)
+	}
 	b.Query = q
 	return b, nil
+}
+
+// bindAggCall lowers one aggregate call into an AggSpec.
+func bindAggCall(ref AggRef, name string, onDim func(QualCol) (string, error)) (*plan.AggSpec, error) {
+	spec := &plan.AggSpec{Name: name}
+	switch ref.Func {
+	case "count":
+		spec.Func = plan.Count
+		if !ref.Star && ref.Expr != nil {
+			// count(col) == count(*) in this NULL-free engine.
+			if _, err := bindArith(ref.Expr, onDim); err != nil {
+				return nil, err
+			}
+		}
+	case "sum", "min", "max", "avg":
+		spec.Func = map[string]plan.AggFunc{
+			"sum": plan.Sum, "min": plan.Min, "max": plan.Max, "avg": plan.Avg,
+		}[ref.Func]
+		if ref.Expr == nil {
+			return nil, fmt.Errorf("sql: %s needs an argument", ref.Func)
+		}
+		expr, err := bindArith(ref.Expr, onDim)
+		if err != nil {
+			return nil, err
+		}
+		spec.Expr = expr
+	default:
+		return nil, fmt.Errorf("sql: unknown aggregate %q", ref.Func)
+	}
+	return spec, nil
+}
+
+// resolveAgg finds the output aggregate structurally equal to the call
+// (same function, same bound expression text — Count matches any Count,
+// since count(col) == count(*) here), or appends a hidden aggregate for
+// it and returns its index.
+func resolveAgg(q *plan.Query, ref AggRef, onDim func(QualCol) (string, error)) (int, error) {
+	spec, err := bindAggCall(ref, "", onDim)
+	if err != nil {
+		return 0, err
+	}
+	for i, a := range q.Aggs {
+		if a.Func != spec.Func {
+			continue
+		}
+		if a.Func == plan.Count || exprEqual(a.Expr, spec.Expr) {
+			return i, nil
+		}
+	}
+	spec.Hidden = true
+	spec.Name = fmt.Sprintf("%s%d", spec.Func, len(q.Aggs)+1)
+	q.Aggs = append(q.Aggs, *spec)
+	return len(q.Aggs) - 1, nil
+}
+
+// exprEqual compares bound expressions structurally via their canonical
+// rendering.
+func exprEqual(a, b plan.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}
+
+// aliasIndex returns the index of the visible aggregate named name, or -1.
+func aliasIndex(q *plan.Query, name string) int {
+	for i, a := range q.Aggs {
+		if !a.Hidden && a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// havingRange canonicalizes a HAVING comparison into a closed range over
+// the aggregate's value. When the aggregate is over a single bare column,
+// decimal literals align to that column's fixed-point scale (sums and
+// extrema preserve the scale); otherwise the literal's own scale is used.
+func havingRange(c *plan.Catalog, fact string, hp HavingPred, onDim func(QualCol) (string, error)) (plan.Filter, error) {
+	align := func(v, litScale int64) (int64, error) {
+		if hp.Agg.Expr != nil && hp.Agg.Expr.Op == "col" {
+			dim, err := onDim(hp.Agg.Expr.Col)
+			if err != nil {
+				return 0, err
+			}
+			tbl := fact
+			if dim != "" {
+				tbl = dim
+			}
+			return alignScale(c, tbl, hp.Agg.Expr.Col.Name, v, litScale)
+		}
+		if litScale > 1 {
+			return 0, fmt.Errorf("sql: decimal literal in HAVING needs a single-column aggregate to infer the scale from")
+		}
+		return v, nil
+	}
+	lo, err := align(hp.Lo, hp.LoScale)
+	if err != nil {
+		return plan.Filter{}, err
+	}
+	hi, err := align(hp.Hi, hp.HiScale)
+	if err != nil {
+		return plan.Filter{}, err
+	}
+	f := plan.Filter{}
+	switch hp.Op {
+	case "=":
+		f.Lo, f.Hi = lo, lo
+	case "<":
+		f.Lo, f.Hi = plan.NoLo, lo-1
+	case "<=":
+		f.Lo, f.Hi = plan.NoLo, lo
+	case ">":
+		f.Lo, f.Hi = lo+1, plan.NoHi
+	case ">=":
+		f.Lo, f.Hi = lo, plan.NoHi
+	case "between":
+		f.Lo, f.Hi = lo, hi
+	default:
+		return plan.Filter{}, fmt.Errorf("sql: unsupported HAVING operator %q", hp.Op)
+	}
+	return f, nil
 }
 
 // filterFromPred canonicalizes one parsed predicate into a closed-range
@@ -396,15 +582,15 @@ func alignToScale(colScale, v, litScale int64) (int64, bool) {
 // Multiplication of two decimal literals/columns is fixed-point: the scale
 // divisor is taken from the literal's own fractional digits (integer
 // operands multiply at scale 1).
-func bindArith(e *ArithE, onDim func(QualCol) (bool, error)) (plan.Expr, error) {
+func bindArith(e *ArithE, onDim func(QualCol) (string, error)) (plan.Expr, error) {
 	switch e.Op {
 	case "col":
 		dim, err := onDim(e.Col)
 		if err != nil {
 			return nil, err
 		}
-		if dim {
-			return plan.DimCol(e.Col.Name), nil
+		if dim != "" {
+			return plan.DimCol(dim, e.Col.Name), nil
 		}
 		return plan.Col(e.Col.Name), nil
 	case "lit":

@@ -15,10 +15,12 @@
 //
 //	SELECT bwdecompose(lon, 24) FROM trips
 //
-// plus single-dimension foreign-key joins
-// (FROM fact JOIN dim ON fact.fk = dim.pk) and EXPLAIN. Values are the
-// engine's canonical scaled integers (decimal literals are scaled by their
-// own fractional digits, e.g. 2.68288 -> 268288).
+// plus any number of foreign-key dimension joins (star schema:
+// FROM fact JOIN d1 ON fact.fk1 = d1.pk JOIN d2 ON ...), fact-side OR
+// groups over range predicates, HAVING, ORDER BY ... LIMIT, and EXPLAIN.
+// Parse errors report the byte offset and nearby source text. Values are
+// the engine's canonical scaled integers (decimal literals are scaled by
+// their own fractional digits, e.g. 2.68288 -> 268288).
 package sql
 
 import (

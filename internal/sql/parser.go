@@ -11,16 +11,26 @@ import (
 //	insert    := INSERT INTO name ['(' name {, name} ')']
 //	             VALUES row {, row}
 //	row       := '(' literal {, literal} ')'
-//	delete    := DELETE FROM name [where]
+//	delete    := DELETE FROM name [WHERE pred {AND pred}]
 //	create    := CREATE TABLE name '(' name type {, name type} ')'
 //	type      := INT | DECIMAL<digits>   (decimal2 = 2 fractional digits)
-//	select    := SELECT item {, item} FROM name [join] [where] [groupby]
+//	select    := SELECT item {, item} FROM name {join} [where]
+//	             [groupby] [having] [orderby] [limit]
 //	item      := expr [AS name]
 //	join      := JOIN name ON qualcol = qualcol
-//	where     := WHERE pred {AND pred}
+//	where     := WHERE orexpr
+//	orexpr    := andexpr {OR andexpr}      (standard precedence: OR lowest;
+//	andexpr   := boolprim {AND boolprim}    the bound form must be a
+//	boolprim  := pred | '(' orexpr ')'      conjunction of predicates and
+//	                                        disjunctions of predicates)
 //	pred      := qualcol cmp literal
 //	           | qualcol BETWEEN literal AND literal
 //	groupby   := GROUP BY qualcol {, qualcol}
+//	having    := HAVING havingpred {AND havingpred}
+//	havingpred:= aggcall cmp literal | aggcall BETWEEN literal AND literal
+//	orderby   := ORDER BY orderitem {, orderitem}
+//	orderitem := (aggcall | qualcol) [ASC|DESC]
+//	limit     := LIMIT number
 //	expr      := aggcall | arith
 //	aggcall   := (SUM|COUNT|MIN|MAX|AVG) '(' (arith | '*') ')'
 //	           | BWDECOMPOSE '(' qualcol ',' number ')'
@@ -73,13 +83,50 @@ type CreateCol struct {
 	Type string
 }
 
-// SelectStmt is a parsed SELECT.
+// SelectStmt is a parsed SELECT. Limit is -1 when no LIMIT clause was
+// written.
 type SelectStmt struct {
 	Items   []SelectItem
 	From    string
-	Join    *JoinClause
-	Preds   []Pred
+	Joins   []JoinClause
+	Where   []PredGroup
 	GroupBy []QualCol
+	Having  []HavingPred
+	OrderBy []OrderItem
+	Limit   int64
+}
+
+// PredGroup is one conjunct of the WHERE clause in conjunctive normal
+// form: a single predicate, or (len > 1) a disjunction of predicates of
+// which at least one must hold.
+type PredGroup struct {
+	Preds []Pred
+}
+
+// AggRef is an aggregate call referenced outside the select list (HAVING,
+// ORDER BY): the function, count(*)'s star form, or the argument
+// expression.
+type AggRef struct {
+	Func string
+	Star bool
+	Expr *ArithE
+}
+
+// HavingPred is one conjunct of the HAVING clause: a comparison of an
+// aggregate call against a literal.
+type HavingPred struct {
+	Agg              AggRef
+	Op               string // "=", "<", "<=", ">", ">=", "between"
+	Lo, Hi           int64
+	LoScale, HiScale int64
+}
+
+// OrderItem is one ORDER BY sort column: a bare column/alias reference or
+// an aggregate call, with its direction.
+type OrderItem struct {
+	Col  *QualCol
+	Agg  *AggRef
+	Desc bool
 }
 
 // SelectItem is one output expression.
@@ -132,8 +179,45 @@ type ArithE struct {
 }
 
 type parser struct {
+	src  string
 	toks []token
 	at   int
+}
+
+// errAt builds a parse error carrying the offending token's byte offset
+// and the surrounding source text, so malformed statements point at the
+// exact spot instead of reporting a bare message.
+func (p *parser) errAt(t token, format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d near %q: %s", t.pos, near(p.src, t.pos), fmt.Sprintf(format, args...))
+}
+
+// near returns a short source window around pos for error messages.
+func near(src string, pos int) string {
+	const window = 16
+	lo := pos - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pos + window
+	if hi > len(src) {
+		hi = len(src)
+	}
+	out := src[lo:hi]
+	if lo > 0 {
+		out = "…" + out
+	}
+	if hi < len(src) {
+		out += "…"
+	}
+	return out
+}
+
+// tokenText renders a token for error messages (EOF included).
+func tokenText(t token) string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
 }
 
 // Parse parses one statement.
@@ -142,7 +226,7 @@ func Parse(src string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{src: src, toks: toks}
 	stmt := &Stmt{}
 	if p.acceptKeyword("EXPLAIN") {
 		stmt.Explain = true
@@ -166,7 +250,7 @@ func Parse(src string) (*Stmt, error) {
 		}
 	}
 	if !p.atEOF() {
-		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+		return nil, p.errAt(p.peek(), "trailing input %s", tokenText(p.peek()))
 	}
 	return stmt, nil
 }
@@ -304,7 +388,7 @@ func (p *parser) acceptKeyword(kw string) bool {
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.acceptKeyword(kw) {
-		return fmt.Errorf("sql: expected %s, found %q", kw, p.peek().text)
+		return p.errAt(p.peek(), "expected %s, found %s", kw, tokenText(p.peek()))
 	}
 	return nil
 }
@@ -320,7 +404,7 @@ func (p *parser) acceptSymbol(sym string) bool {
 
 func (p *parser) expectSymbol(sym string) error {
 	if !p.acceptSymbol(sym) {
-		return fmt.Errorf("sql: expected %q, found %q", sym, p.peek().text)
+		return p.errAt(p.peek(), "expected %q, found %s", sym, tokenText(p.peek()))
 	}
 	return nil
 }
@@ -329,7 +413,7 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	sel := &SelectStmt{}
+	sel := &SelectStmt{Limit: -1}
 	for {
 		item, err := p.parseItem()
 		if err != nil {
@@ -348,8 +432,8 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		return nil, err
 	}
 	sel.From = tbl
-	if p.acceptKeyword("JOIN") {
-		join := &JoinClause{}
+	for p.acceptKeyword("JOIN") {
+		join := JoinClause{}
 		if join.Table, err = p.parseName(); err != nil {
 			return nil, err
 		}
@@ -365,18 +449,11 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if join.RightCol, err = p.parseQualCol(); err != nil {
 			return nil, err
 		}
-		sel.Join = join
+		sel.Joins = append(sel.Joins, join)
 	}
 	if p.acceptKeyword("WHERE") {
-		for {
-			pred, err := p.parsePred()
-			if err != nil {
-				return nil, err
-			}
-			sel.Preds = append(sel.Preds, *pred)
-			if !p.acceptKeyword("AND") {
-				break
-			}
+		if sel.Where, err = p.parseWhere(); err != nil {
+			return nil, err
 		}
 	}
 	if p.acceptKeyword("GROUP") {
@@ -394,7 +471,223 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
+	if p.acceptKeyword("HAVING") {
+		for {
+			hp, err := p.parseHavingPred()
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = append(sel.Having, *hp)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.OrderBy = append(sel.OrderBy, *item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		at := p.peek()
+		n, scale, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if scale != 1 || n <= 0 {
+			return nil, p.errAt(at, "LIMIT takes a positive integer")
+		}
+		sel.Limit = n
+	}
 	return sel, nil
+}
+
+// parseWhere parses the WHERE boolean expression and normalizes it to
+// conjunctive normal form: a list of groups, each a single predicate or a
+// disjunction of predicates. A bare (unparenthesized) OR is accepted only
+// when the whole clause is that one disjunction — mixed with AND its SQL
+// precedence (OR loosest) would not survive the CNF shape, so the parser
+// demands parentheses instead of silently rebinding, pointing at the
+// offending OR. An OR branch that is itself a conjunction has no CNF home
+// in the engine's query model and is rejected the same way.
+func (p *parser) parseWhere() ([]PredGroup, error) {
+	var groups []PredGroup
+	var bareOr *token
+	for {
+		group, bareTok, err := p.parseOrGroup()
+		if err != nil {
+			return nil, err
+		}
+		if bareTok != nil && bareOr == nil {
+			bareOr = bareTok
+		}
+		groups = append(groups, *group)
+		if !p.acceptKeyword("AND") {
+			break
+		}
+	}
+	if bareOr != nil && len(groups) > 1 {
+		return nil, p.errAt(*bareOr, "OR mixed with AND is ambiguous here; parenthesize the OR group, e.g. (a < 1 OR b > 2) AND c = 3")
+	}
+	return groups, nil
+}
+
+// parseOrGroup parses boolprim {OR boolprim} where every branch must be a
+// single predicate or a parenthesized disjunction (flattened in). The
+// returned token is the first bare OR keyword, nil if none appeared.
+func (p *parser) parseOrGroup() (*PredGroup, *token, error) {
+	group := &PredGroup{}
+	if err := p.parseBoolPrim(group); err != nil {
+		return nil, nil, err
+	}
+	var bare *token
+	for {
+		at := p.peek()
+		if !p.acceptKeyword("OR") {
+			return group, bare, nil
+		}
+		if bare == nil {
+			bare = &at
+		}
+		if err := p.parseBoolPrim(group); err != nil {
+			return nil, nil, err
+		}
+	}
+}
+
+// parseBoolPrim parses one predicate or a parenthesized boolean
+// expression, appending its disjuncts to group. A parenthesized
+// expression may only contain OR (a disjunction): AND inside OR would
+// need a distributed rewrite the query model does not perform.
+func (p *parser) parseBoolPrim(group *PredGroup) error {
+	if p.acceptSymbol("(") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return err
+			}
+			group.Preds = append(group.Preds, *pred)
+			if p.acceptKeyword("OR") {
+				continue
+			}
+			if and := p.peek(); p.acceptKeyword("AND") {
+				return p.errAt(and, "AND inside a parenthesized OR is not supported; rewrite the WHERE clause in conjunctive normal form (ANDs of ORs)")
+			}
+			break
+		}
+		return p.expectSymbol(")")
+	}
+	pred, err := p.parsePred()
+	if err != nil {
+		return err
+	}
+	group.Preds = append(group.Preds, *pred)
+	return nil
+}
+
+// parseAggRef parses an aggregate call (sum(expr), count(*), ...) for
+// HAVING and ORDER BY positions.
+func (p *parser) parseAggRef() (*AggRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent || !aggNames[strings.ToLower(t.text)] {
+		return nil, p.errAt(t, "expected an aggregate call, found %s", tokenText(t))
+	}
+	ref := &AggRef{Func: strings.ToLower(t.text)}
+	p.advance()
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("*") {
+		if ref.Func != "count" {
+			return nil, p.errAt(t, "%s(*) is not valid", ref.Func)
+		}
+		ref.Star = true
+	} else {
+		expr, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		ref.Expr = expr
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return ref, nil
+}
+
+// parseHavingPred parses one HAVING conjunct: aggcall cmp literal or
+// aggcall BETWEEN literal AND literal.
+func (p *parser) parseHavingPred() (*HavingPred, error) {
+	ref, err := p.parseAggRef()
+	if err != nil {
+		return nil, err
+	}
+	hp := &HavingPred{Agg: *ref}
+	if p.acceptKeyword("BETWEEN") {
+		if hp.Lo, hp.LoScale, err = p.parseNumber(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		if hp.Hi, hp.HiScale, err = p.parseNumber(); err != nil {
+			return nil, err
+		}
+		hp.Op = "between"
+		return hp, nil
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return nil, p.errAt(t, "expected comparison after aggregate, found %s", tokenText(t))
+	}
+	p.advance()
+	switch t.text {
+	case "=", "<", "<=", ">", ">=":
+		hp.Op = t.text
+	default:
+		return nil, p.errAt(t, "unsupported operator %q", t.text)
+	}
+	if hp.Lo, hp.LoScale, err = p.parseNumber(); err != nil {
+		return nil, err
+	}
+	return hp, nil
+}
+
+// parseOrderItem parses one ORDER BY column: an aggregate call or a bare
+// (possibly qualified) column/alias name, with an optional direction.
+func (p *parser) parseOrderItem() (*OrderItem, error) {
+	item := &OrderItem{}
+	t := p.peek()
+	if t.kind == tokIdent && aggNames[strings.ToLower(t.text)] &&
+		p.toks[p.at+1].kind == tokSymbol && p.toks[p.at+1].text == "(" {
+		ref, err := p.parseAggRef()
+		if err != nil {
+			return nil, err
+		}
+		item.Agg = ref
+	} else {
+		col, err := p.parseQualCol()
+		if err != nil {
+			return nil, err
+		}
+		item.Col = &col
+	}
+	switch {
+	case p.acceptKeyword("DESC"):
+		item.Desc = true
+	case p.acceptKeyword("ASC"):
+	}
+	return item, nil
 }
 
 var aggNames = map[string]bool{
@@ -431,24 +724,13 @@ func (p *parser) parseItem() (*SelectItem, error) {
 			return item, p.parseAlias(item)
 		}
 		if aggNames[lower] && p.toks[p.at+1].kind == tokSymbol && p.toks[p.at+1].text == "(" {
-			p.advance()
-			p.advance() // '('
-			item.Agg = lower
-			if p.acceptSymbol("*") {
-				if lower != "count" {
-					return nil, fmt.Errorf("sql: %s(*) is not valid", lower)
-				}
-				item.Star = true
-			} else {
-				expr, err := p.parseArith()
-				if err != nil {
-					return nil, err
-				}
-				item.Expr = expr
-			}
-			if err := p.expectSymbol(")"); err != nil {
+			ref, err := p.parseAggRef()
+			if err != nil {
 				return nil, err
 			}
+			item.Agg = ref.Func
+			item.Star = ref.Star
+			item.Expr = ref.Expr
 			return item, p.parseAlias(item)
 		}
 	}
@@ -492,7 +774,7 @@ func (p *parser) parsePred() (*Pred, error) {
 	}
 	t := p.peek()
 	if t.kind != tokOp {
-		return nil, fmt.Errorf("sql: expected comparison after %s, found %q", col, t.text)
+		return nil, p.errAt(t, "expected comparison after %s, found %s", col, tokenText(t))
 	}
 	p.advance()
 	v, vScale, err := p.parseNumber()
@@ -503,7 +785,7 @@ func (p *parser) parsePred() (*Pred, error) {
 	case "=", "<", "<=", ">", ">=":
 		return &Pred{Col: col, Op: t.text, Lo: v, LoScale: vScale}, nil
 	default:
-		return nil, fmt.Errorf("sql: unsupported operator %q", t.text)
+		return nil, p.errAt(t, "unsupported operator %q", t.text)
 	}
 }
 
@@ -572,14 +854,14 @@ func (p *parser) parseFactor() (*ArithE, error) {
 		}
 		return inner, nil
 	default:
-		return nil, fmt.Errorf("sql: unexpected %q in expression", t.text)
+		return nil, p.errAt(t, "unexpected %s in expression", tokenText(t))
 	}
 }
 
 func (p *parser) parseName() (string, error) {
 	t := p.peek()
 	if t.kind != tokIdent {
-		return "", fmt.Errorf("sql: expected name, found %q", t.text)
+		return "", p.errAt(t, "expected name, found %s", tokenText(t))
 	}
 	p.advance()
 	return strings.ToLower(t.text), nil
@@ -606,7 +888,7 @@ func (p *parser) parseNumber() (value, scale int64, err error) {
 	neg := p.acceptSymbol("-")
 	t := p.peek()
 	if t.kind != tokNumber {
-		return 0, 0, fmt.Errorf("sql: expected number, found %q", t.text)
+		return 0, 0, p.errAt(t, "expected number, found %s", tokenText(t))
 	}
 	p.advance()
 	text := t.text

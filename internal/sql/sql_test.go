@@ -164,8 +164,8 @@ func TestJoinQuery(t *testing.T) {
 	q := plan.Query{
 		Table:   "lineitem",
 		Filters: []plan.Filter{{Col: "l_shipdate", Lo: plan.NoLo, Hi: 999}},
-		Join: &plan.JoinSpec{FKCol: "l_partkey", Dim: "part", DimPK: "p_partkey",
-			DimFilters: []plan.Filter{{Col: "p_type", Lo: 2, Hi: 4}}},
+		Joins: []plan.JoinSpec{{FKCol: "l_partkey", Dim: "part", DimPK: "p_partkey",
+			DimFilters: []plan.Filter{{Col: "p_type", Lo: 2, Hi: 4}}}},
 		Aggs: []plan.AggSpec{
 			{Name: "rev", Func: plan.Sum, Expr: plan.Col("l_extendedprice")},
 			{Name: "n", Func: plan.Count},
@@ -198,7 +198,7 @@ func TestDecimalLiteralScaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := stmt.Select.Preds[0]
+	p := stmt.Select.Where[0].Preds[0]
 	if p.Lo != 268288 || p.Hi != 270228 {
 		t.Errorf("decimal literals scaled to %d, %d; want 268288, 270228", p.Lo, p.Hi)
 	}

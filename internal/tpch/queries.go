@@ -96,10 +96,10 @@ func Q14(year, month int) (plan.Query, error) {
 		Filters: []plan.Filter{
 			{Col: "l_shipdate", Lo: Day(year, month, 1), Hi: Day(nextY, nextM, 1) - 1},
 		},
-		Join: &plan.JoinSpec{FKCol: "l_partkey", Dim: "part", DimPK: "p_partkey"},
+		Joins: []plan.JoinSpec{{FKCol: "l_partkey", Dim: "part", DimPK: "p_partkey"}},
 		Aggs: []plan.AggSpec{
 			{Name: "promo_revenue", Func: plan.Sum,
-				Expr: plan.CaseRange(plan.DimCol("p_type"), lo, hi, discPrice, plan.Const(0))},
+				Expr: plan.CaseRange(plan.DimCol("part", "p_type"), lo, hi, discPrice, plan.Const(0))},
 			{Name: "total_revenue", Func: plan.Sum, Expr: discPrice},
 		},
 	}, nil
