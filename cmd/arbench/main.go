@@ -9,16 +9,44 @@
 //	arbench -experiment fig9         # one experiment
 //	arbench -micro 10000000 -spatial 10000000 -sf 0.05
 //	arbench -quick                   # test-suite scale (fast)
+//	arbench -quick -json BENCH.json  # also write a machine-readable report
+//
+// With -json the run additionally writes a JSON report carrying, per
+// experiment, the wall-clock latency and the full figure data (series
+// points and simulated GPU/CPU/PCI meter bars), plus a per-operator stage
+// trace of the spatial benchmark query (est vs actual rows and the device
+// split per pipeline stage).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// report is the machine-readable benchmark record written by -json: one
+// entry per experiment ran (latency + figure data, which carries the
+// simulated meter split), the Table I facts, and a per-operator stage
+// trace of the spatial benchmark query.
+type report struct {
+	Options     experiments.Options       `json:"options"`
+	Experiments []reportExperiment        `json:"experiments"`
+	Table1      *experiments.Table1Result `json:"table1,omitempty"`
+	StageTrace  *obs.Trace                `json:"stage_trace,omitempty"`
+}
+
+type reportExperiment struct {
+	ID          string              `json:"id"`
+	Doc         string              `json:"doc"`
+	WallSeconds float64             `json:"wall_seconds"`
+	Figure      *experiments.Figure `json:"figure"`
+}
 
 var figures = []struct {
 	id  string
@@ -49,6 +77,7 @@ func main() {
 		seed       = flag.Int64("seed", 7, "data generator seed")
 		quick      = flag.Bool("quick", false, "use the fast test-suite data scale")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonPath   = flag.String("json", "", "also write a machine-readable report to this path")
 	)
 	flag.Parse()
 
@@ -78,6 +107,7 @@ func main() {
 	opts.Seed = *seed
 
 	want := strings.ToLower(*experiment)
+	rep := report{Options: opts}
 	ran := 0
 	if want == "all" || want == "fig1" {
 		fmt.Print(experiments.Fig1().Render())
@@ -88,11 +118,15 @@ func main() {
 		if want != "all" && want != f.id {
 			continue
 		}
+		start := time.Now()
 		fig, err := f.fn(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "arbench: %s: %v\n", f.id, err)
 			os.Exit(1)
 		}
+		rep.Experiments = append(rep.Experiments, reportExperiment{
+			ID: f.id, Doc: f.doc, WallSeconds: time.Since(start).Seconds(), Figure: fig,
+		})
 		fmt.Print(fig.Render())
 		fmt.Println()
 		ran++
@@ -103,11 +137,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "arbench: table1: %v\n", err)
 			os.Exit(1)
 		}
+		rep.Table1 = tb
 		fmt.Print(tb.Render())
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "arbench: unknown experiment %q (try -list)\n", *experiment)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		tr, err := experiments.TraceSpatial(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arbench: stage trace: %v\n", err)
+			os.Exit(1)
+		}
+		rep.StageTrace = tr
+		out, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "arbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote machine-readable report to %s\n", *jsonPath)
 	}
 }

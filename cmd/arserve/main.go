@@ -13,20 +13,29 @@
 //	...
 //
 // Meta commands: \cost, \mode [auto|ar|classic], \tables, \stats,
-// \merge [table], \explain <select>, \prepare <name> <sql>,
-// \run <name> [params...], \q.
+// \merge [table], \explain [analyze] <select>, \metrics, \slow [<dur>|off],
+// \prepare <name> <sql>, \run <name> [params...], \q.
 //
 // The SQL surface includes DML — INSERT INTO ... VALUES, DELETE FROM ...
 // WHERE, CREATE TABLE — served against the mutable column store: inserts
 // land in per-table delta segments and are merged into the bit-sliced base
 // segments by the background merger (or \merge).
+//
+// With -metrics <addr> the process additionally serves the engine metrics
+// registry in Prometheus text format on http://<addr>/metrics (query
+// counts and latency histograms per route, scheduler queue depth and
+// high-water, plan-cache and store counters, per-table delta depth).
+// -slow <dur> arms the slow-query log at startup, retaining full
+// per-operator traces of queries over the threshold (inspect via \slow).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/engine"
@@ -47,6 +56,8 @@ func main() {
 		cache    = flag.Int("cache", 128, "plan cache entries (negative disables)")
 		threads  = flag.Int("threads", 1, "CPU threads per query")
 		mergeAt  = flag.Int("merge-threshold", 0, "delta rows before background merge (default 65536, negative disables)")
+		metrics  = flag.String("metrics", "", "HTTP listen address for GET /metrics in Prometheus text format (empty disables)")
+		slow     = flag.Duration("slow", 0, "arm the slow-query log for queries over this wall time (0 disables)")
 	)
 	flag.Parse()
 
@@ -70,10 +81,11 @@ func main() {
 	// The server is a thin protocol adapter over one shared engine; any
 	// other front-end could embed the same engine value concurrently.
 	eng := engine.New(catalog, engine.Options{
-		Sched:          engine.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
-		CacheSize:      *cache,
-		Threads:        *threads,
-		MergeThreshold: *mergeAt,
+		Sched:              engine.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
+		CacheSize:          *cache,
+		Threads:            *threads,
+		MergeThreshold:     *mergeAt,
+		SlowQueryThreshold: *slow,
 	})
 	// Background merger: compacts delta segments past the threshold so the
 	// write path stays append-cheap while reads stay mostly base-resident.
@@ -81,6 +93,18 @@ func main() {
 	defer cancel()
 	eng.StartMaintenance(ctx)
 	srv := server.New(eng)
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", eng.Metrics())
+		msrv := &http.Server{Addr: *metrics, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fail(err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Printf("arserve: metrics on http://%s/metrics\n", *metrics)
+	}
 	fmt.Printf("arserve: lineitem (SF-%g), part, trips (%d fixes) loaded and decomposed\n", *sf, *spatialN)
 	fmt.Printf("arserve: listening on %s\n", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {

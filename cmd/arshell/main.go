@@ -20,12 +20,14 @@
 // The shell is a thin REPL over an engine session — the same
 // internal/engine facade the TCP server adapts — so its meta-command
 // surface is identical to the server's: \cost, \mode [auto|ar|classic],
-// \tables, \stats, \merge [table], \explain <select>,
-// \prepare <name> <sql>, \run <name> [params...], \q. \explain renders
-// the assembled operator pipeline (scan strategy, cost-ordered filters
-// with estimated selectivities, join chain, delta/top-k stages) without
-// executing the statement. One command is shell-only because it reads
-// the local filesystem:
+// \tables, \stats, \merge [table], \explain [analyze] <select>, \metrics,
+// \slow [<dur>|off], \prepare <name> <sql>, \run <name> [params...], \q.
+// \explain renders the assembled operator pipeline (scan strategy,
+// cost-ordered filters with estimated selectivities, join chain,
+// delta/top-k stages) without executing the statement; \explain analyze
+// executes it and annotates each stage with estimated vs actual rows and
+// the simulated GPU/CPU/PCI split. One command is shell-only because it
+// reads the local filesystem:
 //
 //	\load <csv> <table> <schema>   ingest a CSV file (schema syntax
 //	                               id:int,price:decimal2,name:dict,day:date)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sql"
 )
@@ -55,6 +56,13 @@ type Options struct {
 	// MergeInterval is the background merger's poll interval. Defaults to
 	// 250ms.
 	MergeInterval time.Duration
+	// SlowQueryThreshold enables the slow-query log: statements whose
+	// wall-clock latency (including scheduler waits) crosses it are
+	// retained with their full stage trace, viewable via \slow. 0 disables
+	// the log (it can be enabled at runtime with \slow <duration>).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring buffer. Defaults to 16.
+	SlowLogSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +78,9 @@ func (o Options) withDefaults() Options {
 	if o.MergeInterval <= 0 {
 		o.MergeInterval = 250 * time.Millisecond
 	}
+	if o.SlowLogSize <= 0 {
+		o.SlowLogSize = 16
+	}
 	return o
 }
 
@@ -77,10 +88,11 @@ func (o Options) withDefaults() Options {
 // behind a context-aware API. One Engine is shared by any number of
 // concurrent sessions.
 type Engine struct {
-	cat   *plan.Catalog
-	sched *Scheduler
-	cache *PlanCache
-	opts  Options
+	cat     *plan.Catalog
+	sched   *Scheduler
+	cache   *PlanCache
+	opts    Options
+	metrics *metrics
 
 	mu       sync.Mutex
 	sessions map[int64]*Session
@@ -100,13 +112,17 @@ type Engine struct {
 // callers can also issue bwdecompose statements at runtime.
 func New(cat *plan.Catalog, opts Options) *Engine {
 	opts = opts.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cat:      cat,
 		sched:    NewScheduler(cat, opts.Sched),
 		cache:    NewPlanCache(opts.CacheSize),
 		opts:     opts,
 		sessions: make(map[int64]*Session),
 	}
+	e.metrics = newMetrics(e, opts.SlowLogSize)
+	e.metrics.slow.SetThreshold(opts.SlowQueryThreshold)
+	e.sched.onQueueWait = e.metrics.queueWait.Observe
+	return e
 }
 
 // Catalog returns the engine's catalog.
@@ -117,6 +133,13 @@ func (e *Engine) Scheduler() *Scheduler { return e.sched }
 
 // Cache exposes the engine's plan cache.
 func (e *Engine) Cache() *PlanCache { return e.cache }
+
+// Metrics exposes the engine's metrics registry — the source behind both
+// arserve's GET /metrics endpoint and the \metrics meta command.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics.reg }
+
+// SlowLog exposes the engine's slow-query log (the \slow surface).
+func (e *Engine) SlowLog() *obs.SlowLog { return e.metrics.slow }
 
 // Session opens a new session. Callers should Close it when done so the
 // active-session count stays accurate.
@@ -201,6 +224,33 @@ func (e *Engine) DescribeStatement(src string, mode Mode) ([]string, error) {
 		return nil, fmt.Errorf("engine: \\explain describes queries; %q is a write statement", strings.Fields(src)[0])
 	}
 	return e.DescribePlan(b.Query, mode)
+}
+
+// AnalyzeStatement is \explain analyze: it compiles a SELECT, renders the
+// pipeline it will run, then actually executes it with tracing forced on —
+// through the normal scheduler path, so admission control, contention
+// charging and session totals all apply — and appends the trace: per-stage
+// est-vs-actual rows, wall time and the simulated GPU/CPU/PCI split.
+func (e *Engine) AnalyzeStatement(ctx context.Context, sess *Session, src string) ([]string, error) {
+	b, err := e.compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if b.IsWrite() {
+		return nil, fmt.Errorf("engine: \\explain analyze executes queries; %q is a write statement", strings.Fields(src)[0])
+	}
+	lines, err := e.DescribePlan(b.Query, sess.Mode())
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.execTraced(ctx, sess, b, src, true)
+	if err != nil {
+		return nil, err
+	}
+	if res.Result != nil && res.Trace != nil {
+		lines = append(lines, res.Trace.Render()...)
+	}
+	return lines, nil
 }
 
 // Totals returns the engine-wide meter totals across all sessions.
@@ -344,8 +394,21 @@ func (e *Engine) mergeDue() {
 // exec routes one compiled binding through the scheduler on behalf of a
 // session and folds the (contention-adjusted) meter into the session's
 // totals. The scheduler already merged it into the engine-wide totals.
-func (e *Engine) exec(ctx context.Context, sess *Session, b *sql.Binding) (*Result, error) {
-	res, route, err := e.sched.Exec(ctx, b, plan.ExecOpts{Threads: e.opts.Threads}, sess.Mode())
+// src is the statement text, carried for the slow-query log and traces.
+func (e *Engine) exec(ctx context.Context, sess *Session, b *sql.Binding, src string) (*Result, error) {
+	return e.execTraced(ctx, sess, b, src, false)
+}
+
+// execTraced is exec with an explicit tracing decision: \explain analyze
+// forces a trace; otherwise tracing runs only while the slow-query log is
+// armed (tracing never perturbs results or meters, so arming it is safe on
+// live traffic — it only costs the clock reads).
+func (e *Engine) execTraced(ctx context.Context, sess *Session, b *sql.Binding, src string, forceTrace bool) (*Result, error) {
+	opts := plan.ExecOpts{Threads: e.opts.Threads, Trace: forceTrace || e.metrics.slow.Enabled()}
+	start := time.Now()
+	res, route, err := e.sched.Exec(ctx, b, opts, sess.Mode())
+	wall := time.Since(start)
+	e.metrics.note(route, wall, err)
 	if err != nil {
 		return nil, err
 	}
@@ -354,6 +417,17 @@ func (e *Engine) exec(ctx context.Context, sess *Session, b *sql.Binding) (*Resu
 		meter = res.Meter
 	}
 	sess.Totals.Merge(meter)
+	if res != nil && res.Trace != nil {
+		res.Trace.Query = src
+		var sim time.Duration
+		if meter != nil {
+			sim = meter.Total()
+		}
+		e.metrics.noteSlow(obs.SlowEntry{
+			Query: src, Route: route.String(), When: res.Trace.Start,
+			Wall: wall, Sim: sim, Trace: res.Trace,
+		})
+	}
 	return &Result{Result: res, Route: route}, nil
 }
 

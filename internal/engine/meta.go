@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/device"
 )
@@ -12,8 +13,8 @@ import (
 // Meta executes one backslash meta command against the session and returns
 // the display lines. It is the single implementation behind both the
 // shell's and the server's meta surface (\cost, \mode, \tables, \stats,
-// \merge, \explain, \prepare, \run, \q), which is what keeps the two
-// front-ends at parity.
+// \merge, \explain [analyze], \metrics, \slow, \prepare, \run, \q), which
+// is what keeps the two front-ends at parity.
 //
 // handled is false when line is not a meta command (no backslash prefix) —
 // the caller should execute it as SQL. quit is true for \q. Unknown meta
@@ -78,13 +79,42 @@ func (s *Session) Meta(ctx context.Context, line string) (out []string, quit, ha
 		return s.eng.StatsLines(s), false, true, nil
 	case `\explain`:
 		if rest == "" {
-			return nil, false, true, errors.New(`engine: usage: \explain <select statement>`)
+			return nil, false, true, errors.New(`engine: usage: \explain [analyze] <select statement>`)
+		}
+		if sub, stmt, _ := strings.Cut(rest, " "); strings.EqualFold(sub, "analyze") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				return nil, false, true, errors.New(`engine: usage: \explain analyze <select statement>`)
+			}
+			lines, err := s.eng.AnalyzeStatement(ctx, s, stmt)
+			if err != nil {
+				return nil, false, true, err
+			}
+			return lines, false, true, nil
 		}
 		lines, err := s.eng.DescribeStatement(rest, s.Mode())
 		if err != nil {
 			return nil, false, true, err
 		}
 		return lines, false, true, nil
+	case `\metrics`:
+		return s.eng.Metrics().Text(), false, true, nil
+	case `\slow`:
+		log := s.eng.SlowLog()
+		switch {
+		case rest == "":
+			return log.Lines(), false, true, nil
+		case rest == "off":
+			log.SetThreshold(0)
+			return []string{"slow-query log off"}, false, true, nil
+		default:
+			d, err := time.ParseDuration(rest)
+			if err != nil || d <= 0 {
+				return nil, false, true, errors.New(`engine: usage: \slow [<threshold, e.g. 50ms>|off]`)
+			}
+			log.SetThreshold(d)
+			return []string{fmt.Sprintf("slow-query log on: retaining traces of queries over %s", d)}, false, true, nil
+		}
 	case `\prepare`:
 		name, stmt, ok := strings.Cut(rest, " ")
 		stmt = strings.TrimSpace(stmt)

@@ -108,6 +108,10 @@ type Scheduler struct {
 	// -race).
 	Totals device.SharedMeter
 
+	// onQueueWait, if set (by the engine's metrics), observes how long each
+	// admitted A&R query waited for its GPU stream slot.
+	onQueueWait func(time.Duration)
+
 	mu            sync.Mutex
 	activeClassic int
 	activeAR      int
@@ -115,6 +119,7 @@ type Scheduler struct {
 	allocWorkers  int // morsel workers currently granted out of cpuCap
 	peakClassic   int
 	peakAR        int
+	peakWaitingAR int
 	classicRun    int64
 	arRun         int64
 	ddlRun        int64
@@ -307,8 +312,12 @@ func (s *Scheduler) execAR(ctx context.Context, b *sql.Binding, opts plan.ExecOp
 		return nil, RouteAR, &OverloadedError{Waiting: waiting, Queue: s.arQueue}
 	}
 	s.waitingAR++
+	if s.waitingAR > s.peakWaitingAR {
+		s.peakWaitingAR = s.waitingAR
+	}
 	s.mu.Unlock()
 
+	waitStart := time.Now()
 	select {
 	case s.gpuSlots <- struct{}{}:
 	case <-ctx.Done():
@@ -319,6 +328,9 @@ func (s *Scheduler) execAR(ctx context.Context, b *sql.Binding, opts plan.ExecOp
 		s.cancelled++
 		s.mu.Unlock()
 		return nil, RouteAR, ctx.Err()
+	}
+	if s.onQueueWait != nil {
+		s.onQueueWait(time.Since(waitStart))
 	}
 	s.mu.Lock()
 	s.waitingAR--
@@ -391,7 +403,10 @@ type SchedStats struct {
 	Cancelled                             int64
 	ActiveClassic, ActiveAR, WaitingAR    int
 	PeakClassic, PeakAR                   int
-	AvgARHostDraw                         float64 // bytes/s one A&R stream draws from host memory
+	// PeakWaitingAR is the admission queue's high-water mark: the largest
+	// number of A&R queries ever waiting for a stream at once.
+	PeakWaitingAR int
+	AvgARHostDraw float64 // bytes/s one A&R stream draws from host memory
 }
 
 // Stats returns the current counters.
@@ -402,14 +417,18 @@ func (s *Scheduler) Stats() SchedStats {
 		ClassicRun: s.classicRun, ARRun: s.arRun, DDLRun: s.ddlRun, RejectedAR: s.rejectedAR,
 		Cancelled:     s.cancelled,
 		ActiveClassic: s.activeClassic, ActiveAR: s.activeAR, WaitingAR: s.waitingAR,
-		PeakClassic: s.peakClassic, PeakAR: s.peakAR,
+		PeakClassic: s.peakClassic, PeakAR: s.peakAR, PeakWaitingAR: s.peakWaitingAR,
 		AvgARHostDraw: s.avgDrawLocked(),
 	}
 }
 
+// String renders the stable one-line \stats format (documented in the
+// README): every field is `name value`, comma-separated, so operators and
+// scripts can parse it without caring about future additions, which only
+// ever append new `name value` pairs.
 func (st SchedStats) String() string {
-	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d, cancelled %d",
-		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR, st.Cancelled)
+	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d, cancelled %d, queue depth %d (high-water %d)",
+		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR, st.Cancelled, st.WaitingAR, st.PeakWaitingAR)
 }
 
 // ClassicStretch returns the factor by which one single-threaded classic

@@ -41,7 +41,7 @@ func (s *Session) Query(ctx context.Context, src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.eng.exec(ctx, s, b)
+	return s.eng.exec(ctx, s, b, src)
 }
 
 // QueryPlan executes a logical plan.Query directly — the programmatic
@@ -49,7 +49,7 @@ func (s *Session) Query(ctx context.Context, src string) (*Result, error) {
 // without SQL text. Routing, admission control and contention charging are
 // identical to Query.
 func (s *Session) QueryPlan(ctx context.Context, q plan.Query) (*Result, error) {
-	return s.eng.exec(ctx, s, &sql.Binding{Query: q})
+	return s.eng.exec(ctx, s, &sql.Binding{Query: q}, "(plan.Query on "+q.Table+")")
 }
 
 // Prepare compiles a statement into a reusable Stmt bound to this session.
@@ -187,9 +187,10 @@ func (st *Stmt) Exec(ctx context.Context, params ...any) (*Result, error) {
 		return nil, fmt.Errorf("engine: statement takes %d parameters, got %d", st.params, len(params))
 	}
 	var b *sql.Binding
+	src := st.src
 	if st.params > 0 {
-		src, err := substituteParams(st.src, params)
-		if err != nil {
+		var err error
+		if src, err = substituteParams(st.src, params); err != nil {
 			return nil, err
 		}
 		if b, err = sql.Compile(st.sess.eng.cat, src); err != nil {
@@ -209,7 +210,7 @@ func (st *Stmt) Exec(ctx context.Context, params ...any) (*Result, error) {
 		b = st.binding
 		st.mu.Unlock()
 	}
-	return st.sess.eng.exec(ctx, st.sess, b)
+	return st.sess.eng.exec(ctx, st.sess, b, src)
 }
 
 // forEachParam walks src outside single-quoted string literals and calls

@@ -7,6 +7,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/fixed"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/spatial"
 )
@@ -123,6 +124,28 @@ func Fig9(opts Options) (*Figure, error) {
 		},
 	}
 	return fig, nil
+}
+
+// TraceSpatial executes the spatial range-count query once with
+// per-operator tracing on and returns the trace — the stage breakdown
+// (est-vs-actual rows, wall time, simulated meter split per operator) that
+// arbench embeds in its machine-readable JSON report.
+func TraceSpatial(opts Options) (*obs.Trace, error) {
+	sys := device.ScaledSystem(float64(PaperSpatialN) / float64(opts.SpatialN))
+	c := plan.NewCatalog(sys)
+	d := spatial.Generate(opts.SpatialN, opts.Seed)
+	if err := d.Load(c); err != nil {
+		return nil, err
+	}
+	if err := d.Decompose(c); err != nil {
+		return nil, err
+	}
+	res, err := c.ExecAR(spatial.RangeCountQuery(), plan.ExecOpts{Threads: opts.Threads, Trace: true})
+	if err != nil {
+		return nil, err
+	}
+	res.Trace.Query = "spatial range count (Table I benchmark query)"
+	return res.Trace, nil
 }
 
 func meterBar(label string, m *device.Meter) Bar {

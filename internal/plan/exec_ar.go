@@ -33,6 +33,11 @@ type ExecOpts struct {
 	// stage about to run. It exists for observability and deterministic
 	// cancellation tests; it must be fast and safe for concurrent use.
 	OnStage func(Stage)
+	// Trace collects a per-operator obs.Trace on the Result. Tracing reads
+	// the clock and the meter but never charges the meter, so results,
+	// approximate answers and simulated figures are bit-identical with the
+	// flag on or off.
+	Trace bool
 }
 
 func (o ExecOpts) threads() int {
@@ -118,20 +123,20 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		f0 := pl.factFilters[0].f
 		d := snap.get(q.Table, f0.Col)
 		cands = ar.SelectApprox(m, d, d.Relax(f0.Lo, f0.Hi))
-		st.trace("bwd.uselectapproximate(%s.%s)", q.Table, f0.Col)
+		st.traceEst(cands.Len(), st.estApply(pl.factFilters[0].sel), "bwd.uselectapproximate(%s.%s)", q.Table, f0.Col)
 		for _, rf := range pl.factFilters[1:] {
 			if err := st.step(StageApprox); err != nil {
 				return nil, err
 			}
 			d := snap.get(q.Table, rf.f.Col)
 			cands = ar.SelectApproxOver(m, d, d.Relax(rf.f.Lo, rf.f.Hi), cands)
-			st.trace("bwd.uselectapproximate(%s.%s)", q.Table, rf.f.Col)
+			st.traceEst(cands.Len(), st.estApply(rf.sel), "bwd.uselectapproximate(%s.%s)", q.Table, rf.f.Col)
 		}
 	case len(pl.orGroups) > 0:
 		g := pl.orGroups[0]
 		cols, rs, _, _ := pl.orGroupRelax(g)
 		cands = ar.SelectApproxAny(m, cols, rs, g.id)
-		st.trace("bwd.uselectanyapproximate(%s)", orGroupText(q.Table, g.filters))
+		st.traceEst(cands.Len(), st.estApply(g.sel), "bwd.uselectanyapproximate(%s)", orGroupText(q.Table, g.filters))
 	default:
 		anchor, ok := q.anchorColumn()
 		if !ok {
@@ -139,7 +144,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		}
 		d := snap.get(q.Table, anchor)
 		cands = ar.SelectApprox(m, d, bwd.ApproxRange{Full: true})
-		st.trace("bwd.scanapproximate(%s.%s)", q.Table, anchor)
+		st.traceRows(cands.Len(), "bwd.scanapproximate(%s.%s)", q.Table, anchor)
 	}
 	// Remaining disjunction groups narrow the candidate set like further
 	// conjuncts — each one the union of its per-disjunct relaxed ranges.
@@ -153,7 +158,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		}
 		cols, rs, _, _ := pl.orGroupRelax(g)
 		cands = ar.SelectApproxAnyOver(m, cols, rs, cands, g.id)
-		st.trace("bwd.uselectanyapproximate(%s)", orGroupText(q.Table, g.filters))
+		st.traceEst(cands.Len(), st.estApply(g.sel), "bwd.uselectanyapproximate(%s)", orGroupText(q.Table, g.filters))
 	}
 
 	// Discharge deleted base rows on the device: the deletion bitmap is
@@ -172,7 +177,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		})
 		m.GPUKernel(int64(cands.Len())*4+int64(fs.BaseLen()+7)/8, 0, int64(cands.Len()))
 		cands = cands.Filter(keep)
-		st.trace("bwd.maskdeleted(%s)", q.Table)
+		st.traceRows(cands.Len(), "bwd.maskdeleted(%s)", q.Table)
 	}
 
 	// Foreign-key join chain and dimension-side approximate selections.
@@ -197,7 +202,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.trace("bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
+		st.traceRows(cands.Len(), "bwd.leftjoinapproximate(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
 		if ds.BaseDeletedCount() > 0 {
 			type keepPos struct {
 				i   int
@@ -222,7 +227,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			cands = cands.Filter(keep)
 			jr.pos = kept
 			remapJoinPos(pp, joins[:ji], keep)
-			st.trace("bwd.maskdeleted(%s)", spec.Dim)
+			st.traceRows(cands.Len(), "bwd.maskdeleted(%s)", spec.Dim)
 		}
 		for _, rf := range jr.stage.dimFilters {
 			dd := snap.get(spec.Dim, rf.f.Col)
@@ -231,7 +236,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			if err := remapJoinLists(pp, joins[:ji], nil, prev, cands); err != nil {
 				return nil, err
 			}
-			st.trace("bwd.uselectapproximate(%s.%s)", spec.Dim, rf.f.Col)
+			st.traceEst(cands.Len(), st.estApply(rf.sel), "bwd.uselectapproximate(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 
@@ -246,7 +251,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			cols[i] = snap.get(q.Table, g)
 		}
 		mg = ar.GroupApproxMulti(m, cols, cands)
-		st.trace("bwd.groupapproximate(%s)", join(q.GroupBy))
+		st.traceRows(cands.Len(), "bwd.groupapproximate(%s)", join(q.GroupBy))
 	}
 
 	// Approximate projections for every column the aggregation phase
@@ -270,11 +275,11 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		if ref.IsDim() {
 			dd := snap.get(ref.Dim, ref.Name)
 			projections[ref] = ar.ProjectApproxAt(m, dd, cands, posFor(ref.Dim))
-			st.trace("bwd.leftjoinapproximate(%s.%s)", ref.Dim, ref.Name)
+			st.traceRows(cands.Len(), "bwd.leftjoinapproximate(%s.%s)", ref.Dim, ref.Name)
 		} else {
 			fd := snap.get(q.Table, ref.Name)
 			projections[ref] = ar.ProjectApprox(m, fd, cands)
-			st.trace("bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
+			st.traceRows(cands.Len(), "bwd.leftjoinapproximate(%s.%s)", q.Table, ref.Name)
 		}
 		refList = append(refList, ref)
 	}
@@ -309,7 +314,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
+		st.traceRows(dset.n, "delta.scan(%s, %d qualifying)", q.Table, dset.n)
 	}
 
 	// Phase-A approximate answer: strict bounds from approximations over
@@ -317,7 +322,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 	st.res.Approx = approxAnswer(m, *q, cands, projections, dset)
 	st.res.Candidates = cands.Len()
 	for _, a := range q.Aggs {
-		st.trace("bwd.%sapproximate(%s)", a.Func, a.Name)
+		st.traceRows(cands.Len(), "bwd.%sapproximate(%s)", a.Func, a.Name)
 	}
 
 	// ---- Ship: one bus crossing for candidates, projections, groupings.
@@ -336,8 +341,13 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			m.Transfer(int64(len(jr.pos)) * 4)
 		}
 	}
+	st.traceRows(cands.Len(), "ship(%s, %d projections)", q.Table, len(refList))
 
-	// ---- Phase R: the refinement subplan on the CPU.
+	// ---- Phase R: the refinement subplan on the CPU. The selectivity
+	// estimate restarts at the live base cardinality: refinement walks the
+	// same predicate chain with exact bounds, so the same model predicts
+	// its per-filter output.
+	st.estReset(pl)
 	refined := cands
 	for _, rf := range pl.factFilters {
 		if err := st.step(StageRefine); err != nil {
@@ -357,7 +367,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 				return nil, err
 			}
 		}
-		st.trace("bwd.uselectrefine(%s.%s)", q.Table, rf.f.Col)
+		st.traceEst(refined.Len(), st.estApply(rf.sel), "bwd.uselectrefine(%s.%s)", q.Table, rf.f.Col)
 	}
 	for _, g := range pl.orGroups {
 		if err := st.step(StageRefine); err != nil {
@@ -372,11 +382,11 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.trace("bwd.uselectanyrefine(%s)", orGroupText(q.Table, g.filters))
+		st.traceEst(refined.Len(), st.estApply(g.sel), "bwd.uselectanyrefine(%s)", orGroupText(q.Table, g.filters))
 	}
 	for _, jr := range joins {
 		spec := jr.stage.spec
-		st.trace("bwd.leftjoinrefine(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
+		st.traceRows(refined.Len(), "bwd.leftjoinrefine(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
 		for _, rf := range jr.stage.dimFilters {
 			if err := st.step(StageRefine); err != nil {
 				return nil, err
@@ -387,7 +397,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			if err := remapJoinLists(pp, joins, jr, prev, refined); err != nil {
 				return nil, err
 			}
-			st.trace("bwd.uselectrefine(%s.%s)", spec.Dim, rf.f.Col)
+			st.traceEst(refined.Len(), st.estApply(rf.sel), "bwd.uselectrefine(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 	st.res.Refined = refined.Len()
@@ -410,7 +420,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			return nil, err
 		}
 		ectx.vals[ref] = vals
-		st.trace("bwd.leftjoinrefine(%s)", ref.Name)
+		st.traceRows(refined.Len(), "bwd.leftjoinrefine(%s)", ref.Name)
 	}
 
 	return &scanOut{ectx: ectx, dset: dset, mg: mg, refined: refined}, nil

@@ -59,7 +59,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			return nil, err
 		}
 		ids = bulk.SelectRangePar(pp, m, b, f0.Lo, f0.Hi)
-		st.trace("algebra.uselect(%s.%s)", q.Table, f0.Col)
+		st.traceEst(len(ids), st.estApply(pl.factFilters[0].sel), "algebra.uselect(%s.%s)", q.Table, f0.Col)
 		for _, rf := range pl.factFilters[1:] {
 			if err := st.step(StageBulk); err != nil {
 				return nil, err
@@ -69,7 +69,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 				return nil, err
 			}
 			ids = bulk.SelectOIDsPar(pp, m, b, ids, rf.f.Lo, rf.f.Hi)
-			st.trace("algebra.uselect(%s.%s)", q.Table, rf.f.Col)
+			st.traceEst(len(ids), st.estApply(rf.sel), "algebra.uselect(%s.%s)", q.Table, rf.f.Col)
 		}
 	} else {
 		ids = make([]bat.OID, fact.BaseLen())
@@ -79,7 +79,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			}
 		})
 		m.CPUWork(pp.NThreads(), int64(len(ids))*4, 0, int64(len(ids)))
-		st.trace("algebra.scan(%s)", q.Table)
+		st.traceRows(len(ids), "algebra.scan(%s)", q.Table)
 	}
 
 	// Disjunction groups: fetch each disjunct column at the surviving
@@ -111,13 +111,13 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			return part
 		})
 		m.CPUWork(pp.NThreads(), int64(len(cols))*int64(len(cols[0]))*8, 0, int64(len(cols))*int64(len(cols[0])))
-		st.trace("algebra.uselectany(%s)", orGroupText(q.Table, g.filters))
+		st.traceEst(len(ids), st.estApply(g.sel), "algebra.uselectany(%s)", orGroupText(q.Table, g.filters))
 	}
 
 	// Discharge deleted base rows with one bitmap pass.
 	if fact.BaseDeletedCount() > 0 {
 		ids = maskDeletedOIDs(m, pp, fact, ids)
-		st.trace("algebra.maskdeleted(%s)", q.Table)
+		st.traceRows(len(ids), "algebra.maskdeleted(%s)", q.Table)
 	}
 
 	// Foreign-key join chain through the pre-built indexes.
@@ -140,7 +140,6 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 		lookups[spec.Dim] = ix.Lookup
 		fkVals := bulk.FetchPar(pp, m, fkBAT, ids)
 		pos, hit := bulk.FKJoinPar(pp, m, ix, fkVals)
-		st.trace("algebra.leftjoin(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
 		// Keep the id list, this join's positions, and every earlier
 		// join's positions aligned while dropping misses and rows joined
 		// to deleted dimension rows.
@@ -156,6 +155,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 		var keep []int
 		ids, joinPos[ji], keep = splitKeep(pairs)
 		compactJoinPos(pp, joinPos[:ji], keep)
+		st.traceRows(len(ids), "algebra.leftjoin(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
 
 		for _, rf := range js.dimFilters {
 			db, err := ds.Column(rf.f.Col)
@@ -177,7 +177,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			ids, joinPos[ji], keep = splitKeep(pairs)
 			compactJoinPos(pp, joinPos[:ji], keep)
 			m.CPUWork(pp.NThreads(), int64(len(vals))*8, 0, int64(len(vals)))
-			st.trace("algebra.uselect(%s.%s)", spec.Dim, rf.f.Col)
+			st.traceEst(len(ids), st.estApply(rf.sel), "algebra.uselect(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 
@@ -194,7 +194,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.trace("delta.scan(%s, %d qualifying)", q.Table, dset.n)
+		st.traceRows(dset.n, "delta.scan(%s, %d qualifying)", q.Table, dset.n)
 	}
 	st.res.Candidates = len(ids)
 	st.res.Refined = len(ids)
@@ -210,7 +210,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 		return nil
 	}
 	ectx := &exprCtx{n: len(ids), vals: map[ColRef][]int64{}}
-	for ref := range need {
+	for _, ref := range sortedRefs(need) {
 		if err := st.step(StageBulk); err != nil {
 			return nil, err
 		}
@@ -227,7 +227,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			}
 			ectx.vals[ref] = bulk.FetchPar(pp, m, fb, ids)
 		}
-		st.trace("algebra.leftjoin(%s)", ref.Name)
+		st.traceRows(ectx.n, "algebra.leftjoin(%s)", ref.Name)
 	}
 
 	return &scanOut{ectx: ectx, dset: dset}, nil

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bat"
 	"repro/internal/device"
@@ -40,6 +41,23 @@ func neededCols(q Query, withGroups bool) map[ColRef]bool {
 		}
 	}
 	return need
+}
+
+// sortedRefs returns the needed columns in a deterministic order
+// (fact columns first, then dimensions, each alphabetical), so plan
+// listings and traces do not depend on map iteration order.
+func sortedRefs(need map[ColRef]bool) []ColRef {
+	refs := make([]ColRef, 0, len(need))
+	for ref := range need {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Dim != refs[j].Dim {
+			return refs[i].Dim < refs[j].Dim
+		}
+		return refs[i].Name < refs[j].Name
+	})
+	return refs
 }
 
 // deltaJoin is the per-join state of a delta scan: the fact-side FK
@@ -125,7 +143,7 @@ func scanDelta(m *device.Meter, pp par.P, q Query, snap *execSnap, need map[ColR
 	}
 	var factRefs []factRef
 	var dimRefs []dimRef
-	for ref := range need {
+	for _, ref := range sortedRefs(need) {
 		if ref.IsDim() {
 			ji, ok := joinOf[ref.Dim]
 			if !ok {

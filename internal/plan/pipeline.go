@@ -24,10 +24,12 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/ar"
 	"repro/internal/bulk"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -90,20 +92,94 @@ func buildPipeline(q Query, snap *execSnap, classic bool) *pipeline {
 }
 
 // pipeState is the mutable state of one pipeline execution: the context,
-// parallelism descriptor, meter and result under construction.
+// parallelism descriptor, meter and result under construction, plus — when
+// tracing is on — the telemetry record and its per-operator marks.
 type pipeState struct {
 	ctx  context.Context
 	opts ExecOpts
 	pp   par.P
 	m    *device.Meter
 	res  *Result
+
+	// Tracing state (tr nil = off): the checkpoint class the pipeline is
+	// currently in, the wall-clock and meter marks of the previous operator
+	// boundary, and the running cardinality estimate the selectivity model
+	// predicts at this point of the chain (-1 once unknown). Tracing only
+	// ever *reads* the meter — a traced run charges exactly what an
+	// untraced one does.
+	tr    *obs.Trace
+	stage Stage
+	mark  time.Time
+	last  device.Meter
+	est   float64
 }
 
+// trace appends one MAL-style plan line (and, when tracing, closes a span
+// with no cardinality).
 func (st *pipeState) trace(format string, args ...any) {
-	st.res.Plan = append(st.res.Plan, fmt.Sprintf(format, args...))
+	st.emit(-1, -1, fmt.Sprintf(format, args...))
 }
 
-func (st *pipeState) step(s Stage) error { return step(st.ctx, st.opts, s) }
+// traceRows is trace with the operator's actual output cardinality.
+func (st *pipeState) traceRows(rows int, format string, args ...any) {
+	st.emit(int64(rows), -1, fmt.Sprintf(format, args...))
+}
+
+// traceEst is trace with both the actual and the estimated cardinality —
+// the per-filter est-vs-actual comparison \explain analyze renders.
+func (st *pipeState) traceEst(rows int, est int64, format string, args ...any) {
+	st.emit(int64(rows), est, fmt.Sprintf(format, args...))
+}
+
+// emit records the plan line, and — when tracing — one StageEvent carrying
+// the wall-clock and simulated-meter deltas since the previous operator.
+func (st *pipeState) emit(rows, est int64, line string) {
+	st.res.Plan = append(st.res.Plan, line)
+	if st.tr == nil {
+		return
+	}
+	now := time.Now()
+	ev := obs.StageEvent{
+		Stage: string(st.stage),
+		Op:    line,
+		Rows:  rows,
+		Est:   est,
+		Wall:  now.Sub(st.mark),
+		GPU:   st.m.GPU - st.last.GPU,
+		CPU:   st.m.CPU - st.last.CPU,
+		PCI:   st.m.PCI - st.last.PCI,
+	}
+	if rows > 0 {
+		chunk := int64(st.pp.ChunkSize())
+		ev.Morsels = (rows + chunk - 1) / chunk
+	}
+	st.tr.Add(ev)
+	st.mark = now
+	st.last = *st.m
+}
+
+// estApply folds one filter's selectivity estimate into the running
+// cardinality estimate and returns the predicted output rows (-1 once any
+// link of the chain had no estimate).
+func (st *pipeState) estApply(sel float64) int64 {
+	if sel < 0 || st.est < 0 {
+		st.est = -1
+		return -1
+	}
+	st.est *= sel
+	return int64(st.est + 0.5)
+}
+
+// estReset restarts the running estimate at the live base cardinality —
+// phase R walks the same filter chain a second time.
+func (st *pipeState) estReset(pl *pipeline) {
+	st.est = float64(pl.snap.fact.BaseLen() - pl.snap.fact.BaseDeletedCount())
+}
+
+func (st *pipeState) step(s Stage) error {
+	st.stage = s
+	return step(st.ctx, st.opts, s)
+}
 
 // scanOut is what every scan source produces: the base segment's exact
 // tuple values, the delta segment's contribution, and — A&R only — the
@@ -120,6 +196,16 @@ func (pl *pipeline) run(ctx context.Context, sys *device.System, opts ExecOpts) 
 	m := device.NewMeter(sys)
 	st := &pipeState{ctx: ctx, opts: opts, pp: opts.par(ctx), m: m, res: &Result{Meter: m}}
 	st.res.InputBytes = pl.snap.inputBytes(pl.q)
+	st.estReset(pl)
+	if opts.Trace {
+		mode := "ar"
+		if pl.classic {
+			mode = "classic"
+		}
+		st.tr = &obs.Trace{Mode: mode, Threads: opts.threads(), Workers: opts.workers(), Start: time.Now()}
+		st.mark = st.tr.Start
+		st.res.Trace = st.tr
+	}
 	var out *scanOut
 	var err error
 	if pl.classic {
@@ -138,6 +224,12 @@ func (pl *pipeline) run(ctx context.Context, sys *device.System, opts ExecOpts) 
 	// partial results are never returned as an answer.
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if st.tr != nil {
+		st.tr.Wall = time.Since(st.tr.Start)
+		st.tr.Candidates = int64(st.res.Candidates)
+		st.tr.Refined = int64(st.res.Refined)
+		st.tr.Rows = int64(len(st.res.Rows))
 	}
 	return st.res, nil
 }
@@ -168,7 +260,7 @@ func (pl *pipeline) finish(st *pipeState, out *scanOut) error {
 		if err != nil {
 			return err
 		}
-		st.trace("bwd.grouprefine(%s)", join(q.GroupBy))
+		st.traceRows(grouping.NGroups, "bwd.grouprefine(%s)", join(q.GroupBy))
 	case len(q.GroupBy) > 0:
 		stage, label := StageRefine, "group.merge"
 		if pl.classic {
@@ -182,7 +274,7 @@ func (pl *pipeline) finish(st *pipeState, out *scanOut) error {
 			cols[k] = ectx.vals[ColRef{Name: g}]
 		}
 		grouping, groupKeys = bulk.GroupByMultiPar(st.pp, st.m, cols)
-		st.trace("%s(%s)", label, join(q.GroupBy))
+		st.traceRows(grouping.NGroups, "%s(%s)", label, join(q.GroupBy))
 	}
 
 	// Aggregation (§IV-F; sums of products are recomputed on the CPU due
@@ -199,9 +291,9 @@ func (pl *pipeline) finish(st *pipeState, out *scanOut) error {
 	}
 	for _, a := range q.Aggs {
 		if pl.classic {
-			st.trace("aggr.%s(%s)", a.Func, a.Name)
+			st.traceRows(len(rows), "aggr.%s(%s)", a.Func, a.Name)
 		} else {
-			st.trace("bwd.%srefine(%s)", a.Func, a.Name)
+			st.traceRows(len(rows), "bwd.%srefine(%s)", a.Func, a.Name)
 		}
 	}
 	sortRows(rows)
@@ -236,7 +328,7 @@ func (pl *pipeline) applyHaving(st *pipeState, rows []Row) []Row {
 	if st.m != nil {
 		st.m.CPUWork(st.pp.NThreads(), int64(len(rows))*8*int64(len(q.Having)), 0, int64(len(rows))*int64(len(q.Having)))
 	}
-	st.trace("having(%d of %d groups)", len(kept), len(rows))
+	st.traceRows(len(kept), "having(%d of %d groups)", len(kept), len(rows))
 	return kept
 }
 
@@ -250,7 +342,7 @@ func (pl *pipeline) orderLimit(st *pipeState, rows []Row) ([]Row, error) {
 	if len(q.OrderBy) == 0 {
 		if q.Limit > 0 && len(rows) > q.Limit {
 			rows = rows[:q.Limit]
-			st.trace("limit(%d)", q.Limit)
+			st.traceRows(len(rows), "limit(%d)", q.Limit)
 		}
 		return rows, nil
 	}
@@ -282,9 +374,9 @@ func (pl *pipeline) orderLimit(st *pipeState, rows []Row) ([]Row, error) {
 		out[i] = rows[at]
 	}
 	if q.Limit > 0 && q.Limit < len(rows) {
-		st.trace("order.topk(%s, k=%d of %d groups)", describeOrder(q), q.Limit, len(rows))
+		st.traceRows(len(out), "order.topk(%s, k=%d of %d groups)", describeOrder(q), q.Limit, len(rows))
 	} else {
-		st.trace("order.sort(%s)", describeOrder(q))
+		st.traceRows(len(out), "order.sort(%s)", describeOrder(q))
 	}
 	return out, nil
 }

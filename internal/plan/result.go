@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ar"
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // Row is one output row: the grouping key values (empty for global
@@ -41,6 +42,11 @@ type Result struct {
 	InputBytes int64
 	// Plan is the MAL-style physical plan listing (Fig 7).
 	Plan []string
+	// Trace is the per-operator telemetry record, present only when
+	// ExecOpts.Trace was set. Tracing reads the meter and the clock; it
+	// never charges the meter, so Rows, Approx, Meter, Candidates and
+	// Refined are bit-identical with and without it.
+	Trace *obs.Trace
 }
 
 // StreamHypothetical returns the paper's streaming-baseline time for this

@@ -15,7 +15,7 @@ import (
 
 // propCatalog builds a three-column decomposed fact table for the DML
 // property tests.
-func propCatalog(t *testing.T, n int, seed int64) *Catalog {
+func propCatalog(t testing.TB, n int, seed int64) *Catalog {
 	t.Helper()
 	c := NewCatalog(device.PaperSystem())
 	rng := rand.New(rand.NewSource(seed))

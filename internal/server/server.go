@@ -17,6 +17,10 @@
 //	\tables              list tables, segment sizes and columns
 //	\stats               plan cache, scheduler, store, and meter totals
 //	\merge [table]       force-merge delta segments into the base
+//	\explain <sql>       render the physical pipeline without executing
+//	\explain analyze <sql>    execute and render the pipeline with actuals
+//	\metrics             Prometheus-text dump of the engine metrics registry
+//	\slow [<dur>|off]    show / arm / disarm the slow-query log
 //	\prepare <name> <sql>     compile and store a statement
 //	\run <name> [params...]   execute a prepared statement
 //	\q                   close the connection
