@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// BenchmarkIngestDurability prices durability for the write path: one
+// 64-row INSERT statement per iteration through the full SQL front end,
+// once against the memory-only engine and once per WAL fsync policy. The
+// rows/s metric makes the trade explicit — `always` pays a device flush
+// per statement for zero loss on kill -9, `interval` bounds the loss
+// window at the group-commit interval, `off` rides the page cache and
+// only survives clean shutdown. wal-B/op is the log volume per statement.
+func BenchmarkIngestDurability(b *testing.B) {
+	configs := []struct {
+		name    string
+		durable bool
+		fsync   string
+	}{
+		{"memory", false, ""},
+		{"fsync=off", true, "off"},
+		{"fsync=interval", true, "interval"},
+		{"fsync=always", true, "always"},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			cat := plan.NewCatalog(device.PaperSystem())
+			opts := engine.Options{MergeThreshold: 1 << 20} // keep merges out of the timed loop
+			if cfg.durable {
+				opts.DataDir = b.TempDir()
+				opts.Fsync = cfg.fsync
+				opts.FsyncInterval = 2 * time.Millisecond
+			}
+			eng, err := engine.Open(cat, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			ctx := context.Background()
+			if _, err := eng.Query(ctx, "create table stream (k int, v int)"); err != nil {
+				b.Fatal(err)
+			}
+			var sb strings.Builder
+			sb.WriteString("insert into stream values ")
+			for i := 0; i < 64; i++ {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "(%d, %d)", i, (i*7)%997)
+			}
+			stmt := sb.String()
+			sess := eng.Session()
+			defer sess.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Query(ctx, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "rows/s")
+			if d := eng.Durability(); d != nil {
+				b.ReportMetric(float64(d.Stats().WALBytes)/float64(b.N), "wal-B/op")
+			}
+		})
+	}
+}

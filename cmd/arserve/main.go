@@ -13,8 +13,14 @@
 //	...
 //
 // Meta commands: \cost, \mode [auto|ar|classic], \tables, \stats,
-// \merge [table], \explain [analyze] <select>, \metrics, \slow [<dur>|off],
-// \prepare <name> <sql>, \run <name> [params...], \q.
+// \merge [table], \checkpoint [table], \explain [analyze] <select>,
+// \metrics, \slow [<dur>|off], \prepare <name> <sql>,
+// \run <name> [params...], \q.
+//
+// With -data <dir> the store is durable: DML is write-ahead logged (fsync
+// policy via -fsync always|interval|off), merges checkpoint the bit-sliced
+// base to segment files, and restarting with the same -data recovers the
+// committed state — so the demo preload only happens on the first run.
 //
 // The SQL surface includes DML — INSERT INTO ... VALUES, DELETE FROM ...
 // WHERE, CREATE TABLE — served against the mutable column store: inserts
@@ -35,9 +41,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/server"
@@ -58,41 +67,73 @@ func main() {
 		mergeAt  = flag.Int("merge-threshold", 0, "delta rows before background merge (default 65536, negative disables)")
 		metrics  = flag.String("metrics", "", "HTTP listen address for GET /metrics in Prometheus text format (empty disables)")
 		slow     = flag.Duration("slow", 0, "arm the slow-query log for queries over this wall time (0 disables)")
+		dataDir  = flag.String("data", "", "data directory for the WAL and segment files (empty: memory-only)")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy with -data: always, interval, off")
 	)
 	flag.Parse()
 
 	sys := device.PaperSystem()
 	catalog := plan.NewCatalog(sys)
-	tpchData := tpch.Generate(*sf, 42)
-	if err := tpchData.Load(catalog); err != nil {
-		fail(err)
-	}
-	if err := tpchData.DecomposeAll(catalog, false); err != nil {
-		fail(err)
-	}
-	spatialData := spatial.Generate(*spatialN, 7)
-	if err := spatialData.Load(catalog); err != nil {
-		fail(err)
-	}
-	if err := spatialData.Decompose(catalog); err != nil {
-		fail(err)
+	// A data directory that already holds state IS the database: the demo
+	// tables (and everything created since) recover from it, so preloading
+	// them again would collide.
+	if *dataDir == "" || !durable.Exists(*dataDir) {
+		tpchData := tpch.Generate(*sf, 42)
+		if err := tpchData.Load(catalog); err != nil {
+			fail(err)
+		}
+		if err := tpchData.DecomposeAll(catalog, false); err != nil {
+			fail(err)
+		}
+		spatialData := spatial.Generate(*spatialN, 7)
+		if err := spatialData.Load(catalog); err != nil {
+			fail(err)
+		}
+		if err := spatialData.Decompose(catalog); err != nil {
+			fail(err)
+		}
 	}
 
 	// The server is a thin protocol adapter over one shared engine; any
 	// other front-end could embed the same engine value concurrently.
-	eng := engine.New(catalog, engine.Options{
+	eng, err := engine.Open(catalog, engine.Options{
 		Sched:              engine.SchedConfig{CPUWorkers: *cpu, GPUStreams: *gpu, ARQueue: *arQueue},
 		CacheSize:          *cache,
 		Threads:            *threads,
 		MergeThreshold:     *mergeAt,
 		SlowQueryThreshold: *slow,
+		DataDir:            *dataDir,
+		Fsync:              *fsync,
 	})
+	if err != nil {
+		fail(err)
+	}
+	if d := eng.Durability(); d != nil {
+		fmt.Printf("arserve: data dir %s (fsync %s); %s\n", d.Dir(), d.Stats().Policy, d.Recovery())
+	}
 	// Background merger: compacts delta segments past the threshold so the
-	// write path stays append-cheap while reads stay mostly base-resident.
+	// write path stays append-cheap while reads stay mostly base-resident
+	// (with -data each background merge is a checkpoint).
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	eng.StartMaintenance(ctx)
 	srv := server.New(eng)
+
+	// Clean shutdown on SIGINT/SIGTERM: stop accepting, checkpoint dirty
+	// tables, fsync and close the WAL — a reopened -data dir then replays
+	// zero records.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigC
+		fmt.Println("arserve: shutting down")
+		srv.Close()
+		if err := eng.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "arserve: close:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
 	if *metrics != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", eng.Metrics())

@@ -20,8 +20,12 @@
 // The shell is a thin REPL over an engine session — the same
 // internal/engine facade the TCP server adapts — so its meta-command
 // surface is identical to the server's: \cost, \mode [auto|ar|classic],
-// \tables, \stats, \merge [table], \explain [analyze] <select>, \metrics,
-// \slow [<dur>|off], \prepare <name> <sql>, \run <name> [params...], \q.
+// \tables, \stats, \merge [table], \checkpoint [table],
+// \explain [analyze] <select>, \metrics, \slow [<dur>|off],
+// \prepare <name> <sql>, \run <name> [params...], \q. With -data <dir> the
+// store is durable (WAL + segment files, -fsync selects the sync policy)
+// and a restart with the same -data recovers the committed state instead
+// of preloading the demo tables.
 // \explain renders the assembled operator pipeline (scan strategy,
 // cost-ordered filters with estimated selectivities, join chain,
 // delta/top-k stages) without executing the statement; \explain analyze
@@ -43,6 +47,7 @@ import (
 
 	"repro/internal/csvload"
 	"repro/internal/device"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/spatial"
@@ -55,29 +60,52 @@ func main() {
 		spatialN = flag.Int("spatial", 200_000, "spatial fixes preloaded")
 		threads  = flag.Int("threads", 1, "CPU threads per query")
 		mergeAt  = flag.Int("merge-threshold", 0, "delta rows before background merge (default 65536, negative disables)")
+		dataDir  = flag.String("data", "", "data directory for the WAL and segment files (empty: memory-only)")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy with -data: always, interval, off")
 	)
 	flag.Parse()
 
 	sys := device.PaperSystem()
 	catalog := plan.NewCatalog(sys)
-	if err := tpch.Generate(*sf, 42).Load(catalog); err != nil {
-		fmt.Fprintln(os.Stderr, "arshell:", err)
-		os.Exit(1)
-	}
-	if err := spatial.Generate(*spatialN, 7).Load(catalog); err != nil {
-		fmt.Fprintln(os.Stderr, "arshell:", err)
-		os.Exit(1)
+	// An existing data directory is the database: the demo tables recover
+	// from it, so only a fresh (or memory-only) start preloads them.
+	if *dataDir == "" || !durable.Exists(*dataDir) {
+		if err := tpch.Generate(*sf, 42).Load(catalog); err != nil {
+			fmt.Fprintln(os.Stderr, "arshell:", err)
+			os.Exit(1)
+		}
+		if err := spatial.Generate(*spatialN, 7).Load(catalog); err != nil {
+			fmt.Fprintln(os.Stderr, "arshell:", err)
+			os.Exit(1)
+		}
 	}
 
-	eng := engine.New(catalog, engine.Options{Threads: *threads, MergeThreshold: *mergeAt})
+	eng, err := engine.Open(catalog, engine.Options{
+		Threads: *threads, MergeThreshold: *mergeAt,
+		DataDir: *dataDir, Fsync: *fsync,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arshell:", err)
+		os.Exit(1)
+	}
+	// Clean shutdown: checkpoint dirty tables and close the WAL, so the
+	// next start with the same -data replays nothing.
+	defer func() {
+		if err := eng.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "arshell: close:", err)
+		}
+	}()
 	sess := eng.Session()
 	defer sess.Close()
 	sess.ToggleCost() // the shell reports simulated costs by default
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	eng.StartMaintenance(ctx) // background delta merger
+	eng.StartMaintenance(ctx) // background delta merger (checkpoints with -data)
 
+	if d := eng.Durability(); d != nil {
+		fmt.Printf("data dir %s (fsync %s); %s\n", d.Dir(), d.Stats().Policy, d.Recovery())
+	}
 	fmt.Printf("A&R shell — lineitem (SF-%g), part, trips (%d fixes) loaded.\n", *sf, *spatialN)
 	fmt.Println(`Decompose columns first: select bwdecompose(col, bits) from table. \q quits.`)
 

@@ -148,6 +148,35 @@ func (a *Array) Append(v uint64) int {
 	return a.n
 }
 
+// Words exposes the backing 64-bit words (nil for width 0). Callers must
+// not mutate them; the slice is the array's live storage. It is the raw
+// representation segment persistence serializes.
+func (a *Array) Words() []uint64 { return a.words }
+
+// FromWords reconstructs an array of n values of the given width over
+// previously serialized backing words. The word count must match exactly
+// what an array of that shape occupies; the slice is used directly.
+func FromWords(width uint, n int, words []uint64) (*Array, error) {
+	if width > 64 {
+		return nil, fmt.Errorf("bitpack: width %d out of range [0,64]", width)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("bitpack: negative length %d", n)
+	}
+	need := 0
+	if width > 0 {
+		need = wordsFor(width, n)
+	}
+	if len(words) != need {
+		return nil, fmt.Errorf("bitpack: %d backing words for width %d x %d values (need %d)", len(words), width, n, need)
+	}
+	a := &Array{width: width, n: n}
+	if need > 0 {
+		a.words = words
+	}
+	return a, nil
+}
+
 // Clone returns a deep copy of the array.
 func (a *Array) Clone() *Array {
 	c := &Array{width: a.width, n: a.n}

@@ -125,6 +125,38 @@ func Decompose(b *bat.BAT, approxBits uint, sys *device.System) (*Column, error)
 	return c, nil
 }
 
+// Restore reconstructs a decomposed column from persisted parts — the
+// decomposition parameters and the bit-packed approximation and residual
+// planes — re-acquiring the device allocations Decompose would have made.
+// It is the segment-load path of the durability subsystem: the planes were
+// serialized verbatim, so no value is re-decomposed at boot.
+func Restore(dec Decomposition, approx, res *bitpack.Array, sys *device.System) (*Column, error) {
+	if approx == nil || res == nil {
+		return nil, fmt.Errorf("bwd: restore: nil plane")
+	}
+	if res.Len() != approx.Len() {
+		return nil, fmt.Errorf("bwd: restore: approximation has %d values, residual %d", approx.Len(), res.Len())
+	}
+	if approx.Width() != dec.ApproxBits || res.Width() != dec.ResBits {
+		return nil, fmt.Errorf("bwd: restore: plane widths %d/%d do not match decomposition %d/%d",
+			approx.Width(), res.Width(), dec.ApproxBits, dec.ResBits)
+	}
+	c := &Column{Dec: dec, Approx: approx, Residual: res, n: approx.Len()}
+	if sys != nil {
+		ga, err := sys.GPU.Alloc(approx.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("bwd: approximation does not fit device: %w", err)
+		}
+		ca, err := sys.CPU.Alloc(res.Bytes())
+		if err != nil {
+			ga.Free()
+			return nil, fmt.Errorf("bwd: residual does not fit host: %w", err)
+		}
+		c.gpuAlloc, c.cpuAlloc = ga, ca
+	}
+	return c, nil
+}
+
 // Len returns the number of tuples in the column.
 func (c *Column) Len() int { return c.n }
 

@@ -1,0 +1,310 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bat"
+	"repro/internal/bitpack"
+	"repro/internal/bwd"
+	"repro/internal/device"
+	"repro/internal/store"
+)
+
+// Segment files persist one table's immutable base segment as a checkpoint
+// captured it: the schema (with fixed-point scales and physical widths),
+// the raw column tails, and — for decomposed columns — the bitwise
+// decomposition parameters plus the bit-packed approximation and residual
+// planes verbatim, so boot re-allocates device memory but re-decomposes
+// nothing. FK-indexed columns are marked and their (strictly dense) index
+// is rebuilt at load; deltas are never part of a segment — they replay
+// from the WAL tail.
+//
+// The file name is <table>.<checkpoint LSN, %016x>.seg so the newest
+// segment per table sorts last lexically; the whole body is covered by a
+// trailing CRC32 and written via temp file + fsync + rename, so a reader
+// either sees a complete, verified segment or ignores the file.
+var segMagic = [8]byte{'A', 'R', 'S', 'E', 'G', '0', '0', '1'}
+
+const segVersion = 1
+
+// segName returns the file name of a table's segment at a checkpoint LSN.
+func segName(table string, lsn uint64) string {
+	return fmt.Sprintf("%s.%016x.seg", table, lsn)
+}
+
+// parseSegName splits a segment file name into table and checkpoint LSN.
+func parseSegName(name string) (table string, lsn uint64, ok bool) {
+	rest, found := strings.CutSuffix(name, ".seg")
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(rest, '.')
+	if i <= 0 || len(rest)-i-1 != 16 {
+		return "", 0, false
+	}
+	n, err := strconv.ParseUint(rest[i+1:], 16, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return rest[:i], n, true
+}
+
+// encodeSegment serializes a table's post-merge state. The snapshot must
+// be pure base (the checkpoint merged first); lsn is the WAL horizon the
+// segment covers.
+func encodeSegment(t *store.Table, snap *store.Snapshot, lsn uint64) ([]byte, error) {
+	if snap.DeltaLen() > 0 || snap.DeletedCount() > 0 {
+		return nil, fmt.Errorf("durable: segment of %s would drop %d delta rows / %d deletions (merge first)", t.Name(), snap.DeltaLen(), snap.DeletedCount())
+	}
+	schema := t.Schema()
+	decBits := t.DecBits()
+	pkCols := t.PKCols()
+	var b bytes.Buffer
+	b.Write(segMagic[:])
+	le := binary.LittleEndian
+	b.Write(le.AppendUint32(nil, segVersion))
+	b.Write(le.AppendUint64(nil, lsn))
+	b.Write(le.AppendUint64(nil, uint64(snap.BaseLen())))
+	b.Write(le.AppendUint16(nil, uint16(len(schema))))
+	for i, def := range schema {
+		b.Write(appendString(nil, def.Name))
+		b.Write(le.AppendUint64(nil, uint64(def.Scale)))
+		b.WriteByte(byte(def.Width))
+		b.WriteByte(byte(decBits[i]))
+		if pkCols[i] {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+	}
+	for _, def := range schema {
+		col, err := snap.Column(def.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range col.Tails() {
+			b.Write(le.AppendUint64(nil, uint64(v)))
+		}
+		d := snap.Dec(def.Name)
+		if d == nil {
+			b.WriteByte(0)
+			continue
+		}
+		b.WriteByte(1)
+		b.Write(le.AppendUint64(nil, uint64(d.Dec.Base)))
+		b.WriteByte(byte(d.Dec.TotalBits))
+		b.WriteByte(byte(d.Dec.ApproxBits))
+		b.WriteByte(byte(d.Dec.ResBits))
+		b.WriteByte(byte(d.Dec.Width))
+		for _, plane := range []*bitpack.Array{d.Approx, d.Residual} {
+			words := plane.Words()
+			b.Write(le.AppendUint64(nil, uint64(len(words))))
+			for _, w := range words {
+				b.Write(le.AppendUint64(nil, w))
+			}
+		}
+	}
+	b.Write(le.AppendUint32(nil, crc32.Checksum(b.Bytes(), crcTable)))
+	return b.Bytes(), nil
+}
+
+// segState is a decoded segment file, ready to restore into a store.Table.
+type segState struct {
+	lsn     uint64
+	schema  []store.ColumnDef
+	cols    []*bat.BAT
+	decs    []*bwd.Column
+	decBits []uint
+	pkCols  []bool
+}
+
+// decodeSegment parses and verifies a segment file body. sys provides the
+// simulated device allocations for restored decompositions; nil skips them
+// (validation-only paths).
+func decodeSegment(data []byte, sys *device.System) (*segState, error) {
+	if len(data) < len(segMagic)+4+8+8+2+4 {
+		return nil, fmt.Errorf("durable: segment file too short (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:len(segMagic)], segMagic[:]) {
+		return nil, fmt.Errorf("durable: bad segment magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("durable: segment checksum mismatch")
+	}
+	b := body[len(segMagic):]
+	le := binary.LittleEndian
+	if v := le.Uint32(b); v != segVersion {
+		return nil, fmt.Errorf("durable: unsupported segment version %d", v)
+	}
+	st := &segState{lsn: le.Uint64(b[4:])}
+	n := int(le.Uint64(b[12:]))
+	ncols := int(le.Uint16(b[20:]))
+	b = b[22:]
+	if n < 0 || ncols == 0 {
+		return nil, fmt.Errorf("durable: segment shape %d rows x %d columns", n, ncols)
+	}
+	var err error
+	for i := 0; i < ncols; i++ {
+		var def store.ColumnDef
+		if def.Name, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		if len(b) < 11 {
+			return nil, fmt.Errorf("durable: truncated segment column header")
+		}
+		def.Scale = int64(le.Uint64(b))
+		def.Width = int(b[8])
+		st.schema = append(st.schema, def)
+		st.decBits = append(st.decBits, uint(b[9]))
+		st.pkCols = append(st.pkCols, b[10] != 0)
+		b = b[11:]
+	}
+	takeWords := func() ([]uint64, error) {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("durable: truncated plane length")
+		}
+		nw := int(le.Uint64(b))
+		b = b[8:]
+		if nw < 0 || len(b) < nw*8 {
+			return nil, fmt.Errorf("durable: truncated plane body")
+		}
+		words := make([]uint64, nw)
+		for j := range words {
+			words[j] = le.Uint64(b[j*8:])
+		}
+		b = b[nw*8:]
+		return words, nil
+	}
+	for i := 0; i < ncols; i++ {
+		if len(b) < n*8 {
+			return nil, fmt.Errorf("durable: truncated column tail")
+		}
+		vals := make([]int64, n)
+		for j := range vals {
+			vals[j] = int64(le.Uint64(b[j*8:]))
+		}
+		b = b[n*8:]
+		st.cols = append(st.cols, bat.NewDense(vals, st.schema[i].Width))
+		if len(b) < 1 {
+			return nil, fmt.Errorf("durable: truncated decomposition flag")
+		}
+		hasDec := b[0] != 0
+		b = b[1:]
+		if !hasDec {
+			st.decs = append(st.decs, nil)
+			continue
+		}
+		if len(b) < 12 {
+			return nil, fmt.Errorf("durable: truncated decomposition parameters")
+		}
+		dec := bwd.Decomposition{
+			Base:       int64(le.Uint64(b)),
+			TotalBits:  uint(b[8]),
+			ApproxBits: uint(b[9]),
+			ResBits:    uint(b[10]),
+			Width:      int(b[11]),
+		}
+		b = b[12:]
+		aw, err := takeWords()
+		if err != nil {
+			return nil, err
+		}
+		rw, err := takeWords()
+		if err != nil {
+			return nil, err
+		}
+		approx, err := bitpack.FromWords(dec.ApproxBits, n, aw)
+		if err != nil {
+			return nil, fmt.Errorf("durable: approximation plane: %w", err)
+		}
+		res, err := bitpack.FromWords(dec.ResBits, n, rw)
+		if err != nil {
+			return nil, fmt.Errorf("durable: residual plane: %w", err)
+		}
+		d, err := bwd.Restore(dec, approx, res, sys)
+		if err != nil {
+			return nil, err
+		}
+		st.decs = append(st.decs, d)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("durable: %d trailing bytes in segment", len(b))
+	}
+	return st, nil
+}
+
+// writeSegment atomically persists a segment file: temp name in the same
+// directory, fsync, rename, directory fsync. It returns the final path and
+// the file size.
+func writeSegment(dir string, table string, data []byte, lsn uint64, sync bool) (string, int64, error) {
+	final := filepath.Join(dir, segName(table, lsn))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", 0, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return "", 0, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	if sync {
+		syncDir(dir)
+	}
+	return final, int64(len(data)), nil
+}
+
+// segFile is one discovered segment file.
+type segFile struct {
+	table string
+	lsn   uint64
+	path  string
+}
+
+// listSegments returns every segment file in dir grouped by table, sorted
+// by ascending checkpoint LSN within each table.
+func listSegments(dir string) (map[string][]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]segFile)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		table, lsn, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		out[table] = append(out[table], segFile{table: table, lsn: lsn, path: filepath.Join(dir, e.Name())})
+	}
+	for _, segs := range out {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].lsn < segs[j].lsn })
+	}
+	return out, nil
+}

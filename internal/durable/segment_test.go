@@ -1,0 +1,182 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/device"
+	"repro/internal/store"
+)
+
+// testTable builds a store table with a dense key column (FK-indexed), a
+// decomposed measure, and a plain column — one of each persistence shape.
+func testTable(t *testing.T, sys *device.System, n int) *store.Table {
+	t.Helper()
+	ids := make([]int64, n)
+	xs := make([]int64, n)
+	ys := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		xs[i] = int64((i * 37) % 1024)
+		ys[i] = int64(i%100) - 50
+	}
+	defs := []store.ColumnDef{
+		{Name: "id", Scale: 1, Width: 4},
+		{Name: "x", Scale: 1, Width: 4},
+		{Name: "y", Scale: 100, Width: 8},
+	}
+	cols := []*bat.BAT{
+		bat.NewDense(ids, 4),
+		bat.NewDense(xs, 4),
+		bat.NewDense(ys, 8),
+	}
+	tbl, err := store.New("pts", defs, cols, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Decompose(nil, "x", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.BuildFKIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestSegmentRoundtrip(t *testing.T) {
+	sys := device.PaperSystem()
+	tbl := testTable(t, sys, 500)
+	data, err := encodeSegment(tbl, tbl.Snapshot(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := decodeSegment(data, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.lsn != 17 {
+		t.Fatalf("decoded lsn %d, want 17", st.lsn)
+	}
+	restored, err := store.Restore("pts", st.schema, st.cols, st.decs, st.decBits, st.pkCols, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := tbl.Snapshot(), restored.Snapshot()
+	if got.BaseLen() != want.BaseLen() || got.DeltaLen() != 0 {
+		t.Fatalf("restored %d base rows, want %d", got.BaseLen(), want.BaseLen())
+	}
+	for _, def := range tbl.Schema() {
+		wc, _ := want.Column(def.Name)
+		gc, err := got.Column(def.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc.Width() != wc.Width() {
+			t.Fatalf("%s: width %d, want %d", def.Name, gc.Width(), wc.Width())
+		}
+		wt, gt := wc.Tails(), gc.Tails()
+		for i := range wt {
+			if wt[i] != gt[i] {
+				t.Fatalf("%s[%d] = %d, want %d", def.Name, i, gt[i], wt[i])
+			}
+		}
+	}
+	wd, gd := want.Dec("x"), got.Dec("x")
+	if gd == nil {
+		t.Fatal("restored table lost the decomposition of x")
+	}
+	if wd.Dec != gd.Dec {
+		t.Fatalf("decomposition params %+v, want %+v", gd.Dec, wd.Dec)
+	}
+	for i := 0; i < want.BaseLen(); i++ {
+		if wv, gv := wd.Approx.Get(i), gd.Approx.Get(i); wv != gv {
+			t.Fatalf("approx[%d] = %d, want %d", i, gv, wv)
+		}
+		if wv, gv := wd.Residual.Get(i), gd.Residual.Get(i); wv != gv {
+			t.Fatalf("residual[%d] = %d, want %d", i, gv, wv)
+		}
+	}
+	if got.FKIndex("id") == nil {
+		t.Fatal("restored table lost the FK index on id")
+	}
+	scale, err := restored.ColumnScale("y")
+	if err != nil || scale != 100 {
+		t.Fatalf("restored scale of y = %d, %v; want 100", scale, err)
+	}
+}
+
+// TestSegmentRejectsDelta: a snapshot with unmerged rows or deletions must
+// not silently persist as a pure base.
+func TestSegmentRejectsDelta(t *testing.T) {
+	sys := device.PaperSystem()
+	tbl := testTable(t, sys, 50)
+	if _, err := tbl.Insert(nil, [][]int64{{50, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encodeSegment(tbl, tbl.Snapshot(), 1); err == nil {
+		t.Fatal("segment encoded over a non-empty delta")
+	}
+}
+
+// TestSegmentCorruptionDetected flips bytes across the file and asserts
+// decode never accepts the result (the body CRC covers everything).
+func TestSegmentCorruptionDetected(t *testing.T) {
+	sys := device.PaperSystem()
+	tbl := testTable(t, sys, 100)
+	data, err := encodeSegment(tbl, tbl.Snapshot(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(data)/64 + 1
+	for off := 0; off < len(data); off += step {
+		corrupt := append([]byte(nil), data...)
+		corrupt[off] ^= 0x10
+		if _, err := decodeSegment(corrupt, sys); err == nil {
+			t.Fatalf("corruption at byte %d accepted", off)
+		}
+	}
+	for cut := 0; cut < len(data); cut += step {
+		if _, err := decodeSegment(data[:cut], sys); err == nil {
+			t.Fatalf("truncation at byte %d accepted", cut)
+		}
+	}
+}
+
+func TestSegmentFiles(t *testing.T) {
+	dir := t.TempDir()
+	sys := device.PaperSystem()
+	tbl := testTable(t, sys, 64)
+	data, err := encodeSegment(tbl, tbl.Snapshot(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, size, err := writeSegment(dir, "pts", data, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(data)) {
+		t.Fatalf("size %d, want %d", size, len(data))
+	}
+	table, lsn, ok := parseSegName(filepath.Base(path))
+	if !ok || table != "pts" || lsn != 9 {
+		t.Fatalf("parseSegName(%s) = %s, %d, %v", filepath.Base(path), table, lsn, ok)
+	}
+	// A stray temp file from a crashed write must not be listed.
+	if err := os.WriteFile(filepath.Join(dir, segName("pts", 12)+".tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs["pts"]) != 1 || segs["pts"][0].lsn != 9 {
+		t.Fatalf("listSegments = %+v, want one pts segment at lsn 9", segs)
+	}
+	for _, bad := range []string{"pts.seg", "pts.12.seg", "noext", "pts..seg"} {
+		if _, _, ok := parseSegName(bad); ok {
+			t.Fatalf("parseSegName accepted %q", bad)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -63,6 +64,20 @@ type Options struct {
 	SlowQueryThreshold time.Duration
 	// SlowLogSize bounds the slow-query ring buffer. Defaults to 16.
 	SlowLogSize int
+	// DataDir, when set, makes the engine durable: Open mounts a
+	// write-ahead log and segment files in the directory (recovering
+	// whatever state they hold), every DML statement is logged before it
+	// applies, and background merges become checkpoints that persist the
+	// merged base and truncate the replayed WAL prefix. Empty means
+	// memory-only (the default, and the only mode New supports losslessly).
+	DataDir string
+	// Fsync selects the WAL fsync policy for DataDir: "always" (group
+	// commit; the default), "interval" (background fsync every
+	// FsyncInterval), or "off" (leave flushing to the OS).
+	Fsync string
+	// FsyncInterval is the background fsync cadence under Fsync "interval".
+	// Defaults to 10ms.
+	FsyncInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -94,10 +109,17 @@ type Engine struct {
 	opts    Options
 	metrics *metrics
 
-	mu       sync.Mutex
-	sessions map[int64]*Session
-	nextID   int64
-	def      *Session
+	// dur is the durability coordinator when Options.DataDir is set; nil
+	// for a memory-only engine.
+	dur *durable.Store
+
+	mu           sync.Mutex
+	sessions     map[int64]*Session
+	nextID       int64
+	def          *Session
+	maintCancels []context.CancelFunc
+	maintWG      sync.WaitGroup
+	closed       bool
 
 	// Background-merger failure state: a table whose merge failed is not
 	// retried until its epoch moves (hot-loop guard), and the failures are
@@ -109,8 +131,25 @@ type Engine struct {
 
 // New returns an engine over the catalog. The catalog's tables should be
 // loaded (and columns decomposed, for A&R routing) before serving, though
-// callers can also issue bwdecompose statements at runtime.
+// callers can also issue bwdecompose statements at runtime. New panics if
+// Options.DataDir is set and mounting it fails (a bad policy name, an
+// unreadable directory, a recovery conflict) — durable callers should use
+// Open, which reports those errors.
 func New(cat *plan.Catalog, opts Options) *Engine {
+	e, err := Open(cat, opts)
+	if err != nil {
+		panic(fmt.Sprintf("engine.New: %v (use engine.Open for durable engines)", err))
+	}
+	return e
+}
+
+// Open returns an engine over the catalog, mounting Options.DataDir when
+// set: the data directory's segments are loaded, its WAL tail replayed
+// into the catalog, and from then on every DML statement is
+// write-ahead-logged. Tables already in the catalog (bulk-loaded demo
+// data) are adopted into the directory on first open; on later opens the
+// caller must not preload them again (see durable.Exists).
+func Open(cat *plan.Catalog, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	e := &Engine{
 		cat:      cat,
@@ -122,7 +161,83 @@ func New(cat *plan.Catalog, opts Options) *Engine {
 	e.metrics = newMetrics(e, opts.SlowLogSize)
 	e.metrics.slow.SetThreshold(opts.SlowQueryThreshold)
 	e.sched.onQueueWait = e.metrics.queueWait.Observe
-	return e
+	if opts.DataDir != "" {
+		policy, err := durable.ParsePolicy(opts.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		fsyncSeconds := e.metrics.reg.Histogram("ar_wal_fsync_seconds", "",
+			"Wall-clock latency of WAL fsyncs (each may commit a whole group of appends).", nil)
+		dur, err := durable.Open(opts.DataDir, cat, durable.Config{
+			Policy:        policy,
+			Interval:      opts.FsyncInterval,
+			FsyncObserver: fsyncSeconds.Observe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cat.SetDurability(dur)
+		e.dur = dur
+		e.metrics.attachDurability(dur)
+	}
+	return e, nil
+}
+
+// Durability exposes the engine's durability coordinator; nil when the
+// engine is memory-only (no Options.DataDir).
+func (e *Engine) Durability() *durable.Store { return e.dur }
+
+// Close shuts the engine down cleanly: it stops the background
+// maintenance goroutines, checkpoints every dirty table (so the WAL
+// carries no replay tail), and fsyncs and closes the WAL. A reopened data
+// directory after a clean Close replays zero records. Close is idempotent;
+// a memory-only engine's Close only stops maintenance.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	cancels := e.maintCancels
+	e.maintCancels = nil
+	e.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	e.maintWG.Wait()
+	if e.dur == nil {
+		return nil
+	}
+	var firstErr error
+	for _, name := range e.cat.TableNames() {
+		if !e.dur.Dirty(name) {
+			continue
+		}
+		m := device.NewMeter(e.cat.System())
+		if _, err := e.dur.Checkpoint(m, name, false); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.sched.Totals.Merge(m)
+	}
+	if err := e.dur.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// CheckpointTable checkpoints one table through the durability layer:
+// merge, persist the new base segment, drop the covered WAL prefix. It
+// charges the merge traffic to m (which may be nil) and errors on a
+// memory-only engine.
+func (e *Engine) CheckpointTable(m *device.Meter, table string) (durable.CheckpointStats, error) {
+	if e.dur == nil {
+		return durable.CheckpointStats{}, fmt.Errorf("engine: no data directory; checkpointing needs Options.DataDir")
+	}
+	return e.dur.Checkpoint(m, table, false)
 }
 
 // Catalog returns the engine's catalog.
@@ -327,7 +442,18 @@ func (e *Engine) depsValid(deps map[string]uint64) bool {
 // long-lived traffic (arserve, arshell) start it once; \merge remains
 // available to force a compaction at any time.
 func (e *Engine) StartMaintenance(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		return
+	}
+	e.maintCancels = append(e.maintCancels, cancel)
+	e.maintWG.Add(1)
+	e.mu.Unlock()
 	go func() {
+		defer e.maintWG.Done()
 		tick := time.NewTicker(e.opts.MergeInterval)
 		defer tick.Stop()
 		for {
@@ -373,7 +499,18 @@ func (e *Engine) mergeDue() {
 			continue
 		}
 		m := device.NewMeter(e.cat.System())
-		if _, err := e.cat.MergeTable(m, name, true); err != nil {
+		// With durability attached, a due merge is a checkpoint: the merged
+		// base is persisted and the covered WAL prefix dropped in the same
+		// breath, so the replay tail stays proportional to the delta.
+		merge := func() error {
+			if e.dur != nil {
+				_, err := e.dur.Checkpoint(m, name, true)
+				return err
+			}
+			_, err := e.cat.MergeTable(m, name, true)
+			return err
+		}
+		if err := merge(); err != nil {
 			e.mu.Lock()
 			if e.mergeFailEpoch == nil {
 				e.mergeFailEpoch = make(map[string]uint64)
@@ -449,6 +586,9 @@ func (e *Engine) StatsLines(sess *Session) []string {
 		e.cache.Stats().String(),
 		e.sched.Stats().String(),
 		e.cat.StoreStats().String(),
+	}
+	if e.dur != nil {
+		lines = append(lines, e.dur.Stats().String())
 	}
 	e.mu.Lock()
 	if e.mergeFailures > 0 {

@@ -13,8 +13,8 @@ import (
 // Meta executes one backslash meta command against the session and returns
 // the display lines. It is the single implementation behind both the
 // shell's and the server's meta surface (\cost, \mode, \tables, \stats,
-// \merge, \explain [analyze], \metrics, \slow, \prepare, \run, \q), which
-// is what keeps the two front-ends at parity.
+// \merge, \checkpoint, \explain [analyze], \metrics, \slow, \prepare,
+// \run, \q), which is what keeps the two front-ends at parity.
 //
 // handled is false when line is not a meta command (no backslash prefix) —
 // the caller should execute it as SQL. quit is true for \q. Unknown meta
@@ -73,6 +73,30 @@ func (s *Session) Meta(ctx context.Context, line string) (out []string, quit, ha
 			s.Totals.Merge(m)
 			out = append(out, fmt.Sprintf("merged %s: %d delta rows in, %d deleted rows out, shipped %d B (full re-decomposition: %d B)",
 				name, st.DeltaRows, st.DroppedRows, st.ShippedBytes, st.FullBytes))
+		}
+		return out, false, true, nil
+	case `\checkpoint`:
+		if s.eng.Durability() == nil {
+			return nil, false, true, errors.New(`engine: no data directory; start with -data to enable \checkpoint`)
+		}
+		names := s.eng.Catalog().TableNames()
+		if rest != "" {
+			names = []string{rest}
+		}
+		for _, name := range names {
+			m := device.NewMeter(s.eng.Catalog().System())
+			st, err := s.eng.CheckpointTable(m, name)
+			if err != nil {
+				return nil, false, true, err
+			}
+			if st.Clean {
+				out = append(out, fmt.Sprintf("%s: clean (checkpoint lsn %d)", name, st.LSN))
+				continue
+			}
+			s.eng.Scheduler().Totals.Merge(m)
+			s.Totals.Merge(m)
+			out = append(out, fmt.Sprintf("checkpointed %s at lsn %d: segment %d B, wal now %d B",
+				name, st.LSN, st.SegmentBytes, st.WALBytes))
 		}
 		return out, false, true, nil
 	case `\stats`:

@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 )
 
@@ -123,6 +124,33 @@ func newMetrics(e *Engine, slowCap int) *metrics {
 		}
 	})
 	return m
+}
+
+// attachDurability registers the durability metric family over an attached
+// durable store. The fsync latency histogram (ar_wal_fsync_seconds) is not
+// here: it must exist before durable.Open so recovery-time fsyncs are
+// observed, so engine.Open creates it and passes its Observe as the
+// observer.
+func (m *metrics) attachDurability(d *durable.Store) {
+	stat := func(f func(durable.Stats) float64) func() float64 {
+		return func() float64 { return f(d.Stats()) }
+	}
+	m.reg.CounterFunc("ar_wal_appends_total", "", "Records appended to the write-ahead log.",
+		stat(func(s durable.Stats) float64 { return float64(s.Appends) }))
+	m.reg.CounterFunc("ar_wal_fsyncs_total", "", "WAL fsyncs issued (one may commit a whole append group).",
+		stat(func(s durable.Stats) float64 { return float64(s.Fsyncs) }))
+	m.reg.CounterFunc("ar_checkpoint_total", "", "Checkpoints taken (merged base persisted, WAL prefix dropped).",
+		stat(func(s durable.Stats) float64 { return float64(s.Checkpoints) }))
+	m.reg.GaugeFunc("ar_wal_size_bytes", "", "Current WAL file size.",
+		stat(func(s durable.Stats) float64 { return float64(s.WALBytes) }))
+	m.reg.GaugeFunc("ar_checkpoint_last_lsn", "", "Highest checkpoint LSN across tables.",
+		stat(func(s durable.Stats) float64 { return float64(s.LastCheckpointLSN) }))
+	m.reg.GaugeFunc("ar_segment_bytes", "", "Total segment file footprint on disk.",
+		stat(func(s durable.Stats) float64 { return float64(s.SegmentBytes) }))
+	m.reg.CounterFunc("ar_recovery_replayed_records", "", "WAL records replayed into the catalog by the last recovery.",
+		func() float64 { return float64(d.Recovery().Replayed) })
+	m.reg.CounterFunc("ar_recovery_truncated_bytes", "", "Torn WAL tail bytes discarded by the last recovery.",
+		func() float64 { return float64(d.Recovery().TruncatedBytes) })
 }
 
 // note records one finished (or failed) statement on the query path.

@@ -98,6 +98,34 @@ func (t *Table) Columns() []string {
 	return out
 }
 
+// Durability is the write-ahead hook a durability subsystem (see
+// internal/durable) installs with SetDurability. Every catalog write calls
+// the matching Log method, passing the in-memory mutation as the apply
+// callback; the implementation logs the operation to stable storage before
+// (or around) invoking apply, and serializes per-table writes against
+// checkpoints. A nil Durability means the catalog is memory-only and apply
+// runs directly.
+//
+// The interface lives here (not in internal/durable) so the durability
+// layer can depend on the catalog without an import cycle.
+type Durability interface {
+	// LogCreate logs a CREATE TABLE; apply registers the table.
+	LogCreate(name string, defs []store.ColumnDef, apply func() error) error
+	// LogInsert logs an INSERT of row-major, schema-order values.
+	LogInsert(table string, rows [][]int64, apply func() error) error
+	// LogDelete logs a DELETE by conjunction of closed ranges.
+	LogDelete(table string, preds []store.Range, apply func() error) error
+	// LogDecompose logs a bitwise decomposition (col, approx bits).
+	LogDecompose(table, col string, bits uint, apply func() error) error
+	// LogFKIndex logs an FK index build over table.col.
+	LogFKIndex(table, col string, apply func() error) error
+	// LogDrop logs a DROP TABLE and reclaims the table's durable state.
+	LogDrop(table string, apply func() error) error
+	// LogLoad persists a bulk-loaded table wholesale (no per-row logging);
+	// apply registers it.
+	LogLoad(t *store.Table, apply func() error) error
+}
+
 // Catalog holds the mutable store tables, bound to one simulated device
 // system.
 //
@@ -108,6 +136,7 @@ func (t *Table) Columns() []string {
 // swaps fresh versions in without mutating pinned data.
 type Catalog struct {
 	sys *device.System
+	dur Durability
 
 	mu     sync.RWMutex
 	tables map[string]*store.Table
@@ -124,6 +153,23 @@ func NewCatalog(sys *device.System) *Catalog {
 // System returns the catalog's simulated system.
 func (c *Catalog) System() *device.System { return c.sys }
 
+// SetDurability installs the write-ahead hook: from now on every catalog
+// write flows through d. Install it after recovery has re-applied history
+// directly (recovery must not re-log what it replays). A nil d detaches
+// durability.
+func (c *Catalog) SetDurability(d Durability) {
+	c.mu.Lock()
+	c.dur = d
+	c.mu.Unlock()
+}
+
+func (c *Catalog) durability() Durability {
+	c.mu.RLock()
+	d := c.dur
+	c.mu.RUnlock()
+	return d
+}
+
 // AddTable registers a loaded table builder as a mutable store table.
 func (c *Catalog) AddTable(t *Table) error {
 	defs := make([]store.ColumnDef, len(t.order))
@@ -137,6 +183,9 @@ func (c *Catalog) AddTable(t *Table) error {
 	if err != nil {
 		return err
 	}
+	if d := c.durability(); d != nil {
+		return d.LogLoad(st, func() error { return c.register(st) })
+	}
 	return c.register(st)
 }
 
@@ -147,11 +196,22 @@ func (c *Catalog) CreateTable(name string, defs []store.ColumnDef) (*store.Table
 	if err != nil {
 		return nil, err
 	}
+	if d := c.durability(); d != nil {
+		if err := d.LogCreate(name, defs, func() error { return c.register(st) }); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
 	if err := c.register(st); err != nil {
 		return nil, err
 	}
 	return st, nil
 }
+
+// Register adds an already-built store table to the catalog without
+// logging — the durability layer uses it while restoring segments and
+// replaying the WAL, when the history is already on disk.
+func (c *Catalog) Register(st *store.Table) error { return c.register(st) }
 
 func (c *Catalog) register(st *store.Table) error {
 	c.mu.Lock()
@@ -163,9 +223,7 @@ func (c *Catalog) register(st *store.Table) error {
 	return nil
 }
 
-// DropTable removes a table and releases its device allocations. In-flight
-// queries holding a snapshot keep reading their pinned version.
-func (c *Catalog) DropTable(name string) error {
+func (c *Catalog) dropTable(name string) error {
 	c.mu.Lock()
 	t, ok := c.tables[name]
 	if ok {
@@ -177,6 +235,17 @@ func (c *Catalog) DropTable(name string) error {
 	}
 	t.ReleaseDecompositions()
 	return nil
+}
+
+// DropTable removes a table, releases its device allocations, and — with
+// durability attached — logs the drop and reclaims the table's segment
+// files. In-flight queries holding a snapshot keep reading their pinned
+// version.
+func (c *Catalog) DropTable(name string) error {
+	if d := c.durability(); d != nil {
+		return d.LogDrop(name, func() error { return c.dropTable(name) })
+	}
+	return c.dropTable(name)
 }
 
 // Table returns a registered table.
@@ -250,6 +319,15 @@ func (c *Catalog) DecomposeMetered(m *device.Meter, table, col string, approxBit
 	if err != nil {
 		return nil, err
 	}
+	if d := c.durability(); d != nil {
+		var out *bwd.Column
+		err := d.LogDecompose(table, col, approxBits, func() error {
+			var aerr error
+			out, aerr = t.Decompose(m, col, approxBits)
+			return aerr
+		})
+		return out, err
+	}
 	return t.Decompose(m, col, approxBits)
 }
 
@@ -289,10 +367,16 @@ func (c *Catalog) BuildFKIndex(table, col string) error {
 	if err != nil {
 		return err
 	}
-	if err := t.BuildFKIndex(col); err != nil {
-		return fmt.Errorf("plan: %s.%s is not a dense unique key", table, col)
+	build := func() error {
+		if err := t.BuildFKIndex(col); err != nil {
+			return fmt.Errorf("plan: %s.%s is not a dense unique key", table, col)
+		}
+		return nil
 	}
-	return nil
+	if d := c.durability(); d != nil {
+		return d.LogFKIndex(table, col, build)
+	}
+	return build()
 }
 
 // FKIndex returns the current pre-built index over table.col.
@@ -315,6 +399,15 @@ func (c *Catalog) InsertRows(m *device.Meter, table string, rows [][]int64) (int
 	if err != nil {
 		return 0, err
 	}
+	if d := c.durability(); d != nil {
+		var n int
+		err := d.LogInsert(table, rows, func() error {
+			var aerr error
+			n, aerr = t.Insert(m, rows)
+			return aerr
+		})
+		return n, err
+	}
 	return t.Insert(m, rows)
 }
 
@@ -328,6 +421,15 @@ func (c *Catalog) DeleteRows(m *device.Meter, table string, filters []Filter) (i
 	preds := make([]store.Range, len(filters))
 	for i, f := range filters {
 		preds[i] = store.Range{Col: f.Col, Lo: f.Lo, Hi: f.Hi}
+	}
+	if d := c.durability(); d != nil {
+		var n int64
+		err := d.LogDelete(table, preds, func() error {
+			var aerr error
+			n, aerr = t.DeleteWhere(m, preds)
+			return aerr
+		})
+		return n, err
 	}
 	return t.DeleteWhere(m, preds)
 }

@@ -336,6 +336,66 @@ func New(name string, schema []ColumnDef, cols []*bat.BAT, sys *device.System) (
 	return t, nil
 }
 
+// Restore rebuilds a table from persisted state: the base-segment columns,
+// the (optional, per-column) restored decompositions, the recorded
+// decomposition bit widths, and the FK-indexed column markers. It is the
+// segment-load path of the durability subsystem — the table comes back
+// exactly as a checkpoint captured it, with FK indexes rebuilt from the
+// (strictly dense) key columns rather than deserialized. Delta rows are
+// not part of a checkpoint; recovery replays them from the WAL tail via
+// ordinary Insert/DeleteWhere calls.
+func Restore(name string, schema []ColumnDef, cols []*bat.BAT, decs []*bwd.Column, decBits []uint, pkCols []bool, sys *device.System) (*Table, error) {
+	if len(decs) != len(schema) || len(decBits) != len(schema) || len(pkCols) != len(schema) {
+		return nil, fmt.Errorf("store: restore %s: per-column state does not match schema arity", name)
+	}
+	t, err := New(name, schema, cols, sys)
+	if err != nil {
+		return nil, err
+	}
+	s := t.cur.Load()
+	seg := s.base.clone()
+	for i := range schema {
+		if d := decs[i]; d != nil {
+			if d.Len() != seg.n {
+				return nil, fmt.Errorf("store: restore %s.%s: decomposition covers %d rows, segment has %d", name, schema[i].Name, d.Len(), seg.n)
+			}
+			seg.decs[i] = d
+		}
+		t.decBits[i] = decBits[i]
+		if !pkCols[i] {
+			continue
+		}
+		var ix *bulk.FKIndex
+		if strictlyDense(seg.cols[i].Tails()) {
+			ix = bulk.BuildFKIndex(nil, 1, seg.cols[i].Tails())
+		}
+		if ix == nil {
+			return nil, fmt.Errorf("store: restore %s: %s is no longer a dense key", name, schema[i].Name)
+		}
+		seg.fk[i] = ix
+		t.pkCols[i] = true
+	}
+	t.cur.Store(&Snapshot{t: t, base: seg, liveBase: seg.n})
+	return t, nil
+}
+
+// DecBits returns the recorded decomposition bit width per schema column
+// (0 = never decomposed) — the durable layer persists them so merges after
+// recovery re-decompose at the same resolution.
+func (t *Table) DecBits() []uint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]uint(nil), t.decBits...)
+}
+
+// PKCols returns, per schema column, whether a foreign-key (primary-key)
+// index is registered — persisted so recovery rebuilds the same indexes.
+func (t *Table) PKCols() []bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]bool(nil), t.pkCols...)
+}
+
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
