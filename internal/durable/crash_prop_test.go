@@ -153,7 +153,7 @@ func propCrashCuts(t *testing.T, seed int64) {
 		if err := os.WriteFile(probe, walBytes, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, _, err := openWAL(probe, SyncOff, 0, nil, func(rec Record, end int64) error {
+		w, _, err := openWAL(probe, SyncOff, 0, nil, 0, func(rec Record, end int64) error {
 			frames = append(frames, frame{rec, end})
 			return nil
 		})

@@ -149,7 +149,10 @@ func decodeSegment(data []byte, sys *device.System) (*segState, error) {
 	n := int(le.Uint64(b[12:]))
 	ncols := int(le.Uint16(b[20:]))
 	b = b[22:]
-	if n < 0 || ncols == 0 {
+	// Bound n by what the body could possibly hold (each column tail costs
+	// n*8 bytes): an absurd count from a corrupted-but-CRC-valid file must
+	// error here, not overflow the later n*8 size checks or panic in make.
+	if n < 0 || ncols == 0 || n > len(b)/8 {
 		return nil, fmt.Errorf("durable: segment shape %d rows x %d columns", n, ncols)
 	}
 	var err error
@@ -163,6 +166,13 @@ func decodeSegment(data []byte, sys *device.System) (*segState, error) {
 		}
 		def.Scale = int64(le.Uint64(b))
 		def.Width = int(b[8])
+		switch def.Width {
+		case bat.Width8, bat.Width16, bat.Width32, bat.Width64:
+		default:
+			// bat.NewDense panics on bad widths; a CRC-valid corrupted
+			// byte must surface as a decode error, not crash Open.
+			return nil, fmt.Errorf("durable: segment column %s has width %d", def.Name, def.Width)
+		}
 		st.schema = append(st.schema, def)
 		st.decBits = append(st.decBits, uint(b[9]))
 		st.pkCols = append(st.pkCols, b[10] != 0)
@@ -174,7 +184,9 @@ func decodeSegment(data []byte, sys *device.System) (*segState, error) {
 		}
 		nw := int(le.Uint64(b))
 		b = b[8:]
-		if nw < 0 || len(b) < nw*8 {
+		// nw > len(b)/8 instead of len(b) < nw*8: the latter overflows on
+		// a huge word count and would wave the allocation through.
+		if nw < 0 || nw > len(b)/8 {
 			return nil, fmt.Errorf("durable: truncated plane body")
 		}
 		words := make([]uint64, nw)

@@ -1,6 +1,9 @@
 package durable
 
 import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -141,6 +144,42 @@ func TestSegmentCorruptionDetected(t *testing.T) {
 		if _, err := decodeSegment(data[:cut], sys); err == nil {
 			t.Fatalf("truncation at byte %d accepted", cut)
 		}
+	}
+}
+
+// restamp recomputes the trailing CRC so a deliberate corruption reaches
+// the structural checks behind it.
+func restamp(data []byte) {
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(data[:len(data)-4], crcTable))
+}
+
+// TestSegmentRejectsAbsurdCounts: counts read from a CRC-valid file are
+// still untrusted — a huge row or plane word count must surface as a
+// decode error, not overflow the size checks and panic allocating.
+func TestSegmentRejectsAbsurdCounts(t *testing.T) {
+	sys := device.PaperSystem()
+	tbl := testTable(t, sys, 16)
+	data, err := encodeSegment(tbl, tbl.Snapshot(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The row count sits after the magic (8), version (4) and LSN (8).
+	for _, huge := range []uint64{1 << 61, math.MaxUint64} {
+		corrupt := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(corrupt[20:], huge)
+		restamp(corrupt)
+		if _, err := decodeSegment(corrupt, sys); err == nil {
+			t.Fatalf("row count %d accepted", huge)
+		}
+	}
+	// Sweep a huge u64 across every offset (CRC restamped each time):
+	// whatever field it lands on — plane word counts, widths, parameters —
+	// decode must return, never panic.
+	for off := len(segMagic); off+8 <= len(data)-4; off++ {
+		corrupt := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(corrupt[off:], 1<<61)
+		restamp(corrupt)
+		decodeSegment(corrupt, sys)
 	}
 }
 

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -73,8 +74,10 @@ type RecoveryStats struct {
 	InvalidSegments    int
 	// Replayed is the number of WAL tail records applied into the catalog;
 	// Skipped were already covered by a segment's checkpoint LSN; Failed
-	// errored on apply (they failed identically when first executed, so
-	// they are deterministic no-ops).
+	// errored on apply deterministically (they failed identically when
+	// first executed, so they are no-ops). Environmental apply failures —
+	// device memory pressure at recovery time — fail Open instead of being
+	// counted here, since those records succeeded when logged.
 	Replayed int64
 	Skipped  int64
 	Failed   int64
@@ -152,8 +155,18 @@ func Open(dir string, cat *plan.Catalog, cfg Config) (*Store, error) {
 		}
 	}
 
-	// Phase 2: replay the WAL tail in LSN order.
-	w, truncated, err := openWAL(WALPath(dir), cfg.Policy, cfg.Interval, cfg.FsyncObserver, func(rec Record, _ int64) error {
+	// Phase 2: replay the WAL tail in LSN order. The loaded segments'
+	// checkpoint LSNs floor the WAL's next-LSN counter: a checkpoint may
+	// have emptied the log, and if the counter restarted below a persisted
+	// horizon, new fsync-acknowledged records would be skipped as already
+	// covered (rec.LSN <= ckpt) by the next recovery.
+	var lsnFloor uint64
+	for _, l := range s.ckpt {
+		if l > lsnFloor {
+			lsnFloor = l
+		}
+	}
+	w, truncated, err := openWAL(WALPath(dir), cfg.Policy, cfg.Interval, cfg.FsyncObserver, lsnFloor, func(rec Record, _ int64) error {
 		return s.replay(rec)
 	})
 	if err != nil {
@@ -183,9 +196,11 @@ func Open(dir string, cat *plan.Catalog, cfg Config) (*Store, error) {
 
 // replay applies one recovered WAL record to the catalog. Records at or
 // below their table's checkpoint LSN are already reflected in the loaded
-// segment and are skipped; apply errors are counted, not fatal — a record
-// that fails deterministically (bad column, duplicate create) failed the
-// same way when it was first logged.
+// segment and are skipped; deterministic apply errors (bad column,
+// duplicate create) are counted, not fatal — such a record failed the same
+// way when it was first logged. Environmental failures (simulated-device
+// memory pressure) are different: the record succeeded when logged, so
+// dropping it would silently lose durable state — recovery fails instead.
 func (s *Store) replay(rec Record) error {
 	if ckpt, ok := s.ckpt[rec.Table]; ok && rec.LSN <= ckpt {
 		s.recovery.Skipped++
@@ -222,6 +237,9 @@ func (s *Store) replay(rec Record) error {
 		err = fmt.Errorf("durable: unknown record type %d", rec.Type)
 	}
 	if err != nil {
+		if errors.Is(err, device.ErrOutOfMemory) {
+			return fmt.Errorf("durable: replaying lsn %d for %s needs resources that succeeded when logged: %w", rec.LSN, rec.Table, err)
+		}
 		s.recovery.Failed++
 		return nil
 	}

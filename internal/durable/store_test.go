@@ -211,6 +211,59 @@ func TestStoreCheckpointTruncatesWAL(t *testing.T) {
 	}
 }
 
+// TestStoreLSNMonotonicAcrossReopen: after a checkpoint empties the WAL,
+// the highest assigned LSN survives only in the segment files — a reopen
+// must seed the counter above every persisted horizon, or post-reopen
+// writes get LSNs the next recovery skips as already covered (silently
+// losing fsync-acknowledged records).
+func TestStoreLSNMonotonicAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	cat := plan.NewCatalog(device.PaperSystem())
+	s := openStore(t, dir, cat, SyncAlways)
+	if _, err := cat.CreateTable("kv", kvDefs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.InsertRows(nil, "kv", [][]int64{{1, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(nil, "kv", false); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.WALRecords != 0 {
+		t.Fatalf("WAL holds %d records after checkpoint", st.WALRecords)
+	}
+	ckptLSN := s.Stats().LastCheckpointLSN
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen over the emptied WAL, write, and crash (no checkpoint).
+	cat2 := plan.NewCatalog(device.PaperSystem())
+	s2 := openStore(t, dir, cat2, SyncAlways)
+	if _, err := cat2.InsertRows(nil, "kv", [][]int64{{2, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.wal.lastAssigned(); got <= ckptLSN {
+		t.Fatalf("post-reopen insert assigned lsn %d, at or below checkpoint horizon %d", got, ckptLSN)
+	}
+	want := tableRows(t, cat2, "kv")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next recovery must replay that insert, not skip it as covered.
+	cat3 := plan.NewCatalog(device.PaperSystem())
+	s3 := openStore(t, dir, cat3, SyncAlways)
+	defer s3.Close()
+	rs := s3.Recovery()
+	if rs.Replayed != 1 || rs.Skipped != 0 {
+		t.Fatalf("recovery = %+v, want the post-reopen insert replayed, not covered", rs)
+	}
+	if got := tableRows(t, cat3, "kv"); !sameRows(want, got) {
+		t.Fatalf("recovered rows %v, want %v", got, want)
+	}
+}
+
 // TestStoreDropReclaims: dropping a table must delete its segment files
 // and let the next rewrite reclaim its WAL frames.
 func TestStoreDropReclaims(t *testing.T) {

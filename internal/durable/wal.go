@@ -134,12 +134,19 @@ type replayFn func(rec Record, endOffset int64) error
 // openWAL opens (creating if absent) the log at path, replays every valid
 // frame through replay, truncates a torn tail, and leaves the file
 // positioned for appends. It returns the bytes discarded by truncation.
-func openWAL(path string, policy Policy, interval time.Duration, observer func(time.Duration), replay replayFn) (*wal, int64, error) {
+//
+// lsnFloor seeds the next-LSN counter at lsnFloor+1: checkpoints drop
+// covered frames, so after one empties the log the highest assigned LSN
+// survives only in the segment files' checkpoint LSNs. Without the floor a
+// reopen would hand out LSNs below those horizons and the next recovery
+// would skip the records as already covered. Frames found in the log raise
+// the counter further as usual.
+func openWAL(path string, policy Policy, interval time.Duration, observer func(time.Duration), lsnFloor uint64, replay replayFn) (*wal, int64, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
-	w := &wal{path: path, policy: policy, observer: observer, f: f, next: 1}
+	w := &wal{path: path, policy: policy, observer: observer, f: f, next: lsnFloor + 1}
 	w.cond = sync.NewCond(&w.mu)
 
 	st, err := f.Stat()
@@ -381,18 +388,29 @@ func (w *wal) rewrite(covered func(rec Record) bool) error {
 	for w.syncing {
 		w.cond.Wait()
 	}
-	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+	// Every pre-rename failure goes through restore: the scan below moves
+	// w.f's offset into the middle of the log, and an early return that
+	// leaves it there would let the next append splice frames over
+	// committed ones (w.size still claims the full file). If even the
+	// re-seek fails, poison the WAL so appends error instead of corrupting.
+	restore := func(err error) error {
+		if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.syncErr = fmt.Errorf("durable: WAL append offset lost after failed rewrite: %w", serr)
+		}
 		return err
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return restore(err)
 	}
 	tmpPath := w.path + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return restore(err)
 	}
 	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpPath)
-		return err
+		return restore(err)
 	}
 	if _, err := tmp.Write(walMagic[:]); err != nil {
 		return cleanup(err)
@@ -428,13 +446,18 @@ func (w *wal) rewrite(covered func(rec Record) bool) error {
 	if err := os.Rename(tmpPath, w.path); err != nil {
 		return cleanup(err)
 	}
+	// Past the rename, the old fd points at the replaced (unlinked) inode;
+	// if the new file cannot be adopted, appends must fail rather than
+	// write into a file nobody will ever read again.
 	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
 	if err != nil {
-		return err
+		w.syncErr = fmt.Errorf("durable: reopening WAL after rewrite: %w", err)
+		return w.syncErr
 	}
 	if _, err := f.Seek(size, io.SeekStart); err != nil {
 		f.Close()
-		return err
+		w.syncErr = fmt.Errorf("durable: reopening WAL after rewrite: %w", err)
+		return w.syncErr
 	}
 	syncDir(filepath.Dir(w.path))
 	w.f.Close()

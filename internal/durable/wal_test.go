@@ -84,7 +84,7 @@ func TestDecodeRecordRejectsTrailingBytes(t *testing.T) {
 func openTestWAL(t *testing.T, path string, policy Policy) (*wal, []Record, int64) {
 	t.Helper()
 	var replayed []Record
-	w, truncated, err := openWAL(path, policy, 0, nil, func(rec Record, _ int64) error {
+	w, truncated, err := openWAL(path, policy, 0, nil, 0, func(rec Record, _ int64) error {
 		replayed = append(replayed, rec)
 		return nil
 	})
@@ -329,12 +329,52 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+// TestWALFailedRewriteKeepsAppendOffset: a rewrite that cannot complete
+// (here: the temp path is occupied by a directory) must leave the append
+// position at the end of the log — not wherever its scan stopped — so
+// later appends extend the file instead of splicing over committed frames.
+func TestWALFailedRewriteKeepsAppendOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, _ := openTestWAL(t, path, SyncOff)
+	recs := testRecords()
+	for i := range recs[:3] {
+		if err := w.append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.rewrite(func(Record) bool { return false }); err == nil {
+		t.Fatal("rewrite over an unwritable temp path succeeded")
+	}
+	if err := os.RemoveAll(path + ".tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(&recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, replayed, truncated := openTestWAL(t, path, SyncOff)
+	defer w2.Close()
+	if truncated != 0 || len(replayed) != 4 {
+		t.Fatalf("reopen found %d records, %d torn bytes; the failed rewrite corrupted the log", len(replayed), truncated)
+	}
+	for i, rec := range replayed {
+		if !sameRecord(recs[i], rec) {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, recs[i])
+		}
+	}
+}
+
 func TestWALRejectsForeignFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	if err := os.WriteFile(path, bytes.Repeat([]byte{0x7f}, 64), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openWAL(path, SyncAlways, 0, nil, nil); err == nil {
+	if _, _, err := openWAL(path, SyncAlways, 0, nil, 0, nil); err == nil {
 		t.Fatal("file without WAL magic accepted")
 	}
 }
