@@ -65,11 +65,12 @@ var figures = []struct {
 	{"fig10c", experiments.Fig10c, "TPC-H Q14"},
 	{"fig11", experiments.Fig11, "memory-wall throughput"},
 	{"ingest", experiments.Ingest, "insert stream + incremental BWD maintenance"},
+	{"partition", experiments.Partition, "scatter-gather over hash partitions"},
 }
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (fig1, fig8a..fig8f, table1, fig9, fig10a..fig10c, fig11, ingest, all)")
+		experiment = flag.String("experiment", "all", "experiment id (fig1, fig8a..fig8f, table1, fig9, fig10a..fig10c, fig11, ingest, partition, all)")
 		microN     = flag.Int("micro", 0, "microbenchmark rows to execute (default from -quick/full presets)")
 		spatialN   = flag.Int("spatial", 0, "spatial fixes to execute")
 		sf         = flag.Float64("sf", 0, "TPC-H scale factor to execute")

@@ -23,9 +23,12 @@
 // committed state — so the demo preload only happens on the first run.
 //
 // The SQL surface includes DML — INSERT INTO ... VALUES, DELETE FROM ...
-// WHERE, CREATE TABLE — served against the mutable column store: inserts
-// land in per-table delta segments and are merged into the bit-sliced base
-// segments by the background merger (or \merge).
+// WHERE, CREATE TABLE (optionally PARTITION BY HASH/RANGE ... PARTITIONS n)
+// — served against the mutable column store: inserts land in per-table
+// delta segments and are merged into the bit-sliced base segments by the
+// background merger (or \merge). Partitioned tables scatter scans across
+// per-partition device streams under the scheduler's per-device ledger
+// and show their fan-out in \tables, \explain and the metrics registry.
 //
 // With -metrics <addr> the process additionally serves the engine metrics
 // registry in Prometheus text format on http://<addr>/metrics (query

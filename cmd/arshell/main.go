@@ -11,6 +11,7 @@
 //	        group by l_returnflag having count(*) > 100 order by q desc limit 2
 //	ar> \explain select count(*) from lineitem join part on lineitem.l_partkey = part.p_partkey
 //	ar> create table orders (qty int, price decimal2)
+//	ar> create table events (ts int, v int) partition by hash(ts) partitions 4
 //	ar> insert into orders values (5, 1.50), (10, 2.25)
 //	ar> delete from orders where qty < 6
 //	ar> \load data.csv items id:int,price:decimal2,kind:dict

@@ -15,12 +15,13 @@ import (
 // logical row content, so replaying the unmerged history from the last
 // checkpoint reconstructs an equivalent state.
 const (
-	recCreate    byte = 1 // CREATE TABLE: schema definition
-	recInsert    byte = 2 // INSERT: row-major values in schema order
-	recDelete    byte = 3 // DELETE: conjunction of closed ranges
-	recDecompose byte = 4 // bwdecompose(col, bits)
-	recFKIndex   byte = 5 // FK (primary-key) index build
-	recDrop      byte = 6 // DROP TABLE
+	recCreate     byte = 1 // CREATE TABLE: schema definition
+	recInsert     byte = 2 // INSERT: row-major values in schema order
+	recDelete     byte = 3 // DELETE: conjunction of closed ranges
+	recDecompose  byte = 4 // bwdecompose(col, bits)
+	recFKIndex    byte = 5 // FK (primary-key) index build
+	recDrop       byte = 6 // DROP TABLE
+	recCreatePart byte = 7 // CREATE TABLE ... PARTITION BY: schema + spec
 )
 
 // Record is one decoded WAL entry. Which fields are meaningful depends on
@@ -30,11 +31,14 @@ type Record struct {
 	Type  byte
 	Table string
 
-	Defs  []store.ColumnDef // recCreate
+	Defs  []store.ColumnDef // recCreate, recCreatePart
 	Rows  [][]int64         // recInsert (schema order)
 	Preds []store.Range     // recDelete (conjunction; empty = all rows)
-	Col   string            // recDecompose, recFKIndex
+	Col   string            // recDecompose, recFKIndex, recCreatePart (partition column)
 	Bits  uint              // recDecompose
+
+	PartKind byte // recCreatePart: shard.Kind
+	PartN    int  // recCreatePart: partition count
 }
 
 func (r Record) kindString() string {
@@ -51,6 +55,8 @@ func (r Record) kindString() string {
 		return "fkindex"
 	case recDrop:
 		return "drop"
+	case recCreatePart:
+		return "createpart"
 	default:
 		return fmt.Sprintf("type(%d)", r.Type)
 	}
@@ -95,7 +101,7 @@ func encodeRecord(r Record) ([]byte, error) {
 	b = append(b, r.Type)
 	b = appendString(b, r.Table)
 	switch r.Type {
-	case recCreate:
+	case recCreate, recCreatePart:
 		if len(r.Defs) > math.MaxUint16 {
 			return nil, fmt.Errorf("durable: %d column definitions exceed frame limit", len(r.Defs))
 		}
@@ -104,6 +110,14 @@ func encodeRecord(r Record) ([]byte, error) {
 			b = appendString(b, d.Name)
 			b = binary.LittleEndian.AppendUint64(b, uint64(d.Scale))
 			b = append(b, byte(d.Width))
+		}
+		if r.Type == recCreatePart {
+			if r.PartN < 1 || r.PartN > math.MaxUint16 {
+				return nil, fmt.Errorf("durable: partition count %d out of range", r.PartN)
+			}
+			b = appendString(b, r.Col)
+			b = append(b, r.PartKind)
+			b = binary.LittleEndian.AppendUint16(b, uint16(r.PartN))
 		}
 	case recInsert:
 		stride := 0
@@ -167,7 +181,7 @@ func DecodeRecord(b []byte) (Record, error) {
 		return r, fmt.Errorf("durable: empty table name")
 	}
 	switch r.Type {
-	case recCreate:
+	case recCreate, recCreatePart:
 		if len(b) < 2 {
 			return r, fmt.Errorf("durable: truncated column count")
 		}
@@ -186,6 +200,20 @@ func DecodeRecord(b []byte) (Record, error) {
 			d.Width = int(b[8])
 			b = b[9:]
 			r.Defs = append(r.Defs, d)
+		}
+		if r.Type == recCreatePart {
+			if r.Col, b, err = takeString(b); err != nil {
+				return r, err
+			}
+			if len(b) < 3 {
+				return r, fmt.Errorf("durable: truncated partition spec")
+			}
+			r.PartKind = b[0]
+			r.PartN = int(binary.LittleEndian.Uint16(b[1:]))
+			b = b[3:]
+			if r.PartN < 1 {
+				return r, fmt.Errorf("durable: partition count %d out of range", r.PartN)
+			}
 		}
 	case recInsert:
 		if len(b) < 6 {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/plan"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -60,6 +61,7 @@ type Store struct {
 	dropped  map[string]uint64      // drop LSN of dropped tables: frames at or below it are garbage
 	hasSeg   map[string]bool        // a segment file exists for the table
 	segBytes map[string]int64
+	partSeen map[string]bool // partitioned wrappers whose create record is in the WAL
 	ckpts    int64
 
 	recovery RecoveryStats
@@ -115,6 +117,7 @@ func Open(dir string, cat *plan.Catalog, cfg Config) (*Store, error) {
 		dropped:  make(map[string]uint64),
 		hasSeg:   make(map[string]bool),
 		segBytes: make(map[string]int64),
+		partSeen: make(map[string]bool),
 	}
 
 	// Phase 1: newest valid segment per table.
@@ -191,6 +194,28 @@ func Open(dir string, cat *plan.Catalog, cfg Config) (*Store, error) {
 		}
 		s.recovery.Adopted++
 	}
+	// Partitioned wrappers are not store tables, so the loop above persists
+	// their partitions but not the partition spec itself; a wrapper created
+	// before durability attached needs its create record appended now or the
+	// spec would be lost on the next recovery. Wrapper create records carry
+	// no checkpoint horizon (every partition checkpoints on its own), so
+	// they replay on every open and survive WAL rewrites by design.
+	for _, name := range cat.PartitionedNames() {
+		if s.partSeen[name] {
+			continue
+		}
+		p, ok := cat.Partitioned(name)
+		if !ok {
+			continue
+		}
+		rec := Record{Type: recCreatePart, Table: name, Defs: p.Schema().Schema(),
+			Col: p.Spec.Col, PartKind: byte(p.Spec.Kind), PartN: p.Spec.N}
+		if err := s.wal.append(&rec); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("durable: adopting partitioned %s: %w", name, err)
+		}
+		s.partSeen[name] = true
+	}
 	return s, nil
 }
 
@@ -232,6 +257,25 @@ func (s *Store) replay(rec Record) error {
 		err = s.cat.DropTable(rec.Table)
 		if err == nil {
 			s.forget(rec.Table, rec.LSN)
+			delete(s.partSeen, rec.Table)
+		}
+	case recCreatePart:
+		s.partSeen[rec.Table] = true
+		if _, ok := s.cat.Partitioned(rec.Table); ok {
+			return fmt.Errorf("durable: %s exists in both the catalog and %s — skip preloading when reopening a data dir", rec.Table, s.dir)
+		}
+		spec := shard.Spec{Kind: shard.Kind(rec.PartKind), Col: rec.Col, N: rec.PartN}
+		var fresh []int
+		_, fresh, err = s.cat.AdoptPartitioned(rec.Table, rec.Defs, spec)
+		if err == nil {
+			// Partitions restored from their segment files keep their own
+			// checkpoint horizons; partitions created empty replay their
+			// history from the frames after this record.
+			for _, i := range fresh {
+				pn := shard.PartName(rec.Table, i)
+				s.applied[pn] = rec.LSN
+				s.ckpt[pn] = rec.LSN - 1
+			}
 		}
 	default:
 		err = fmt.Errorf("durable: unknown record type %d", rec.Type)
@@ -243,7 +287,7 @@ func (s *Store) replay(rec Record) error {
 		s.recovery.Failed++
 		return nil
 	}
-	if rec.Type != recDrop {
+	if rec.Type != recDrop && rec.Type != recCreatePart {
 		s.applied[rec.Table] = rec.LSN
 	}
 	s.recovery.Replayed++
@@ -354,6 +398,38 @@ func (s *Store) LogCreate(name string, defs []store.ColumnDef, apply func() erro
 	return err
 }
 
+// LogCreatePartitioned logs a CREATE TABLE ... PARTITION BY and applies
+// it. One record covers the wrapper and all its (empty) partitions; each
+// partition then checkpoints and reclaims WAL frames on its own, while the
+// wrapper record itself stays uncovered so every recovery re-creates the
+// spec before replaying partition history.
+func (s *Store) LogCreatePartitioned(name string, defs []store.ColumnDef, spec shard.Spec, apply func() error) error {
+	mu := s.tableMu(name)
+	mu.Lock()
+	defer mu.Unlock()
+	rec := Record{Type: recCreatePart, Table: name, Defs: defs,
+		Col: spec.Col, PartKind: byte(spec.Kind), PartN: spec.N}
+	if err := s.wal.append(&rec); err != nil {
+		return err
+	}
+	err := apply()
+	if err == nil {
+		s.mu.Lock()
+		s.partSeen[name] = true
+		delete(s.dropped, name)
+		for i := 0; i < spec.N; i++ {
+			pn := shard.PartName(name, i)
+			// A fresh partition is dirty (applied > ckpt) until its first
+			// checkpoint persists an empty-base segment.
+			s.applied[pn] = rec.LSN
+			s.ckpt[pn] = rec.LSN - 1
+			delete(s.dropped, pn)
+		}
+		s.mu.Unlock()
+	}
+	return err
+}
+
 // LogDecompose logs a bwdecompose and applies it.
 func (s *Store) LogDecompose(table, col string, bits uint, apply func() error) error {
 	mu := s.tableMu(table)
@@ -397,6 +473,9 @@ func (s *Store) LogDrop(table string, apply func() error) error {
 		return err
 	}
 	s.forget(table, rec.LSN)
+	s.mu.Lock()
+	delete(s.partSeen, table)
+	s.mu.Unlock()
 	return nil
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/store"
 )
 
 // Meta executes one backslash meta command against the session and returns
@@ -39,18 +41,37 @@ func (s *Session) Meta(ctx context.Context, line string) (out []string, quit, ha
 		return []string{"mode " + s.Mode().String()}, false, true, nil
 	case `\tables`:
 		cat := s.eng.Catalog()
+		// Partition member tables list under their wrapper, not as
+		// stand-alone entries.
+		member := map[string]bool{}
+		for _, name := range cat.PartitionedNames() {
+			if p, ok := cat.Partitioned(name); ok {
+				for _, t := range p.Parts {
+					member[t.Name()] = true
+				}
+			}
+		}
+		names := cat.PartitionedNames()
 		for _, name := range cat.TableNames() {
+			if !member[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if p, ok := cat.Partitioned(name); ok {
+				out = append(out, fmt.Sprintf("%s (%d rows, %s): %s",
+					name, p.Len(), p.Spec, strings.Join(p.Schema().Columns(), ", ")))
+				for i, t := range p.Parts {
+					out = append(out, fmt.Sprintf("  partition %d: %s", i, segText(t.Snapshot())))
+				}
+				continue
+			}
 			t, err := cat.Table(name)
 			if err != nil {
 				continue
 			}
-			snap := t.Snapshot()
-			segs := fmt.Sprintf("%d rows", snap.Len())
-			if snap.DeltaLen() > 0 || snap.DeletedCount() > 0 {
-				segs = fmt.Sprintf("%d rows: %d base + %d delta, %d deleted",
-					snap.Len(), snap.BaseLen()-snap.BaseDeletedCount(), snap.LiveDelta(), snap.DeletedCount())
-			}
-			out = append(out, fmt.Sprintf("%s (%s): %s", name, segs, strings.Join(t.Columns(), ", ")))
+			out = append(out, fmt.Sprintf("%s (%s): %s", name, segText(t.Snapshot()), strings.Join(t.Columns(), ", ")))
 		}
 		return out, false, true, nil
 	case `\merge`:
@@ -82,6 +103,14 @@ func (s *Session) Meta(ctx context.Context, line string) (out []string, quit, ha
 		names := s.eng.Catalog().TableNames()
 		if rest != "" {
 			names = []string{rest}
+			if p, ok := s.eng.Catalog().Partitioned(rest); ok {
+				// Checkpointing a partitioned table checkpoints every
+				// partition (each has its own horizon and segment file).
+				names = names[:0]
+				for _, t := range p.Parts {
+					names = append(names, t.Name())
+				}
+			}
 		}
 		for _, name := range names {
 			m := device.NewMeter(s.eng.Catalog().System())
@@ -177,4 +206,13 @@ func onOff(b bool) string {
 		return "on"
 	}
 	return "off"
+}
+
+// segText renders one table snapshot's base/delta/deleted split.
+func segText(snap *store.Snapshot) string {
+	if snap.DeltaLen() > 0 || snap.DeletedCount() > 0 {
+		return fmt.Sprintf("%d rows: %d base + %d delta, %d deleted",
+			snap.Len(), snap.BaseLen()-snap.BaseDeletedCount(), snap.LiveDelta(), snap.DeletedCount())
+	}
+	return fmt.Sprintf("%d rows", snap.Len())
 }

@@ -68,6 +68,8 @@ func newMetrics(e *Engine, slowCap int) *metrics {
 		sched(func(s SchedStats) float64 { return float64(s.ActiveClassic) }))
 	reg.GaugeFunc("ar_sched_active", `route="ar"`, "Streams currently executing, by route.",
 		sched(func(s SchedStats) float64 { return float64(s.ActiveAR) }))
+	reg.CounterFunc("ar_partition_scans_total", "", "A&R partition scans admitted onto per-partition device streams by scatter-gather executions.",
+		sched(func(s SchedStats) float64 { return float64(s.PartitionScans) }))
 
 	cache := func(f func(CacheStats) float64) func() float64 {
 		return func() float64 { return f(e.cache.Stats()) }

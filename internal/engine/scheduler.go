@@ -127,6 +127,13 @@ type Scheduler struct {
 	cancelled     int64
 	drawSum       float64 // sum of HostDraw over finished A&R queries
 	drawN         int64
+
+	// devStreams is the per-device ledger behind plan.DeviceGate: one
+	// admission slot per simulated partition device, created lazily on
+	// first use. partitionScans counts successful acquisitions — the A&R
+	// partition scans that actually ran on a partition's device stream.
+	devStreams     map[int]chan struct{}
+	partitionScans int64
 }
 
 // SchedConfig sizes the scheduler.
@@ -216,6 +223,9 @@ func (s *Scheduler) Exec(ctx context.Context, b *sql.Binding, opts plan.ExecOpts
 		s.noteCancelled()
 		return nil, RouteClassic, err
 	}
+	// Scatter-gather executions over partitioned tables admission-control
+	// their per-partition device streams through the scheduler's ledger.
+	opts.Gate = s
 	switch {
 	case b.IsWrite():
 		// bwdecompose and DML (INSERT/DELETE/CREATE TABLE) execute inline:
@@ -369,6 +379,51 @@ func (s *Scheduler) execAR(ctx context.Context, b *sql.Binding, opts plan.ExecOp
 	return res, RouteAR, nil
 }
 
+// Scheduler's per-device ledger implements plan.DeviceGate.
+var _ plan.DeviceGate = (*Scheduler)(nil)
+
+// streamFor returns the admission slot of one simulated partition device,
+// creating it on first use.
+func (s *Scheduler) streamFor(device int) chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.devStreams == nil {
+		s.devStreams = make(map[int]chan struct{})
+	}
+	ch, ok := s.devStreams[device]
+	if !ok {
+		ch = make(chan struct{}, 1)
+		s.devStreams[device] = ch
+	}
+	return ch
+}
+
+// AcquireStream implements plan.DeviceGate: it blocks until the partition's
+// device stream is free (each simulated device executes one kernel sequence
+// at a time, exactly like the single-GPU stream of Fig 11) or ctx is done.
+// Scans of distinct partitions overlap freely — the way past one device's
+// memory wall is N partitions with N independent streams.
+func (s *Scheduler) AcquireStream(ctx context.Context, device int) (func(), error) {
+	ch := s.streamFor(device)
+	select {
+	case ch <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	s.partitionScans++
+	s.mu.Unlock()
+	return func() { <-ch }, nil
+}
+
+// PartitionScans returns how many A&R partition scans have run on a
+// partition device stream.
+func (s *Scheduler) PartitionScans() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partitionScans
+}
+
 func (s *Scheduler) noteCancelled() {
 	s.mu.Lock()
 	s.cancelled++
@@ -407,6 +462,9 @@ type SchedStats struct {
 	// number of A&R queries ever waiting for a stream at once.
 	PeakWaitingAR int
 	AvgARHostDraw float64 // bytes/s one A&R stream draws from host memory
+	// PartitionScans counts A&R partition scans admitted onto per-partition
+	// device streams by scatter-gather executions.
+	PartitionScans int64
 }
 
 // Stats returns the current counters.
@@ -418,7 +476,8 @@ func (s *Scheduler) Stats() SchedStats {
 		Cancelled:     s.cancelled,
 		ActiveClassic: s.activeClassic, ActiveAR: s.activeAR, WaitingAR: s.waitingAR,
 		PeakClassic: s.peakClassic, PeakAR: s.peakAR, PeakWaitingAR: s.peakWaitingAR,
-		AvgARHostDraw: s.avgDrawLocked(),
+		AvgARHostDraw:  s.avgDrawLocked(),
+		PartitionScans: s.partitionScans,
 	}
 }
 
@@ -427,8 +486,8 @@ func (s *Scheduler) Stats() SchedStats {
 // scripts can parse it without caring about future additions, which only
 // ever append new `name value` pairs.
 func (st SchedStats) String() string {
-	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d, cancelled %d, queue depth %d (high-water %d)",
-		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR, st.Cancelled, st.WaitingAR, st.PeakWaitingAR)
+	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d, cancelled %d, queue depth %d (high-water %d), partition scans %d",
+		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR, st.Cancelled, st.WaitingAR, st.PeakWaitingAR, st.PartitionScans)
 }
 
 // ClassicStretch returns the factor by which one single-threaded classic

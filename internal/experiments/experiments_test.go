@@ -354,3 +354,42 @@ func TestIngestAmortization(t *testing.T) {
 		}
 	}
 }
+
+// Partition: the experiment itself asserts byte-identical results vs the
+// unpartitioned baseline at every count (it errors otherwise, which
+// quickFig turns into a failure); the shape checks here pin the scaling
+// story — the per-stream share falls ~1/N while the aggregate stays
+// near-flat, and classic scatter does not drift with the count.
+func TestPartitionShape(t *testing.T) {
+	fig := quickFig(t, Partition)
+	agg := fig.seriesY("A&R aggregate device time")
+	share := fig.seriesY("A&R per-stream share")
+	classic := fig.seriesY("Classic aggregate")
+	if len(agg) != len(PartitionSweep) || len(share) != len(agg) || len(classic) != len(agg) {
+		t.Fatalf("series lengths %d/%d/%d, want %d", len(agg), len(share), len(classic), len(PartitionSweep))
+	}
+	for i, n := range PartitionSweep {
+		// The share is exactly aggregate/N: the ideal makespan on N streams.
+		if want := agg[i] / float64(n); share[i] < want*0.999 || share[i] > want*1.001 {
+			t.Errorf("parts=%d: per-stream share %.3f, want %.3f", n, share[i], want)
+		}
+		// Scan work is conserved: the aggregate stays within 2x of the
+		// single-partition scatter in both directions.
+		if agg[i] > agg[0]*2 || agg[i] < agg[0]/2 {
+			t.Errorf("parts=%d: aggregate %.3fms drifted past 2x of parts=1 (%.3fms)", n, agg[i], agg[0])
+		}
+		// Classic scatter scans every tuple exactly once regardless of the
+		// split; only per-partition launch overhead may move it.
+		if classic[i] > classic[0]*1.1 || classic[i] < classic[0]*0.9 {
+			t.Errorf("parts=%d: classic %.3fms drifted from parts=1 (%.3fms)", n, classic[i], classic[0])
+		}
+	}
+	last := len(PartitionSweep) - 1
+	if share[last] > share[0]/float64(PartitionSweep[last])*1.5 {
+		t.Errorf("per-stream share at %d partitions (%.3fms) is not ~1/N of one stream (%.3fms)",
+			PartitionSweep[last], share[last], share[0])
+	}
+	if fig.bar("A&R 8 partition(s)") == nil {
+		t.Fatal("missing per-count device-split bar")
+	}
+}

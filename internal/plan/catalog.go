@@ -22,6 +22,7 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -124,6 +125,9 @@ type Durability interface {
 	// LogLoad persists a bulk-loaded table wholesale (no per-row logging);
 	// apply registers it.
 	LogLoad(t *store.Table, apply func() error) error
+	// LogCreatePartitioned logs a CREATE TABLE ... PARTITION BY; apply
+	// registers the wrapper and its partition tables.
+	LogCreatePartitioned(name string, defs []store.ColumnDef, spec shard.Spec, apply func() error) error
 }
 
 // Catalog holds the mutable store tables, bound to one simulated device
@@ -140,6 +144,7 @@ type Catalog struct {
 
 	mu     sync.RWMutex
 	tables map[string]*store.Table
+	parted map[string]*shard.Partitioned
 }
 
 // NewCatalog creates a catalog bound to the given simulated system.
@@ -147,6 +152,7 @@ func NewCatalog(sys *device.System) *Catalog {
 	return &Catalog{
 		sys:    sys,
 		tables: make(map[string]*store.Table),
+		parted: make(map[string]*shard.Partitioned),
 	}
 }
 
@@ -219,6 +225,9 @@ func (c *Catalog) register(st *store.Table) error {
 	if _, dup := c.tables[st.Name()]; dup {
 		return fmt.Errorf("plan: duplicate table %s", st.Name())
 	}
+	if _, dup := c.parted[st.Name()]; dup {
+		return fmt.Errorf("plan: duplicate table %s", st.Name())
+	}
 	c.tables[st.Name()] = st
 	return nil
 }
@@ -240,20 +249,29 @@ func (c *Catalog) dropTable(name string) error {
 // DropTable removes a table, releases its device allocations, and — with
 // durability attached — logs the drop and reclaims the table's segment
 // files. In-flight queries holding a snapshot keep reading their pinned
-// version.
+// version. Dropping a partitioned table drops every partition.
 func (c *Catalog) DropTable(name string) error {
+	if p, ok := c.Partitioned(name); ok {
+		return c.dropPartitioned(p)
+	}
 	if d := c.durability(); d != nil {
 		return d.LogDrop(name, func() error { return c.dropTable(name) })
 	}
 	return c.dropTable(name)
 }
 
-// Table returns a registered table.
+// Table returns a registered table. A partitioned table's wrapper name is
+// not a plain table — callers that only need the schema use SchemaTable,
+// scans go through the scatter-gather path.
 func (c *Catalog) Table(name string) (*store.Table, error) {
 	c.mu.RLock()
 	t, ok := c.tables[name]
+	_, isPart := c.parted[name]
 	c.mu.RUnlock()
 	if !ok {
+		if isPart {
+			return nil, fmt.Errorf("plan: table %s is partitioned and cannot be used here", name)
+		}
 		return nil, fmt.Errorf("plan: unknown table %s", name)
 	}
 	return t, nil
@@ -278,6 +296,11 @@ func (c *Catalog) TableNames() []string {
 func (c *Catalog) TableSchemaEpoch(name string) (uint64, bool) {
 	c.mu.RLock()
 	t, ok := c.tables[name]
+	if !ok {
+		if p, pok := c.parted[name]; pok {
+			t, ok = p.Schema(), true
+		}
+	}
 	c.mu.RUnlock()
 	if !ok {
 		return 0, false
@@ -293,9 +316,12 @@ func (c *Catalog) TableSchemaEpoch(name string) (uint64, bool) {
 func (c *Catalog) SchemaEpochs() map[string]uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make(map[string]uint64, len(c.tables))
+	out := make(map[string]uint64, len(c.tables)+len(c.parted))
 	for name, t := range c.tables {
 		out[name] = t.SchemaEpoch()
+	}
+	for name, p := range c.parted {
+		out[name] = p.Schema().SchemaEpoch()
 	}
 	return out
 }
@@ -315,6 +341,9 @@ func (c *Catalog) Decompose(table, col string, approxBits uint) (*bwd.Column, er
 // path uses it so the bus bytes a compaction ships appear in the engine
 // totals, not just in the store counters.
 func (c *Catalog) DecomposeMetered(m *device.Meter, table, col string, approxBits uint) (*bwd.Column, error) {
+	if p, ok := c.Partitioned(table); ok {
+		return c.decomposePartitioned(m, p, col, approxBits)
+	}
 	t, err := c.Table(table)
 	if err != nil {
 		return nil, err
@@ -335,6 +364,9 @@ func (c *Catalog) DecomposeMetered(m *device.Meter, table, col string, approxBit
 // error if the column was never decomposed (A&R plans require explicit
 // decomposition, like an index).
 func (c *Catalog) Decomposition(table, col string) (*bwd.Column, error) {
+	if p, ok := c.Partitioned(table); ok {
+		table = p.Schema().Name()
+	}
 	t, err := c.Table(table)
 	if err != nil {
 		return nil, err
@@ -363,6 +395,9 @@ func (c *Catalog) ReleaseDecompositions() {
 // table.col on the CPU, as the paper does for joins (§IV-D). The index is
 // segment-bound: merges rebuild it over the compacted key column.
 func (c *Catalog) BuildFKIndex(table, col string) error {
+	if _, ok := c.Partitioned(table); ok {
+		return fmt.Errorf("plan: cannot build an FK index on partitioned table %s (partitioned tables are fact tables, not join dimensions)", table)
+	}
 	t, err := c.Table(table)
 	if err != nil {
 		return err
@@ -395,6 +430,9 @@ func (c *Catalog) FKIndex(table, col string) (*bulk.FKIndex, error) {
 // InsertRows appends rows (schema order, scaled values) to table's delta
 // segment, charging the host-side append to m (which may be nil).
 func (c *Catalog) InsertRows(m *device.Meter, table string, rows [][]int64) (int, error) {
+	if p, ok := c.Partitioned(table); ok {
+		return c.insertPartitioned(m, p, rows)
+	}
 	t, err := c.Table(table)
 	if err != nil {
 		return 0, err
@@ -414,6 +452,9 @@ func (c *Catalog) InsertRows(m *device.Meter, table string, rows [][]int64) (int
 // DeleteRows marks every live row of table satisfying all filters deleted
 // and returns the count.
 func (c *Catalog) DeleteRows(m *device.Meter, table string, filters []Filter) (int64, error) {
+	if p, ok := c.Partitioned(table); ok {
+		return c.deletePartitioned(m, p, filters)
+	}
 	t, err := c.Table(table)
 	if err != nil {
 		return 0, err
@@ -438,6 +479,9 @@ func (c *Catalog) DeleteRows(m *device.Meter, table string, filters []Filter) (i
 // base segment, charging the incremental re-decomposition to m. auto marks
 // background-merger invocations for stats attribution.
 func (c *Catalog) MergeTable(m *device.Meter, table string, auto bool) (store.MergeStats, error) {
+	if p, ok := c.Partitioned(table); ok {
+		return c.mergePartitioned(m, p, auto)
+	}
 	t, err := c.Table(table)
 	if err != nil {
 		return store.MergeStats{}, err

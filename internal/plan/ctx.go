@@ -22,6 +22,11 @@ const (
 	StageRefine    Stage = "refine"
 	StageAggregate Stage = "aggregate"
 	StageBulk      Stage = "bulk"
+	// Partitioned (scatter-gather) executions additionally pass through
+	// StageScatter per partition scan and StageGather once before the
+	// shared tail runs over the merged partials.
+	StageScatter Stage = "scatter"
+	StageGather  Stage = "gather"
 )
 
 // step is the cooperative checkpoint: it fires the observer hook (if any)

@@ -38,6 +38,11 @@ type ExecOpts struct {
 	// approximate answers and simulated figures are bit-identical with the
 	// flag on or off.
 	Trace bool
+	// Gate, if set, admission-controls the per-partition device streams of
+	// a scatter-gather execution (the engine's scheduler passes its
+	// per-device ledger). Unpartitioned executions never consult it, and it
+	// never affects results or simulated figures — only real concurrency.
+	Gate DeviceGate
 }
 
 func (o ExecOpts) threads() int {
@@ -84,6 +89,9 @@ func (c *Catalog) ExecAR(q Query, opts ExecOpts) (*Result, error) {
 // refinement batch, the final aggregation) and returns ctx.Err() without
 // a result once the context is done.
 func (c *Catalog) ExecARCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
+	if p, ok := c.Partitioned(q.Table); ok {
+		return c.execScatter(ctx, q, opts, p, false)
+	}
 	snap, err := q.validate(c)
 	if err != nil {
 		return nil, err
@@ -243,7 +251,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 	// Device-side pre-grouping — only while the table has no live delta
 	// rows: a delta forces the grouping onto the host, where base and
 	// delta tuples meet.
-	useDevGrouping := len(q.GroupBy) > 0 && snap.fact.LiveDelta() == 0
+	useDevGrouping := len(q.GroupBy) > 0 && snap.fact.LiveDelta() == 0 && !pl.noDevGroup
 	var mg *ar.MultiGrouping
 	if useDevGrouping {
 		cols := make([]*bwd.Column, len(q.GroupBy))

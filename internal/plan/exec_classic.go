@@ -25,6 +25,9 @@ func (c *Catalog) ExecClassic(q Query, opts ExecOpts) (*Result, error) {
 // Cancellation is cooperative: the pipeline polls ctx between bulk passes
 // and returns ctx.Err() without a result once the context is done.
 func (c *Catalog) ExecClassicCtx(ctx context.Context, q Query, opts ExecOpts) (*Result, error) {
+	if p, ok := c.Partitioned(q.Table); ok {
+		return c.execScatter(ctx, q, opts, p, true)
+	}
 	snap, err := q.validateClassic(c)
 	if err != nil {
 		return nil, err

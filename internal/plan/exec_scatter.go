@@ -1,0 +1,508 @@
+// Scatter-gather execution over partitioned fact tables. A partitioned
+// table (internal/shard) is N independent store.Tables behind one name;
+// execution scatters one scan per partition — classic or A&R chosen per
+// partition — runs them concurrently (each A&R scan admission-controlled
+// onto its partition's simulated device stream by the engine's DeviceGate),
+// and gathers the per-partition exact tuple sets into the one shared
+// pipeline tail (delta merge, grouping, aggregation, HAVING, top-k).
+//
+// Determinism contract: the gather merges everything — column values,
+// meters, phase-A bounds, candidate counts — in partition-index order, and
+// each partition's scan is internally deterministic for any worker count.
+// Result rows are therefore byte-identical to the unpartitioned execution
+// of the same data at every partition count, and the simulated figures are
+// bit-identical across worker-count and morsel-size sweeps at any fixed
+// partition count.
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ar"
+	"repro/internal/device"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// DeviceGate admission-controls the per-partition device streams. The
+// engine's scheduler implements it as a per-device ledger — one slot per
+// simulated device — generalizing Fig 11's contention model: concurrent
+// queries over the same partition serialize on its stream while scans of
+// distinct partitions overlap freely.
+type DeviceGate interface {
+	// AcquireStream blocks until the partition's device stream is free (or
+	// ctx is done) and returns the release function.
+	AcquireStream(ctx context.Context, device int) (release func(), err error)
+}
+
+// partScan is one partition's scatter leg: its assembled pipeline, private
+// execution state (own meter, own worker share), and scan output.
+type partScan struct {
+	pl   *pipeline
+	st   *pipeState
+	out  *scanOut
+	wall time.Duration
+	err  error
+}
+
+// execScatter executes a query over a partitioned table: scatter one scan
+// per partition, gather the partials, run the shared tail once.
+func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *shard.Partitioned, classic bool) (*Result, error) {
+	n := p.Spec.N
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Each partition scan gets an equal share of the real worker pool; the
+	// simulated Threads stay untouched, so the meter is independent of how
+	// the pool is split.
+	partOpts := opts
+	partOpts.Workers = max(1, opts.workers()/n)
+	partOpts.Trace = false
+	partOpts.Gate = nil
+
+	scans := make([]*partScan, n)
+	qs := make([]Query, n)
+	snaps := make([]*execSnap, n)
+	var firstARErr error
+	arLegs := 0
+	for i := 0; i < n; i++ {
+		qi := q
+		qi.Table = shard.PartName(p.Name, i)
+		qs[i] = qi
+		var pl *pipeline
+		if classic {
+			snap, err := qi.validateClassic(c)
+			if err != nil {
+				return nil, err
+			}
+			pl = buildPipeline(qi, snap, true)
+		} else if snap, err := qi.validate(c); err == nil {
+			pl = buildPipeline(qi, snap, false)
+			arLegs++
+		} else {
+			// The scan mode is a per-partition choice: a partition that
+			// cannot run A&R scans classically and the shared tail merges it
+			// like any other partial.
+			if firstARErr == nil {
+				firstARErr = err
+			}
+			snap, cerr := qi.validateClassic(c)
+			if cerr != nil {
+				return nil, err
+			}
+			pl = buildPipeline(qi, snap, true)
+		}
+		// The gather tail groups on the host where every partition's base
+		// and delta tuples meet, so partition scans never pre-group on the
+		// device.
+		pl.noDevGroup = true
+		snaps[i] = pl.snap
+		mi := device.NewMeter(c.sys)
+		sti := &pipeState{ctx: scanCtx, opts: partOpts, pp: partOpts.par(scanCtx), m: mi, res: &Result{Meter: mi}}
+		sti.estReset(pl)
+		scans[i] = &partScan{pl: pl, st: sti}
+	}
+	if !classic && arLegs == 0 {
+		// No partition can run A&R: the query cannot either.
+		return nil, firstARErr
+	}
+
+	var wg sync.WaitGroup
+	for i := range scans {
+		wg.Add(1)
+		go func(dev int, ps *partScan) {
+			defer wg.Done()
+			start := time.Now()
+			defer func() { ps.wall = time.Since(start) }()
+			if opts.Gate != nil && !ps.pl.classic {
+				release, err := opts.Gate.AcquireStream(scanCtx, dev)
+				if err != nil {
+					ps.err = err
+					cancel()
+					return
+				}
+				defer release()
+			}
+			var out *scanOut
+			var err error
+			if ps.pl.classic {
+				out, err = ps.pl.scanClassic(ps.st)
+			} else {
+				out, err = ps.pl.scanAR(ps.st)
+			}
+			if err == nil {
+				// A cancellation mid-kernel leaves the scan incomplete;
+				// never gather a partial partition.
+				err = scanCtx.Err()
+			}
+			if err != nil {
+				ps.err = err
+				cancel()
+				return
+			}
+			ps.out = out
+		}(i, scans[i])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Prefer the partition's own failure over the cancellations it caused.
+	var scanErr error
+	for _, ps := range scans {
+		if ps.err != nil && !errors.Is(ps.err, context.Canceled) {
+			scanErr = ps.err
+			break
+		}
+	}
+	if scanErr == nil {
+		for _, ps := range scans {
+			if ps.err != nil {
+				scanErr = ps.err
+				break
+			}
+		}
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	// ---- Gather: merge the partials in partition-index order.
+	m := device.NewMeter(c.sys)
+	st := &pipeState{ctx: ctx, opts: opts, pp: opts.par(ctx), m: m, res: &Result{Meter: m}}
+	st.res.InputBytes = scatterInputBytes(qs, snaps)
+	if opts.Trace {
+		mode := "ar"
+		if classic {
+			mode = "classic"
+		}
+		st.tr = &obs.Trace{Mode: mode, Threads: opts.threads(), Workers: opts.workers(), Start: time.Now()}
+		st.mark = st.tr.Start
+		st.res.Trace = st.tr
+	}
+	st.res.Plan = append(st.res.Plan, fmt.Sprintf("scatter: %s over %d partitions (%s)", q.Table, n, p.Spec))
+
+	answers := make([]ApproxAnswer, n)
+	for i, ps := range scans {
+		out := ps.out
+		out.ectx.appendDelta(out.dset)
+		dn := 0
+		if out.dset != nil {
+			dn = out.dset.n
+		}
+		st.m.Add(ps.st.m)
+		st.res.Candidates += ps.st.res.Candidates + dn
+		st.res.Refined += ps.st.res.Refined + dn
+		mode := "ar"
+		if ps.pl.classic {
+			mode = "classic"
+			// A classic leg's partial is exact, so a mixed-mode scatter
+			// still reports strict phase-A bounds.
+			answers[i] = exactAnswer(q, out.ectx)
+		} else {
+			answers[i] = ps.st.res.Approx
+		}
+		st.res.Plan = append(st.res.Plan, fmt.Sprintf("  partition %d: mode=%s, %d candidates, %d refined", i, mode, ps.st.res.Candidates+dn, ps.st.res.Refined+dn))
+		for _, line := range ps.st.res.Plan {
+			st.res.Plan = append(st.res.Plan, "    "+line)
+		}
+		if st.tr != nil {
+			pm := ps.st.m
+			st.tr.Add(obs.StageEvent{
+				Stage: string(StageScatter),
+				Op:    fmt.Sprintf("scatter(%s, mode=%s)", qs[i].Table, mode),
+				Rows:  int64(out.ectx.n),
+				Est:   -1,
+				Wall:  ps.wall,
+				GPU:   pm.GPU,
+				CPU:   pm.CPU,
+				PCI:   pm.PCI,
+			})
+		}
+	}
+	if !classic {
+		st.res.Approx = combineAnswers(q, answers)
+	}
+
+	// Concatenate the exact values per referenced column, partition order.
+	refs := sortedRefs(neededCols(q, len(q.GroupBy) > 0))
+	merged := &exprCtx{vals: map[ColRef][]int64{}}
+	for _, ps := range scans {
+		merged.n += ps.out.ectx.n
+	}
+	for _, ref := range refs {
+		vals := make([]int64, 0, merged.n)
+		for _, ps := range scans {
+			vals = append(vals, ps.out.ectx.vals[ref]...)
+		}
+		merged.vals[ref] = vals
+	}
+
+	// Baseline the tail's trace deltas after the merged charges.
+	st.last = *st.m
+	st.mark = time.Now()
+	if err := st.step(StageGather); err != nil {
+		return nil, err
+	}
+	st.traceRows(merged.n, "gather(%s, %d partitions)", q.Table, n)
+
+	tail := &pipeline{q: q, snap: snaps[0], classic: classic, noDevGroup: true}
+	if err := tail.finish(st, &scanOut{ectx: merged}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if st.tr != nil {
+		st.tr.Wall = time.Since(st.tr.Start)
+		st.tr.Candidates = int64(st.res.Candidates)
+		st.tr.Refined = int64(st.res.Refined)
+		st.tr.Rows = int64(len(st.res.Rows))
+	}
+	return st.res, nil
+}
+
+// scatterInputBytes sums the stream-baseline footprint of a scatter: every
+// partition's referenced fact columns and delta segment, plus each joined
+// dimension column exactly once (dimensions are shared, not partitioned).
+func scatterInputBytes(qs []Query, snaps []*execSnap) int64 {
+	var total int64
+	for i := range qs {
+		q, s := qs[i], snaps[i]
+		seen := map[string]bool{}
+		_ = q.walkCols(func(table, col string) error {
+			key := table + "." + col
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			if i > 0 && table != q.Table {
+				return nil // dimension columns count once
+			}
+			if b, err := s.snapFor(table).Column(col); err == nil {
+				total += b.TailBytes()
+			}
+			return nil
+		})
+		total += s.fact.DeltaBytes()
+	}
+	return total
+}
+
+// exactAnswer derives a degenerate (exact) phase-A answer from a classic
+// partition scan's combined tuple set.
+func exactAnswer(q Query, ctx *exprCtx) ApproxAnswer {
+	out := ApproxAnswer{Count: ar.Exact(int64(ctx.n))}
+	for _, a := range q.Aggs {
+		if a.Func == Count {
+			out.Aggs = append(out.Aggs, out.Count)
+			continue
+		}
+		var vals []int64
+		if a.Expr != nil {
+			vals = a.Expr.Eval(ctx)
+		}
+		var iv ar.Interval
+		switch {
+		case len(vals) == 0:
+			// no qualifying rows: zero interval, skipped by the combiner
+		case a.Func == Sum || a.Func == Avg:
+			var sum int64
+			for _, v := range vals {
+				sum += v
+			}
+			if a.Func == Avg {
+				sum /= int64(len(vals))
+			}
+			iv = ar.Exact(sum)
+		case a.Func == Min:
+			mv := vals[0]
+			for _, v := range vals[1:] {
+				if v < mv {
+					mv = v
+				}
+			}
+			iv = ar.Exact(mv)
+		case a.Func == Max:
+			mv := vals[0]
+			for _, v := range vals[1:] {
+				if v > mv {
+					mv = v
+				}
+			}
+			iv = ar.Exact(mv)
+		}
+		out.Aggs = append(out.Aggs, iv)
+	}
+	return out
+}
+
+// combineAnswers folds per-partition phase-A answers into bounds for the
+// whole table. Counts and sums add. Extremes fold with certainty awareness:
+// any partition that might hold qualifying rows (Count.Hi > 0) can supply
+// the extreme, so it widens the outer bound, while only a partition that
+// certainly holds rows (Count.Lo > 0) can tighten the inner one. Averages
+// take the conservative hull of the per-partition intervals.
+func combineAnswers(q Query, answers []ApproxAnswer) ApproxAnswer {
+	var out ApproxAnswer
+	for _, a := range answers {
+		out.Count.Lo += a.Count.Lo
+		out.Count.Hi += a.Count.Hi
+	}
+	out.Aggs = make([]ar.Interval, len(q.Aggs))
+	for k, spec := range q.Aggs {
+		switch spec.Func {
+		case Count, Sum:
+			var total ar.Interval
+			for _, a := range answers {
+				total.Lo += a.Aggs[k].Lo
+				total.Hi += a.Aggs[k].Hi
+			}
+			out.Aggs[k] = total
+		case Avg:
+			set := false
+			var total ar.Interval
+			for _, a := range answers {
+				if a.Count.Hi == 0 {
+					continue
+				}
+				iv := a.Aggs[k]
+				if !set {
+					total, set = iv, true
+					continue
+				}
+				if iv.Lo < total.Lo {
+					total.Lo = iv.Lo
+				}
+				if iv.Hi > total.Hi {
+					total.Hi = iv.Hi
+				}
+			}
+			out.Aggs[k] = total
+		case Min, Max:
+			out.Aggs[k] = combineExtreme(spec.Func, answers, k)
+		}
+	}
+	return out
+}
+
+// combineExtreme folds per-partition Min/Max intervals. For Min: the outer
+// (lower) bound is the least Lo over every possibly-nonempty partition; the
+// inner (upper) bound is the least Hi over the certainly-nonempty ones —
+// falling back to the greatest Hi over the possible ones when no partition
+// is certain. Max mirrors with the roles of Lo and Hi swapped.
+func combineExtreme(f AggFunc, answers []ApproxAnswer, k int) ar.Interval {
+	outerSet, innerSet := false, false
+	var outer, inner int64
+	for _, a := range answers {
+		if a.Count.Hi == 0 {
+			continue
+		}
+		iv := a.Aggs[k]
+		if f == Min {
+			if !outerSet || iv.Lo < outer {
+				outer, outerSet = iv.Lo, true
+			}
+			if a.Count.Lo > 0 && (!innerSet || iv.Hi < inner) {
+				inner, innerSet = iv.Hi, true
+			}
+		} else {
+			if !outerSet || iv.Hi > outer {
+				outer, outerSet = iv.Hi, true
+			}
+			if a.Count.Lo > 0 && (!innerSet || iv.Lo > inner) {
+				inner, innerSet = iv.Lo, true
+			}
+		}
+	}
+	if !outerSet {
+		return ar.Interval{}
+	}
+	if !innerSet {
+		// No partition certainly holds rows: the weakest bound any possible
+		// partition admits.
+		for _, a := range answers {
+			if a.Count.Hi == 0 {
+				continue
+			}
+			iv := a.Aggs[k]
+			if f == Min {
+				if !innerSet || iv.Hi > inner {
+					inner, innerSet = iv.Hi, true
+				}
+			} else if !innerSet || iv.Lo < inner {
+				inner, innerSet = iv.Lo, true
+			}
+		}
+	}
+	if f == Min {
+		return ar.Interval{Lo: outer, Hi: inner}
+	}
+	return ar.Interval{Lo: inner, Hi: outer}
+}
+
+// explainScatter renders a partitioned query plan without executing it: the
+// scatter fan-out with per-partition estimated output rows (live base rows
+// times the product of the estimated filter selectivities, when every
+// touched filter has an estimate), the gather stage, and partition 0's
+// pipeline as the representative per-partition plan.
+func (c *Catalog) explainScatter(q Query, classic bool, p *shard.Partitioned) ([]string, error) {
+	var out []string
+	out = append(out, fmt.Sprintf("scatter: %s over %d partitions (%s)", q.Table, p.Spec.N, p.Spec))
+	var rep []string
+	for i := 0; i < p.Spec.N; i++ {
+		qi := q
+		qi.Table = shard.PartName(p.Name, i)
+		var snap *execSnap
+		var err error
+		if classic {
+			snap, err = qi.validateClassic(c)
+		} else {
+			snap, err = qi.validate(c)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pl := buildPipeline(qi, snap, classic)
+		pl.noDevGroup = true
+		live := snap.fact.BaseLen() - snap.fact.BaseDeletedCount() + snap.fact.LiveDelta()
+		est := float64(live)
+		known := true
+		fold := func(sel float64) {
+			if sel < 0 {
+				known = false
+				return
+			}
+			est *= sel
+		}
+		for _, rf := range pl.factFilters {
+			fold(rf.sel)
+		}
+		for _, g := range pl.orGroups {
+			fold(g.sel)
+		}
+		for _, j := range pl.joins {
+			for _, rf := range j.dimFilters {
+				fold(rf.sel)
+			}
+		}
+		line := fmt.Sprintf("  partition %d: %s, %d live rows", i, qi.Table, live)
+		if known {
+			line += fmt.Sprintf(", est ~%d rows out", int64(est+0.5))
+		}
+		out = append(out, line)
+		if i == 0 {
+			rep = pl.describe()
+		}
+	}
+	out = append(out, fmt.Sprintf("  gather: concatenate partials in partition order, shared tail (group/aggregate/having/order) over %s", q.Table))
+	out = append(out, "per-partition plan (partition 0 shown):")
+	for _, line := range rep {
+		out = append(out, "  "+line)
+	}
+	return out, nil
+}

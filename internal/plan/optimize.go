@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bwd"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -313,6 +314,14 @@ func (q *Query) validateClassic(c *Catalog) (*execSnap, error) {
 // catalog (typically: a touched column is not bitwise decomposed), or nil
 // if it can.
 func (c *Catalog) ARValidate(q Query) error {
+	if p, ok := c.Partitioned(q.Table); ok {
+		// Partitions share one schema and DDL fans out to all of them, so
+		// partition 0 is representative of the scatter's A&R capability.
+		qi := q
+		qi.Table = shard.PartName(p.Name, 0)
+		_, err := qi.validate(c)
+		return err
+	}
 	_, err := q.validate(c)
 	return err
 }

@@ -39,6 +39,10 @@ type pipeline struct {
 	q       Query
 	snap    *execSnap
 	classic bool
+	// noDevGroup disables the A&R device-side pre-grouping. Partition scans
+	// of a scatter-gather execution set it: grouping must run on the host
+	// where every partition's base and delta tuples meet.
+	noDevGroup bool
 
 	factFilters []rankedFilter
 	orGroups    []orGroupStage
@@ -441,7 +445,7 @@ func (pl *pipeline) describe() []string {
 	}
 	if len(q.GroupBy) > 0 {
 		how := "host rebuild over combined tuples"
-		if !pl.classic && pl.snap.fact.LiveDelta() == 0 {
+		if !pl.classic && !pl.noDevGroup && pl.snap.fact.LiveDelta() == 0 {
 			how = "device pre-group + refine"
 		}
 		out = append(out, fmt.Sprintf("  group: %s (%s)", join(q.GroupBy), how))
@@ -476,6 +480,9 @@ func (pl *pipeline) describe() []string {
 // A&R — and renders it without executing: the programmatic face of the
 // shell's \explain.
 func (c *Catalog) ExplainQuery(q Query, classic bool) ([]string, error) {
+	if p, ok := c.Partitioned(q.Table); ok {
+		return c.explainScatter(q, classic, p)
+	}
 	var snap *execSnap
 	var err error
 	if classic {

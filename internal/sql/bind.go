@@ -8,6 +8,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/device"
 	"repro/internal/plan"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -44,10 +45,13 @@ type DeleteSpec struct {
 	Filters []plan.Filter
 }
 
-// CreateSpec is a bound CREATE TABLE.
+// CreateSpec is a bound CREATE TABLE. Part is non-nil when the statement
+// carried a PARTITION BY clause; the executor then builds a partitioned
+// fact table instead of a plain one.
 type CreateSpec struct {
 	Table string
 	Defs  []store.ColumnDef
+	Part  *shard.Spec
 }
 
 // IsWrite reports whether executing the binding mutates catalog state
@@ -95,7 +99,9 @@ func Bind(stmt *Stmt, c *plan.Catalog) (*Binding, error) {
 	}
 	sel := stmt.Select
 	b := &Binding{Explain: stmt.Explain}
-	if _, err := c.Table(sel.From); err != nil {
+	// SchemaTable, not Table: partitioned fact tables bind by their wrapper
+	// name (the executor scatter-gathers over the partitions).
+	if _, err := c.SchemaTable(sel.From); err != nil {
 		return nil, err
 	}
 
@@ -452,7 +458,7 @@ func filterFromPred(c *plan.Catalog, table string, p Pred) (plan.Filter, error) 
 // column list the values are re-ordered; every table column must be
 // covered (the engine has no NULLs).
 func bindInsert(ins *InsertStmt, c *plan.Catalog) (*Binding, error) {
-	t, err := c.Table(ins.Table)
+	t, err := c.SchemaTable(ins.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -513,7 +519,7 @@ func bindInsert(ins *InsertStmt, c *plan.Catalog) (*Binding, error) {
 
 // bindDelete lowers the (optional) WHERE conjunction into range filters.
 func bindDelete(del *DeleteStmt, c *plan.Catalog) (*Binding, error) {
-	if _, err := c.Table(del.Table); err != nil {
+	if _, err := c.SchemaTable(del.Table); err != nil {
 		return nil, err
 	}
 	spec := &DeleteSpec{Table: del.Table}
@@ -543,6 +549,17 @@ func bindCreate(cr *CreateStmt, c *plan.Catalog) (*Binding, error) {
 		}
 		spec.Defs = append(spec.Defs, store.ColumnDef{Name: col.Name, Scale: scale, Width: bat.Width32})
 	}
+	if cr.PartN > 0 {
+		kind, err := shard.ParseKind(cr.PartKind)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
+		part := shard.Spec{Kind: kind, Col: cr.PartCol, N: cr.PartN}
+		if err := part.Validate(); err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
+		spec.Part = &part
+	}
 	return &Binding{Create: spec}, nil
 }
 
@@ -550,7 +567,7 @@ func bindCreate(cr *CreateStmt, c *plan.Catalog) (*Binding, error) {
 // into the column's storage scale. A literal with more fractional digits
 // than the column stores is rejected.
 func alignScale(c *plan.Catalog, table, col string, v, litScale int64) (int64, error) {
-	t, err := c.Table(table)
+	t, err := c.SchemaTable(table)
 	if err != nil {
 		return 0, err
 	}
@@ -658,6 +675,13 @@ func ExecCtx(ctx context.Context, c *plan.Catalog, b *Binding, opts plan.ExecOpt
 	}
 	switch {
 	case b.Create != nil:
+		if b.Create.Part != nil {
+			p, err := c.CreatePartitionedTable(b.Create.Table, b.Create.Defs, *b.Create.Part)
+			if err != nil {
+				return nil, err
+			}
+			return &plan.Result{Plan: []string{fmt.Sprintf("created table %s (%d columns, %s)", b.Create.Table, len(b.Create.Defs), p.Spec)}}, nil
+		}
 		if _, err := c.CreateTable(b.Create.Table, b.Create.Defs); err != nil {
 			return nil, err
 		}

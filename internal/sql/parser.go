@@ -70,10 +70,16 @@ type DeleteStmt struct {
 	Preds []Pred
 }
 
-// CreateStmt is a parsed CREATE TABLE.
+// CreateStmt is a parsed CREATE TABLE. PartN > 0 when the statement carried
+// a PARTITION BY clause (fact tables only; the binder lowers it into a
+// shard.Spec).
 type CreateStmt struct {
 	Table string
 	Cols  []CreateCol
+
+	PartKind string // "hash" or "range"; empty without PARTITION BY
+	PartCol  string
+	PartN    int
 }
 
 // CreateCol is one column definition: the type is the raw identifier
@@ -363,6 +369,56 @@ func (p *parser) parseCreate() (*CreateStmt, error) {
 	}
 	if err := p.expectSymbol(")"); err != nil {
 		return nil, err
+	}
+	// CREATE TABLE t (...) PARTITION BY HASH(col) PARTITIONS n
+	if p.acceptKeyword("PARTITION") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		kindTok := p.peek()
+		kind, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.EqualFold(kind, "hash") && !strings.EqualFold(kind, "range") {
+			return nil, p.errAt(kindTok, "unknown partition kind %q (HASH, RANGE)", kind)
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		colTok := p.peek()
+		col, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		declared := false
+		for _, c := range cr.Cols {
+			if strings.EqualFold(c.Name, col) {
+				col = c.Name
+				declared = true
+				break
+			}
+		}
+		if !declared {
+			return nil, p.errAt(colTok, "partition column %s is not declared by table %s", col, cr.Table)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("PARTITIONS"); err != nil {
+			return nil, err
+		}
+		nTok := p.peek()
+		n, scale, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if scale != 1 || n < 1 {
+			return nil, p.errAt(nTok, "PARTITIONS takes a positive integer")
+		}
+		cr.PartKind = strings.ToLower(kind)
+		cr.PartCol = col
+		cr.PartN = int(n)
 	}
 	return cr, nil
 }
