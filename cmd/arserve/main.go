@@ -15,7 +15,9 @@
 // Meta commands: \cost, \mode [auto|ar|classic], \tables, \stats,
 // \merge [table], \checkpoint [table], \explain [analyze] <select>,
 // \metrics, \slow [<dur>|off], \prepare <name> <sql>,
-// \run <name> [params...], \q.
+// \run <name> [params...], \q. Auto mode (the default) picks the
+// classic or A&R executor per query from the cost model's
+// histogram-based estimates; \mode ar|classic forces one.
 //
 // With -data <dir> the store is durable: DML is write-ahead logged (fsync
 // policy via -fsync always|interval|off), merges checkpoint the bit-sliced

@@ -27,8 +27,12 @@
 // store is durable (WAL + segment files, -fsync selects the sync policy)
 // and a restart with the same -data recovers the committed state instead
 // of preloading the demo tables.
-// \explain renders the assembled operator pipeline (scan strategy,
-// cost-ordered filters with estimated selectivities, join chain,
+// In auto mode (the default) the cost model picks the classic or A&R
+// executor per query from histogram-based cardinality estimates;
+// \mode ar|classic forces one instead.
+// \explain renders the assembled operator pipeline (the mode choice with
+// its costing rationale, scan strategy, cost-ordered filters with
+// estimated selectivities and row counts, join chain,
 // delta/top-k stages) without executing the statement; \explain analyze
 // executes it and annotates each stage with estimated vs actual rows and
 // the simulated GPU/CPU/PCI split. One command is shell-only because it

@@ -61,9 +61,26 @@ type Column struct {
 	Approx   *bitpack.Array // approximation codes, shifted domain
 	Residual *bitpack.Array // residual bits
 
-	n        int
-	gpuAlloc *device.Alloc
-	cpuAlloc *device.Alloc
+	n         int
+	hist      []int64 // rows per code bucket; bucket of code c is c >> histShift
+	histShift uint
+	gpuAlloc  *device.Alloc
+	cpuAlloc  *device.Alloc
+}
+
+// histMaxBits caps the bucket-occupancy histogram at 2^histMaxBits buckets.
+// The approximation codes already partition the value domain into equi-width
+// cells, so the histogram is just occupancy counts over (possibly coalesced)
+// code ranges — the statistics provider reads it through BucketCounts.
+const histMaxBits = 8
+
+// histShiftFor returns how many code bits to drop per histogram bucket so
+// the bucket count stays within 2^histMaxBits.
+func histShiftFor(approxBits uint) uint {
+	if approxBits > histMaxBits {
+		return approxBits - histMaxBits
+	}
+	return 0
 }
 
 // Decompose bitwise-decomposes the tail of b, placing approxBits major bits
@@ -100,16 +117,20 @@ func Decompose(b *bat.BAT, approxBits uint, sys *device.System) (*Column, error)
 	n := b.Len()
 	approx := bitpack.New(dec.ApproxBits, n)
 	res := bitpack.New(dec.ResBits, n)
+	hshift := histShiftFor(dec.ApproxBits)
+	hist := make([]int64, (dec.MaxApprox()>>hshift)+1)
 	tails := b.Tails()
 	for i, v := range tails {
 		shifted := uint64(v - dec.Base)
-		approx.Set(i, shifted>>dec.ResBits)
+		code := shifted >> dec.ResBits
+		approx.Set(i, code)
+		hist[code>>hshift]++
 		if dec.ResBits > 0 {
 			res.Set(i, shifted&bitpack.Mask(dec.ResBits))
 		}
 	}
 
-	c := &Column{Dec: dec, Approx: approx, Residual: res, n: n}
+	c := &Column{Dec: dec, Approx: approx, Residual: res, n: n, hist: hist, histShift: hshift}
 	if sys != nil {
 		ga, err := sys.GPU.Alloc(approx.Bytes())
 		if err != nil {
@@ -142,6 +163,13 @@ func Restore(dec Decomposition, approx, res *bitpack.Array, sys *device.System) 
 			approx.Width(), res.Width(), dec.ApproxBits, dec.ResBits)
 	}
 	c := &Column{Dec: dec, Approx: approx, Residual: res, n: approx.Len()}
+	// The histogram is not persisted: recompute it with one pass over the
+	// restored approximation plane so statistics survive reboot unchanged.
+	c.histShift = histShiftFor(dec.ApproxBits)
+	c.hist = make([]int64, (dec.MaxApprox()>>c.histShift)+1)
+	for i := 0; i < c.n; i++ {
+		c.hist[approx.Get(i)>>c.histShift]++
+	}
 	if sys != nil {
 		ga, err := sys.GPU.Alloc(approx.Bytes())
 		if err != nil {
@@ -159,6 +187,16 @@ func Restore(dec Decomposition, approx, res *bitpack.Array, sys *device.System) 
 
 // Len returns the number of tuples in the column.
 func (c *Column) Len() int { return c.n }
+
+// BucketCounts returns the bucket-occupancy histogram maintained at
+// decompose time: entry b counts the rows whose approximation code lies in
+// [b << BucketShift, (b+1) << BucketShift). The slice is owned by the
+// column and must not be mutated.
+func (c *Column) BucketCounts() []int64 { return c.hist }
+
+// BucketShift returns how many code bits each histogram bucket coalesces:
+// a bucket spans 1 << BucketShift approximation codes.
+func (c *Column) BucketShift() uint { return c.histShift }
 
 // Release frees the simulated device allocations.
 func (c *Column) Release() {

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCostModePickCounters checks the auto-mode plumbing end to end: the
+// scheduler records every cost-model decision, the registry exposes the
+// pick and prune counter families, and \explain leads with the costing
+// rationale so a mispick is visible.
+func TestCostModePickCounters(t *testing.T) {
+	eng := New(starEngineCatalog(t), Options{})
+	ctx := context.Background()
+
+	// A selective star query prices A&R; an unfiltered full-table
+	// aggregate ships everything, so it prices classic.
+	if _, err := eng.Query(ctx, starQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(ctx, `select count(*) as n from f`); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Scheduler().Stats()
+	if st.ModePickAR < 1 || st.ModePickClassic < 1 {
+		t.Fatalf("mode picks ar=%d classic=%d, want at least one of each", st.ModePickAR, st.ModePickClassic)
+	}
+	if s := st.String(); !strings.Contains(s, "cost picks ar") {
+		t.Errorf("SchedStats.String() missing pick counts: %s", s)
+	}
+
+	text := strings.Join(eng.Metrics().Text(), "\n")
+	for _, want := range []string{
+		`ar_mode_picks_total{mode="ar"}`,
+		`ar_mode_picks_total{mode="classic"}`,
+		"ar_partition_pruned_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q", want)
+		}
+	}
+
+	// Forced modes bypass the cost model: no pick is recorded.
+	sess := eng.SessionFor(ModeClassic)
+	defer sess.Close()
+	if _, err := sess.Query(ctx, starQuery); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Scheduler().Stats(); after.ModePickAR+after.ModePickClassic != st.ModePickAR+st.ModePickClassic {
+		t.Error("a forced-mode query advanced the auto-mode pick counters")
+	}
+
+	// \explain in auto mode leads with the costing rationale.
+	lines, err := eng.DescribeStatement(starQuery, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "mode choice: ") {
+		t.Fatalf("auto \\explain does not lead with the mode choice:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "forces an executor") {
+		t.Errorf("mode-choice line does not mention the forced override: %s", lines[0])
+	}
+	// Forced explains carry no rationale line.
+	lines, err = eng.DescribeStatement(starQuery, ModeClassic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "mode choice: ") {
+		t.Error("forced \\explain still leads with an auto mode choice")
+	}
+}

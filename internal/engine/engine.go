@@ -320,12 +320,23 @@ func (e *Engine) QueryPlan(ctx context.Context, q plan.Query) (*Result, error) {
 
 // DescribePlan renders the physical pipeline the query would run —
 // chosen scan strategy, cost-ordered filters with estimated
-// selectivities, join chain, delta/top-k stages — without executing it.
-// Mode resolves exactly like execution routing: auto picks A&R when every
-// touched column is decomposed.
+// selectivities and cardinalities, join chain, delta/top-k stages —
+// without executing it. Mode resolves exactly like execution routing:
+// auto asks the optimizer's cost model, and the costing rationale is
+// prepended so mispicks are visible in \explain.
 func (e *Engine) DescribePlan(q plan.Query, mode Mode) ([]string, error) {
-	classic := mode == ModeClassic || (mode == ModeAuto && !e.cat.CanExecAR(q))
-	return e.cat.ExplainQuery(q, classic)
+	classic := mode == ModeClassic
+	var note string
+	if mode == ModeAuto {
+		choice := e.cat.ChooseMode(q)
+		classic = choice.Classic
+		note = "mode choice: " + choice.String() + " — auto; \\mode ar|classic forces an executor"
+	}
+	lines, err := e.cat.ExplainQuery(q, classic)
+	if err != nil || note == "" {
+		return lines, err
+	}
+	return append([]string{note}, lines...), nil
 }
 
 // DescribeStatement compiles a SELECT statement and renders its pipeline

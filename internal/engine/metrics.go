@@ -70,6 +70,12 @@ func newMetrics(e *Engine, slowCap int) *metrics {
 		sched(func(s SchedStats) float64 { return float64(s.ActiveAR) }))
 	reg.CounterFunc("ar_partition_scans_total", "", "A&R partition scans admitted onto per-partition device streams by scatter-gather executions.",
 		sched(func(s SchedStats) float64 { return float64(s.PartitionScans) }))
+	reg.CounterFunc("ar_mode_picks_total", `mode="ar"`, "Auto-mode queries the cost model routed to the A&R executor.",
+		sched(func(s SchedStats) float64 { return float64(s.ModePickAR) }))
+	reg.CounterFunc("ar_mode_picks_total", `mode="classic"`, "Auto-mode queries the cost model routed to the classic executor.",
+		sched(func(s SchedStats) float64 { return float64(s.ModePickClassic) }))
+	reg.CounterFunc("ar_partition_pruned_total", "", "Range partitions skipped before scattering because the filters excluded their value slabs.",
+		func() float64 { return float64(e.cat.PlannerStats().PartitionsPruned) })
 
 	cache := func(f func(CacheStats) float64) func() float64 {
 		return func() float64 { return f(e.cache.Stats()) }

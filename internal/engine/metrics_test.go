@@ -154,7 +154,7 @@ func TestExplainAnalyzeMeta(t *testing.T) {
 		"mode=ar",           // static plan header
 		"trace: mode=ar",    // trace header follows the plan
 		"GPU", "CPU", "PCI", // device split in the header
-		"est ", " actual ", // est-vs-actual on the filter stages
+		"est=", " act=", // est-vs-actual on the filter stages
 		"uselectanyapproximate", // the OR group ran approximately...
 		"uselectanyrefine",      // ...and was refined
 		"leftjoinapproximate",

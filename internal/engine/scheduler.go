@@ -38,9 +38,11 @@ func (r Route) String() string {
 // Mode is a session's executor preference.
 type Mode int
 
-// Modes.
+// Modes. Auto is the default and lets the optimizer's cost model pick the
+// executor per query (plan.Catalog.ChooseMode); ar/classic are forced
+// overrides for operators and tests that need a specific executor.
 const (
-	ModeAuto    Mode = iota // A&R when every touched column is decomposed
+	ModeAuto    Mode = iota // cost-based per-query choice from statistics
 	ModeAR                  // force the A&R executor (errors if not decomposed)
 	ModeClassic             // force the classic executor
 )
@@ -127,6 +129,11 @@ type Scheduler struct {
 	cancelled     int64
 	drawSum       float64 // sum of HostDraw over finished A&R queries
 	drawN         int64
+
+	// modePickAR/modePickClassic count auto-mode cost decisions, so
+	// mispricings are visible next to the forced-mode run counters.
+	modePickAR      int64
+	modePickClassic int64
 
 	// devStreams is the per-device ledger behind plan.DeviceGate: one
 	// admission slot per simulated partition device, created lazily on
@@ -239,7 +246,17 @@ func (s *Scheduler) Exec(ctx context.Context, b *sql.Binding, opts plan.ExecOpts
 		// No pre-validation: ExecAR validates as it builds its
 		// decomposition snapshot and surfaces the same precise error.
 		return s.execAR(ctx, b, opts)
-	case s.cat.CanExecAR(b.Query):
+	default:
+		// Auto mode: the optimizer prices both executors against the
+		// statistics provider and picks the cheaper one — the session
+		// \mode knob above is only a forced override. Scatter legs
+		// re-price per partition (opts.AutoMode).
+		opts.AutoMode = true
+		choice := s.cat.ChooseMode(b.Query)
+		s.notePick(choice.Classic)
+		if choice.Classic {
+			return s.execClassic(ctx, b, opts)
+		}
 		res, route, err := s.execAR(ctx, b, opts)
 		if errors.Is(err, ErrOverloaded) {
 			// Auto mode degrades gracefully: an overloaded GPU stream spills
@@ -247,9 +264,18 @@ func (s *Scheduler) Exec(ctx context.Context, b *sql.Binding, opts plan.ExecOpts
 			return s.execClassic(ctx, b, opts)
 		}
 		return res, route, err
-	default:
-		return s.execClassic(ctx, b, opts)
 	}
+}
+
+// notePick counts one auto-mode cost decision for the metrics registry.
+func (s *Scheduler) notePick(classic bool) {
+	s.mu.Lock()
+	if classic {
+		s.modePickClassic++
+	} else {
+		s.modePickAR++
+	}
+	s.mu.Unlock()
 }
 
 func (s *Scheduler) execDDL(ctx context.Context, b *sql.Binding, opts plan.ExecOpts) (*plan.Result, Route, error) {
@@ -465,6 +491,8 @@ type SchedStats struct {
 	// PartitionScans counts A&R partition scans admitted onto per-partition
 	// device streams by scatter-gather executions.
 	PartitionScans int64
+	// ModePickAR/ModePickClassic count auto-mode cost-model decisions.
+	ModePickAR, ModePickClassic int64
 }
 
 // Stats returns the current counters.
@@ -478,6 +506,7 @@ func (s *Scheduler) Stats() SchedStats {
 		PeakClassic: s.peakClassic, PeakAR: s.peakAR, PeakWaitingAR: s.peakWaitingAR,
 		AvgARHostDraw:  s.avgDrawLocked(),
 		PartitionScans: s.partitionScans,
+		ModePickAR:     s.modePickAR, ModePickClassic: s.modePickClassic,
 	}
 }
 
@@ -486,8 +515,8 @@ func (s *Scheduler) Stats() SchedStats {
 // scripts can parse it without caring about future additions, which only
 // ever append new `name value` pairs.
 func (st SchedStats) String() string {
-	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d, cancelled %d, queue depth %d (high-water %d), partition scans %d",
-		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR, st.Cancelled, st.WaitingAR, st.PeakWaitingAR, st.PartitionScans)
+	return fmt.Sprintf("scheduler: classic %d run (peak %d concurrent), ar %d run (peak %d concurrent), ddl %d, rejected %d, cancelled %d, queue depth %d (high-water %d), partition scans %d, cost picks ar %d, cost picks classic %d",
+		st.ClassicRun, st.PeakClassic, st.ARRun, st.PeakAR, st.DDLRun, st.RejectedAR, st.Cancelled, st.WaitingAR, st.PeakWaitingAR, st.PartitionScans, st.ModePickAR, st.ModePickClassic)
 }
 
 // ClassicStretch returns the factor by which one single-threaded classic

@@ -143,7 +143,7 @@ func TestSlowLogRing(t *testing.T) {
 // candidate-funnel accounting.
 func TestTraceRender(t *testing.T) {
 	tr := &Trace{Mode: "ar", Threads: 1, Workers: 2, Wall: 5 * time.Millisecond,
-		Candidates: 100, Refined: 80, Rows: 80}
+		Candidates: 100, Refined: 80, Rows: 80, EstCandidates: 90}
 	tr.Add(StageEvent{Stage: "approximate", Op: "bwd.uselectapproximate(t.v)",
 		Rows: 100, Est: 90, Morsels: 2, GPU: time.Millisecond})
 	tr.Add(StageEvent{Stage: "refine", Op: "bwd.uselectrefine(t.v)", Rows: 80, Est: -1,
@@ -158,9 +158,9 @@ func TestTraceRender(t *testing.T) {
 	text := strings.Join(tr.Render(), "\n")
 	for _, want := range []string{
 		"mode=ar threads=1 workers=2",
-		"est 90 actual 100", "morsels 2",
+		"est=90 act=100", "morsels 2",
 		"rows 80",
-		"candidates 100 -> refined 80 (false-positive rate 20.00%), 80 result rows",
+		"candidates 100 -> refined 80 (false-positive rate 20.00%), 80 result rows; est candidates 90 (error 1.1x)",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Render missing %q:\n%s", want, text)

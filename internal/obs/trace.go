@@ -70,6 +70,10 @@ type Trace struct {
 	// false-positive count.
 	Candidates int64 `json:"candidates"`
 	Refined    int64 `json:"refined"`
+	// EstCandidates is the planner's candidate-set estimate for the whole
+	// selection chain (-1 when any link lacked statistics). The funnel
+	// footer compares it against Candidates to expose estimation error.
+	EstCandidates int64 `json:"est_candidates"`
 	// Rows is the number of result rows returned.
 	Rows int64 `json:"rows"`
 }
@@ -108,7 +112,7 @@ func (t *Trace) Render() []string {
 		fmt.Fprintf(&sb, "  [%-11s] %-46s", ev.Stage, ev.Op)
 		switch {
 		case ev.Est >= 0 && ev.Rows >= 0:
-			fmt.Fprintf(&sb, " est %d actual %d", ev.Est, ev.Rows)
+			fmt.Fprintf(&sb, " est=%d act=%d", ev.Est, ev.Rows)
 		case ev.Rows >= 0:
 			fmt.Fprintf(&sb, " rows %d", ev.Rows)
 		}
@@ -119,9 +123,30 @@ func (t *Trace) Render() []string {
 			round(ev.Wall), round(ev.GPU), round(ev.CPU), round(ev.PCI))
 		out = append(out, sb.String())
 	}
-	out = append(out, fmt.Sprintf("  candidates %d -> refined %d (false-positive rate %.2f%%), %d result rows",
-		t.Candidates, t.Refined, t.FalsePositiveRate()*100, t.Rows))
+	funnel := fmt.Sprintf("  candidates %d -> refined %d (false-positive rate %.2f%%), %d result rows",
+		t.Candidates, t.Refined, t.FalsePositiveRate()*100, t.Rows)
+	if t.EstCandidates >= 0 {
+		funnel += fmt.Sprintf("; est candidates %d (error %.1fx)", t.EstCandidates, t.EstError())
+	}
+	out = append(out, funnel)
 	return out
+}
+
+// EstError is the candidate-estimation error factor: max(est, actual) over
+// max(min(est, actual), 1), so a perfect estimate reads 1.0x whether the
+// model over- or under-shot. 0 when no estimate was recorded.
+func (t *Trace) EstError() float64 {
+	if t.EstCandidates < 0 {
+		return 0
+	}
+	hi, lo := t.EstCandidates, t.Candidates
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	return float64(hi) / float64(lo)
 }
 
 // round trims a duration for display (microsecond grain above 1ms, full

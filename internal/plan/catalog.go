@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bat"
 	"repro/internal/bulk"
@@ -142,9 +143,26 @@ type Catalog struct {
 	sys *device.System
 	dur Durability
 
+	// prunedParts counts partition legs skipped by range-partition
+	// pruning before scattering (see execScatter); exposed through
+	// PlannerStats and the engine's ar_partition_pruned_total metric.
+	prunedParts atomic.Int64
+
 	mu     sync.RWMutex
 	tables map[string]*store.Table
 	parted map[string]*shard.Partitioned
+}
+
+// PlannerStats is a point-in-time snapshot of optimizer counters.
+type PlannerStats struct {
+	// PartitionsPruned counts partition legs excluded from scatter-gather
+	// executions because the anchor column's filters ruled out their slab.
+	PartitionsPruned int64
+}
+
+// PlannerStats returns the current optimizer counters.
+func (c *Catalog) PlannerStats() PlannerStats {
+	return PlannerStats{PartitionsPruned: c.prunedParts.Load()}
 }
 
 // NewCatalog creates a catalog bound to the given simulated system.

@@ -1,0 +1,184 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// Cost-based classic-vs-A&R choice. The session's \mode knob used to be
+// the only thing deciding which executor ran; auto mode now prices both
+// strategies against the statistics provider and the simulator's bandwidth
+// model, so \mode ar / \mode classic are demoted to forced overrides.
+//
+// The model prices what actually differs between the executors. Classic
+// pays a full-column CPU scan for the first predicate and then
+// candidate-sized random-access passes for every further predicate, join
+// probe and projection gather. A&R runs all predicate and FK-position
+// passes on the device over the packed approximation planes, ships the
+// surviving candidates across the bus once (§III-B: "one ship"), and
+// refines only those candidates on the CPU. Both executors scan the
+// row-major delta identically, so it cancels out of the comparison.
+
+// ModeChoice is the optimizer's per-query scan-strategy decision.
+type ModeChoice struct {
+	Classic       bool
+	EstCandidates int64  // estimated phase-A candidate rows; -1 when unknown
+	Reason        string // one-line costing rationale for \explain and logs
+}
+
+func (m ModeChoice) String() string {
+	mode := "a&r"
+	if m.Classic {
+		mode = "classic"
+	}
+	return fmt.Sprintf("%s (%s)", mode, m.Reason)
+}
+
+// ChooseMode prices the two scan strategies for a query in auto mode. A
+// query that cannot run as A&R (undecomposed column, unmergeable shape) is
+// classic by necessity; otherwise the estimated candidate-set size is
+// weighed against the transfer cost. Partitioned tables price every leg
+// against its own partition statistics: the scatter runs under the device
+// gate if any leg favors A&R.
+func (c *Catalog) ChooseMode(q Query) ModeChoice {
+	if p, ok := c.Partitioned(q.Table); ok {
+		var est int64
+		ar := 0
+		for i := range p.Parts {
+			qi := q
+			qi.Table = shard.PartName(p.Name, i)
+			snap, err := qi.validate(c)
+			if err != nil {
+				continue // this leg scans classic (e.g. empty partition)
+			}
+			ch := chooseSnap(c.sys, &qi, snap)
+			if !ch.Classic {
+				ar++
+				est += ch.EstCandidates
+			}
+		}
+		if ar == 0 {
+			return ModeChoice{Classic: true, EstCandidates: -1,
+				Reason: "no partition leg favors a&r"}
+		}
+		return ModeChoice{EstCandidates: est,
+			Reason: fmt.Sprintf("%d of %d partition legs favor a&r", ar, p.Spec.N)}
+	}
+	snap, err := q.validate(c)
+	if err != nil {
+		return ModeChoice{Classic: true, EstCandidates: -1,
+			Reason: "a&r unavailable: " + err.Error()}
+	}
+	return chooseSnap(c.sys, &q, snap)
+}
+
+// estFactFrac multiplies the fact-side predicate selectivities from the
+// statistics provider: the estimated fraction of live base rows surviving
+// phase A.
+func estFactFrac(snap *execSnap, q *Query) float64 {
+	frac := 1.0
+	for _, f := range q.Filters {
+		if s, src := estimateSelectivity(snap.get(q.Table, f.Col), f); src != estNone {
+			frac *= s
+		}
+	}
+	for _, g := range q.Or {
+		s, _ := estimateOrSelectivity(snap, q.Table, g)
+		frac *= s
+	}
+	return frac
+}
+
+// chooseSnap prices both executors for one pinned snapshot. The caller has
+// already validated the query for A&R against this snapshot.
+func chooseSnap(sys *device.System, q *Query, snap *execSnap) ModeChoice {
+	baseLive := float64(snap.fact.LiveBase())
+	if baseLive == 0 {
+		return ModeChoice{Classic: true, EstCandidates: 0,
+			Reason: "empty base segment: nothing is device resident"}
+	}
+	frac := estFactFrac(snap, q)
+	cand := frac * baseLive
+	est := int64(cand + 0.5)
+
+	// Bandwidths from the simulated system; fall back to the paper's
+	// shape (GPU ≫ CPU ≫ bus) if no system is attached.
+	cpuBW, gpuBW, busBW := 38.4e9, 192.3e9, 3.95e9
+	randomPenalty := 4.0
+	if sys != nil {
+		cpuBW, gpuBW, busBW = sys.CPU.AggregateBW, sys.GPU.ScanBW, sys.Bus.BW
+		if sys.CPU.RandomPenalty > 0 {
+			randomPenalty = sys.CPU.RandomPenalty
+		}
+	}
+
+	// Per-row column touches after the first pass: remaining predicates,
+	// FK probes, and projection/grouping gathers.
+	nPred := len(q.Filters) + len(q.Or)
+	for _, j := range q.Joins {
+		nPred += len(j.DimFilters)
+	}
+	nProj := len(q.GroupBy)
+	for _, a := range q.Aggs {
+		if a.Expr != nil {
+			nProj += len(a.Expr.Cols())
+		}
+	}
+	const rowB = 8.0
+
+	// Device bytes: every fact predicate and FK-position pass scans a
+	// packed approximation plane GPU-side.
+	var devBytes float64
+	addDev := func(col string) {
+		if d := snap.get(q.Table, col); d != nil {
+			devBytes += float64(d.GPUBytes())
+		}
+	}
+	for _, f := range q.Filters {
+		addDev(f.Col)
+	}
+	for _, g := range q.Or {
+		for _, f := range g {
+			addDev(f.Col)
+		}
+	}
+	for _, j := range q.Joins {
+		addDev(j.FKCol)
+	}
+	if devBytes == 0 {
+		// Full-table anchor scan (grouping / aggregate-only queries).
+		if col, ok := q.anchorColumn(); ok {
+			addDev(col)
+		}
+	}
+
+	// Rows crossing the bus: the candidate set, unless device pre-grouping
+	// collapses the ship to per-group partials (grouped query, no delta).
+	shipRows := cand
+	if len(q.GroupBy) > 0 && snap.fact.LiveDelta() == 0 {
+		groupCap := 4096.0
+		if d := stats.FromColumn(snap.get(q.Table, q.GroupBy[0])); d != nil {
+			if n := d.Distinct(); n >= 0 {
+				groupCap = float64(n)
+			}
+		}
+		if groupCap < shipRows {
+			shipRows = groupCap
+		}
+	}
+
+	nRefine := len(q.Filters) + len(q.Or)
+	arSec := devBytes/gpuBW +
+		shipRows*rowB*float64(1+nProj)/busBW +
+		cand*rowB*float64(nRefine)*randomPenalty/cpuBW
+	classicSec := baseLive*rowB/cpuBW +
+		cand*rowB*float64(nPred+len(q.Joins)+nProj)*randomPenalty/cpuBW
+
+	choice := ModeChoice{Classic: arSec >= classicSec, EstCandidates: est}
+	choice.Reason = fmt.Sprintf("est %d of %d base rows ship; a&r %.3gs vs classic %.3gs",
+		est, int64(baseLive), arSec, classicSec)
+	return choice
+}

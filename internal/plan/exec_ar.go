@@ -43,6 +43,12 @@ type ExecOpts struct {
 	// per-device ledger). Unpartitioned executions never consult it, and it
 	// never affects results or simulated figures — only real concurrency.
 	Gate DeviceGate
+	// AutoMode marks an execution whose scan strategy was chosen by the
+	// cost model rather than forced with \mode. Scatter-gather executions
+	// use it to re-choose classic vs A&R per partition leg from each leg's
+	// own statistics; it never affects results, only which (byte-identical)
+	// executor produces them.
+	AutoMode bool
 }
 
 func (o ExecOpts) threads() int {
@@ -131,14 +137,14 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		f0 := pl.factFilters[0].f
 		d := snap.get(q.Table, f0.Col)
 		cands = ar.SelectApprox(m, d, d.Relax(f0.Lo, f0.Hi))
-		st.traceEst(cands.Len(), st.estApply(pl.factFilters[0].sel), "bwd.uselectapproximate(%s.%s)", q.Table, f0.Col)
+		st.traceEst(cands.Len(), st.estApply(pl.factFilters[0].estSel()), "bwd.uselectapproximate(%s.%s)", q.Table, f0.Col)
 		for _, rf := range pl.factFilters[1:] {
 			if err := st.step(StageApprox); err != nil {
 				return nil, err
 			}
 			d := snap.get(q.Table, rf.f.Col)
 			cands = ar.SelectApproxOver(m, d, d.Relax(rf.f.Lo, rf.f.Hi), cands)
-			st.traceEst(cands.Len(), st.estApply(rf.sel), "bwd.uselectapproximate(%s.%s)", q.Table, rf.f.Col)
+			st.traceEst(cands.Len(), st.estApply(rf.estSel()), "bwd.uselectapproximate(%s.%s)", q.Table, rf.f.Col)
 		}
 	case len(pl.orGroups) > 0:
 		g := pl.orGroups[0]
@@ -244,7 +250,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			if err := remapJoinLists(pp, joins[:ji], nil, prev, cands); err != nil {
 				return nil, err
 			}
-			st.traceEst(cands.Len(), st.estApply(rf.sel), "bwd.uselectapproximate(%s.%s)", spec.Dim, rf.f.Col)
+			st.traceEst(cands.Len(), st.estApply(rf.estSel()), "bwd.uselectapproximate(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 
@@ -354,7 +360,9 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 	// ---- Phase R: the refinement subplan on the CPU. The selectivity
 	// estimate restarts at the live base cardinality: refinement walks the
 	// same predicate chain with exact bounds, so the same model predicts
-	// its per-filter output.
+	// its per-filter output. The phase-A running estimate is captured first
+	// as the trace footer's candidate-set prediction.
+	st.estCapture()
 	st.estReset(pl)
 	refined := cands
 	for _, rf := range pl.factFilters {
@@ -375,7 +383,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 				return nil, err
 			}
 		}
-		st.traceEst(refined.Len(), st.estApply(rf.sel), "bwd.uselectrefine(%s.%s)", q.Table, rf.f.Col)
+		st.traceEst(refined.Len(), st.estApply(rf.estSel()), "bwd.uselectrefine(%s.%s)", q.Table, rf.f.Col)
 	}
 	for _, g := range pl.orGroups {
 		if err := st.step(StageRefine); err != nil {
@@ -405,7 +413,7 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			if err := remapJoinLists(pp, joins, jr, prev, refined); err != nil {
 				return nil, err
 			}
-			st.traceEst(refined.Len(), st.estApply(rf.sel), "bwd.uselectrefine(%s.%s)", spec.Dim, rf.f.Col)
+			st.traceEst(refined.Len(), st.estApply(rf.estSel()), "bwd.uselectrefine(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 	st.res.Refined = refined.Len()

@@ -62,7 +62,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			return nil, err
 		}
 		ids = bulk.SelectRangePar(pp, m, b, f0.Lo, f0.Hi)
-		st.traceEst(len(ids), st.estApply(pl.factFilters[0].sel), "algebra.uselect(%s.%s)", q.Table, f0.Col)
+		st.traceEst(len(ids), st.estApply(pl.factFilters[0].estSel()), "algebra.uselect(%s.%s)", q.Table, f0.Col)
 		for _, rf := range pl.factFilters[1:] {
 			if err := st.step(StageBulk); err != nil {
 				return nil, err
@@ -72,7 +72,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 				return nil, err
 			}
 			ids = bulk.SelectOIDsPar(pp, m, b, ids, rf.f.Lo, rf.f.Hi)
-			st.traceEst(len(ids), st.estApply(rf.sel), "algebra.uselect(%s.%s)", q.Table, rf.f.Col)
+			st.traceEst(len(ids), st.estApply(rf.estSel()), "algebra.uselect(%s.%s)", q.Table, rf.f.Col)
 		}
 	} else {
 		ids = make([]bat.OID, fact.BaseLen())
@@ -180,7 +180,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			ids, joinPos[ji], keep = splitKeep(pairs)
 			compactJoinPos(pp, joinPos[:ji], keep)
 			m.CPUWork(pp.NThreads(), int64(len(vals))*8, 0, int64(len(vals)))
-			st.traceEst(len(ids), st.estApply(rf.sel), "algebra.uselect(%s.%s)", spec.Dim, rf.f.Col)
+			st.traceEst(len(ids), st.estApply(rf.estSel()), "algebra.uselect(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
 
@@ -199,6 +199,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 		}
 		st.traceRows(dset.n, "delta.scan(%s, %d qualifying)", q.Table, dset.n)
 	}
+	st.estCapture()
 	st.res.Candidates = len(ids)
 	st.res.Refined = len(ids)
 

@@ -49,6 +49,63 @@ type partScan struct {
 	err  error
 }
 
+// prunePartitions returns the partition indices a scatter must scan: for a
+// range-partitioned table whose conjunctive filters constrain the
+// partitioning column, every partition whose value slab is disjoint from
+// the filter interval is skipped before any leg is built. Pruning is exact
+// — a row routed to a pruned partition has its partitioning value inside
+// that slab, so it fails the filter and contributes nothing — which keeps
+// the gathered result rows byte-identical to the unpruned scatter (the
+// phase-A bounds can only tighten: pruned legs' approximate candidates
+// disappear). Hash partitions and disjunction groups never prune.
+func prunePartitions(q Query, spec shard.Spec) []int {
+	all := make([]int, spec.N)
+	for i := range all {
+		all[i] = i
+	}
+	if spec.Kind != shard.Range || spec.N <= 1 {
+		return all
+	}
+	flo, fhi := int64(NoLo), int64(NoHi)
+	found := false
+	for _, f := range q.Filters {
+		if f.Col != spec.Col {
+			continue
+		}
+		found = true
+		if f.Lo > flo {
+			flo = f.Lo
+		}
+		if f.Hi < fhi {
+			fhi = f.Hi
+		}
+	}
+	if !found {
+		return all
+	}
+	keep := make([]int, 0, spec.N)
+	for i := 0; i < spec.N; i++ {
+		lo, hi, ok := spec.Slab(i)
+		if !ok || (fhi >= lo && flo <= hi) {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// anyPartAR reports whether any partition of the table validates for A&R
+// execution of the query.
+func (c *Catalog) anyPartAR(q Query, p *shard.Partitioned) bool {
+	for i := 0; i < p.Spec.N; i++ {
+		qi := q
+		qi.Table = shard.PartName(p.Name, i)
+		if _, err := qi.validate(c); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // execScatter executes a query over a partitioned table: scatter one scan
 // per partition, gather the partials, run the shared tail once.
 func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *shard.Partitioned, classic bool) (*Result, error) {
@@ -56,23 +113,34 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Prune partitions whose range slabs the filters exclude; at least one
+	// leg always survives so the executor shape (and an all-pruned query's
+	// empty result) stays uniform.
+	parts := prunePartitions(q, p.Spec)
+	if len(parts) == 0 {
+		parts = []int{0}
+	}
+	if pruned := n - len(parts); pruned > 0 {
+		c.prunedParts.Add(int64(pruned))
+	}
+
 	// Each partition scan gets an equal share of the real worker pool; the
 	// simulated Threads stay untouched, so the meter is independent of how
 	// the pool is split.
 	partOpts := opts
-	partOpts.Workers = max(1, opts.workers()/n)
+	partOpts.Workers = max(1, opts.workers()/len(parts))
 	partOpts.Trace = false
 	partOpts.Gate = nil
 
-	scans := make([]*partScan, n)
-	qs := make([]Query, n)
-	snaps := make([]*execSnap, n)
+	scans := make([]*partScan, len(parts))
+	qs := make([]Query, len(parts))
+	snaps := make([]*execSnap, len(parts))
 	var firstARErr error
-	arLegs := 0
-	for i := 0; i < n; i++ {
+	arCapable := 0
+	for li, i := range parts {
 		qi := q
 		qi.Table = shard.PartName(p.Name, i)
-		qs[i] = qi
+		qs[li] = qi
 		var pl *pipeline
 		if classic {
 			snap, err := qi.validateClassic(c)
@@ -81,8 +149,20 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 			}
 			pl = buildPipeline(qi, snap, true)
 		} else if snap, err := qi.validate(c); err == nil {
-			pl = buildPipeline(qi, snap, false)
-			arLegs++
+			arCapable++
+			// Under a cost-chosen mode the scan strategy is re-chosen per
+			// leg from the leg's own statistics: a partition the model
+			// prices cheaper classically scans classically, and the shared
+			// tail merges its (byte-identical) partial like any other.
+			if opts.AutoMode && chooseSnap(c.sys, &qi, snap).Classic {
+				if snapC, cerr := qi.validateClassic(c); cerr == nil {
+					pl = buildPipeline(qi, snapC, true)
+				} else {
+					pl = buildPipeline(qi, snap, false)
+				}
+			} else {
+				pl = buildPipeline(qi, snap, false)
+			}
 		} else {
 			// The scan mode is a per-partition choice: a partition that
 			// cannot run A&R scans classically and the shared tail merges it
@@ -100,19 +180,22 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 		// and delta tuples meet, so partition scans never pre-group on the
 		// device.
 		pl.noDevGroup = true
-		snaps[i] = pl.snap
+		snaps[li] = pl.snap
 		mi := device.NewMeter(c.sys)
-		sti := &pipeState{ctx: scanCtx, opts: partOpts, pp: partOpts.par(scanCtx), m: mi, res: &Result{Meter: mi}}
+		sti := &pipeState{ctx: scanCtx, opts: partOpts, pp: partOpts.par(scanCtx), m: mi, res: &Result{Meter: mi}, estCand: -1}
 		sti.estReset(pl)
-		scans[i] = &partScan{pl: pl, st: sti}
+		scans[li] = &partScan{pl: pl, st: sti}
 	}
-	if !classic && arLegs == 0 {
-		// No partition can run A&R: the query cannot either.
+	if !classic && arCapable == 0 && !c.anyPartAR(q, p) {
+		// No partition can run A&R: the query cannot either. Capability is
+		// judged over the whole table — pruning must not turn a runnable
+		// query into an error just because only classic-capable (e.g.
+		// empty, undecomposed) partitions survived it.
 		return nil, firstARErr
 	}
 
 	var wg sync.WaitGroup
-	for i := range scans {
+	for li := range scans {
 		wg.Add(1)
 		go func(dev int, ps *partScan) {
 			defer wg.Done()
@@ -145,7 +228,7 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 				return
 			}
 			ps.out = out
-		}(i, scans[i])
+		}(parts[li], scans[li])
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -173,7 +256,7 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 
 	// ---- Gather: merge the partials in partition-index order.
 	m := device.NewMeter(c.sys)
-	st := &pipeState{ctx: ctx, opts: opts, pp: opts.par(ctx), m: m, res: &Result{Meter: m}}
+	st := &pipeState{ctx: ctx, opts: opts, pp: opts.par(ctx), m: m, res: &Result{Meter: m}, estCand: -1}
 	st.res.InputBytes = scatterInputBytes(qs, snaps)
 	if opts.Trace {
 		mode := "ar"
@@ -185,9 +268,14 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 		st.res.Trace = st.tr
 	}
 	st.res.Plan = append(st.res.Plan, fmt.Sprintf("scatter: %s over %d partitions (%s)", q.Table, n, p.Spec))
+	if pruned := n - len(parts); pruned > 0 {
+		st.res.Plan = append(st.res.Plan, fmt.Sprintf("  pruned: %d of %d partitions (filters on %s exclude their slabs)", pruned, n, p.Spec.Col))
+	}
 
-	answers := make([]ApproxAnswer, n)
-	for i, ps := range scans {
+	answers := make([]ApproxAnswer, len(scans))
+	estKnown := true
+	var estSum int64
+	for li, ps := range scans {
 		out := ps.out
 		out.ectx.appendDelta(out.dset)
 		dn := 0
@@ -197,16 +285,21 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 		st.m.Add(ps.st.m)
 		st.res.Candidates += ps.st.res.Candidates + dn
 		st.res.Refined += ps.st.res.Refined + dn
+		if ps.st.estCand < 0 {
+			estKnown = false
+		} else {
+			estSum += ps.st.estCand
+		}
 		mode := "ar"
 		if ps.pl.classic {
 			mode = "classic"
 			// A classic leg's partial is exact, so a mixed-mode scatter
 			// still reports strict phase-A bounds.
-			answers[i] = exactAnswer(q, out.ectx)
+			answers[li] = exactAnswer(q, out.ectx)
 		} else {
-			answers[i] = ps.st.res.Approx
+			answers[li] = ps.st.res.Approx
 		}
-		st.res.Plan = append(st.res.Plan, fmt.Sprintf("  partition %d: mode=%s, %d candidates, %d refined", i, mode, ps.st.res.Candidates+dn, ps.st.res.Refined+dn))
+		st.res.Plan = append(st.res.Plan, fmt.Sprintf("  partition %d: mode=%s, %d candidates, %d refined", parts[li], mode, ps.st.res.Candidates+dn, ps.st.res.Refined+dn))
 		for _, line := range ps.st.res.Plan {
 			st.res.Plan = append(st.res.Plan, "    "+line)
 		}
@@ -214,15 +307,18 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 			pm := ps.st.m
 			st.tr.Add(obs.StageEvent{
 				Stage: string(StageScatter),
-				Op:    fmt.Sprintf("scatter(%s, mode=%s)", qs[i].Table, mode),
+				Op:    fmt.Sprintf("scatter(%s, mode=%s)", qs[li].Table, mode),
 				Rows:  int64(out.ectx.n),
-				Est:   -1,
+				Est:   ps.st.estCand,
 				Wall:  ps.wall,
 				GPU:   pm.GPU,
 				CPU:   pm.CPU,
 				PCI:   pm.PCI,
 			})
 		}
+	}
+	if estKnown {
+		st.estCand = estSum
 	}
 	if !classic {
 		st.res.Approx = combineAnswers(q, answers)
@@ -248,7 +344,7 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 	if err := st.step(StageGather); err != nil {
 		return nil, err
 	}
-	st.traceRows(merged.n, "gather(%s, %d partitions)", q.Table, n)
+	st.traceRows(merged.n, "gather(%s, %d partitions)", q.Table, len(scans))
 
 	tail := &pipeline{q: q, snap: snaps[0], classic: classic, noDevGroup: true}
 	if err := tail.finish(st, &scanOut{ectx: merged}); err != nil {
@@ -262,6 +358,7 @@ func (c *Catalog) execScatter(ctx context.Context, q Query, opts ExecOpts, p *sh
 		st.tr.Candidates = int64(st.res.Candidates)
 		st.tr.Refined = int64(st.res.Refined)
 		st.tr.Rows = int64(len(st.res.Rows))
+		st.tr.EstCandidates = st.estCand
 	}
 	return st.res, nil
 }
@@ -449,14 +546,27 @@ func combineExtreme(f AggFunc, answers []ApproxAnswer, k int) ar.Interval {
 // scatter fan-out with per-partition estimated output rows (live base rows
 // times the product of the estimated filter selectivities, when every
 // touched filter has an estimate), the gather stage, and partition 0's
-// pipeline as the representative per-partition plan.
+// pipeline of the first surviving partition as the representative
+// per-partition plan. Pruned partitions are listed, not described.
 func (c *Catalog) explainScatter(q Query, classic bool, p *shard.Partitioned) ([]string, error) {
 	var out []string
 	out = append(out, fmt.Sprintf("scatter: %s over %d partitions (%s)", q.Table, p.Spec.N, p.Spec))
+	parts := prunePartitions(q, p.Spec)
+	if len(parts) == 0 {
+		parts = []int{0} // the executor keeps one leg for an all-pruned query
+	}
+	kept := map[int]bool{}
+	for _, i := range parts {
+		kept[i] = true
+	}
 	var rep []string
 	for i := 0; i < p.Spec.N; i++ {
 		qi := q
 		qi.Table = shard.PartName(p.Name, i)
+		if !kept[i] {
+			out = append(out, fmt.Sprintf("  partition %d: %s, pruned (filters on %s exclude its slab)", i, qi.Table, p.Spec.Col))
+			continue
+		}
 		var snap *execSnap
 		var err error
 		if classic {
@@ -469,7 +579,7 @@ func (c *Catalog) explainScatter(q Query, classic bool, p *shard.Partitioned) ([
 		}
 		pl := buildPipeline(qi, snap, classic)
 		pl.noDevGroup = true
-		live := snap.fact.BaseLen() - snap.fact.BaseDeletedCount() + snap.fact.LiveDelta()
+		live := snap.fact.LiveBase() + snap.fact.LiveDelta()
 		est := float64(live)
 		known := true
 		fold := func(sel float64) {
@@ -480,14 +590,15 @@ func (c *Catalog) explainScatter(q Query, classic bool, p *shard.Partitioned) ([
 			est *= sel
 		}
 		for _, rf := range pl.factFilters {
-			fold(rf.sel)
+			fold(rf.estSel())
 		}
 		for _, g := range pl.orGroups {
 			fold(g.sel)
 		}
 		for _, j := range pl.joins {
+			fold(j.sel)
 			for _, rf := range j.dimFilters {
-				fold(rf.sel)
+				fold(rf.estSel())
 			}
 		}
 		line := fmt.Sprintf("  partition %d: %s, %d live rows", i, qi.Table, live)
@@ -495,12 +606,12 @@ func (c *Catalog) explainScatter(q Query, classic bool, p *shard.Partitioned) ([
 			line += fmt.Sprintf(", est ~%d rows out", int64(est+0.5))
 		}
 		out = append(out, line)
-		if i == 0 {
+		if rep == nil {
 			rep = pl.describe()
 		}
 	}
 	out = append(out, fmt.Sprintf("  gather: concatenate partials in partition order, shared tail (group/aggregate/having/order) over %s", q.Table))
-	out = append(out, "per-partition plan (partition 0 shown):")
+	out = append(out, fmt.Sprintf("per-partition plan (partition %d shown):", parts[0]))
 	for _, line := range rep {
 		out = append(out, "  "+line)
 	}

@@ -2,33 +2,67 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bwd"
 	"repro/internal/shard"
+	"repro/internal/stats"
 	"repro/internal/store"
 )
 
+// estSource tags where a selectivity estimate came from, replacing the old
+// -1.0 "unknown" sentinel. Sources are ordered weakest-first so a combined
+// estimate (OR group, join chain) carries the weakest source it used.
+type estSource uint8
+
+const (
+	estNone      estSource = iota // no statistics: column not decomposed
+	estRowCount                   // textbook default scaled by row counts
+	estDomain                     // relaxed code span over the code domain
+	estHistogram                  // BWD bucket-occupancy histogram mass
+)
+
+// weakest combines two estimate sources, keeping the less trustworthy one.
+func weakest(a, b estSource) estSource {
+	if b < a {
+		return b
+	}
+	return a
+}
+
 // rankedFilter is a filter with the selectivity estimate that ordered it —
-// the pipeline keeps the estimates so \explain can show why the optimizer
-// chose this order.
+// the pipeline keeps the estimate and its source so \explain can show why
+// the optimizer chose this order (and when it was guessing).
 type rankedFilter struct {
 	f   Filter
 	sel float64
+	src estSource
 }
 
-// orderFilters implements the rule-based optimizer of §III-A: approximate
-// selections are pushed down (executed first) in order of estimated
-// selectivity, so the cheapest, most selective approximate scans shrink
-// the candidate set before the more expensive operators run. The estimate
-// is the relaxed code-range fraction of the column's code domain — derived
-// purely from the decomposition metadata (taken from the execution's
-// snapshot), no data statistics needed. It applies to fact-side and
-// dimension-side filters alike; the caller passes the owning table.
+// estSel returns the selectivity for cardinality folding, or -1 when the
+// filter has no estimate at all (estApply treats -1 as unknown).
+func (rf rankedFilter) estSel() float64 {
+	if rf.src == estNone {
+		return -1
+	}
+	return rf.sel
+}
+
+// orderFilters implements the optimizer of §III-A with real statistics:
+// approximate selections are pushed down (executed first) in order of
+// estimated selectivity, so the cheapest, most selective approximate scans
+// shrink the candidate set before the more expensive operators run. The
+// estimate is the histogram mass of the relaxed code range — the BWD
+// bucket-occupancy counts maintained at decompose time — falling back to
+// the code-domain fraction only when a column carries no histogram. It
+// applies to fact-side and dimension-side filters alike; the caller passes
+// the owning table.
 func orderFilters(snap *execSnap, table string, filters []Filter) []rankedFilter {
 	rs := make([]rankedFilter, 0, len(filters))
 	for _, f := range filters {
-		rs = append(rs, rankedFilter{f, estimateSelectivity(snap.get(table, f.Col), f)})
+		sel, src := estimateSelectivity(snap.get(table, f.Col), f)
+		rs = append(rs, rankedFilter{f, sel, src})
 	}
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].sel < rs[j].sel })
 	return rs
@@ -37,48 +71,120 @@ func orderFilters(snap *execSnap, table string, filters []Filter) []rankedFilter
 // rankFilters wraps filters with their selectivity estimates without
 // reordering — the classic pipeline preserves the written predicate order
 // but still reports the estimates in \explain when decompositions exist.
+// Undecomposed columns are tagged estNone so the explain surface prints
+// `est=n/a (no stats)` instead of a magic number.
 func rankFilters(snap *execSnap, table string, filters []Filter) []rankedFilter {
 	rs := make([]rankedFilter, 0, len(filters))
 	for _, f := range filters {
-		sel := -1.0 // unknown: classic plans don't need a decomposition
+		rf := rankedFilter{f: f, src: estNone}
 		if d := snap.get(table, f.Col); d != nil {
-			sel = estimateSelectivity(d, f)
+			rf.sel, rf.src = estimateSelectivity(d, f)
 		}
-		rs = append(rs, rankedFilter{f, sel})
+		rs = append(rs, rf)
 	}
 	return rs
 }
 
-// estimateSelectivity returns the fraction of the code domain admitted by
-// the relaxed predicate.
-func estimateSelectivity(d *bwd.Column, f Filter) float64 {
+// estimateSelectivity estimates the fraction of rows admitted by the
+// relaxed predicate: the occupancy-histogram mass of the relaxed code
+// range when the decomposition carries one (it knows where the data
+// actually sits, so skew cannot fool the ordering), else the code-domain
+// fraction as before.
+func estimateSelectivity(d *bwd.Column, f Filter) (float64, estSource) {
+	if d == nil {
+		return 0, estNone
+	}
 	r := d.Relax(f.Lo, f.Hi)
+	h := stats.FromColumn(d)
 	switch {
 	case r.Empty:
-		return 0
+		if h != nil {
+			return 0, estHistogram
+		}
+		return 0, estDomain
 	case r.Full:
-		return 1
+		if h != nil {
+			return 1, estHistogram
+		}
+		return 1, estDomain
+	case h != nil:
+		return h.CodeFraction(r.Lo, r.Hi), estHistogram
 	default:
 		span := float64(d.Dec.MaxApprox()) + 1
-		return float64(r.Hi-r.Lo+1) / span
+		return float64(r.Hi-r.Lo+1) / span, estDomain
+	}
+}
+
+// defaultFilterSel is the fallback when a column has no decomposition to
+// estimate from: textbook defaults scaled by the snapshot's row-count
+// statistics — an equality predicate admits about one in sqrt(n) rows
+// (distinct count unknown), a bounded range a quarter, a half-open range a
+// third of them.
+func defaultFilterSel(snap *store.Snapshot, f Filter) float64 {
+	rows := float64(snap.Len())
+	if rows <= 0 {
+		return 0
+	}
+	switch {
+	case f.Lo == NoLo && f.Hi == NoHi:
+		return 1
+	case f.Lo == f.Hi:
+		return 1 / math.Sqrt(rows)
+	case f.Lo != NoLo && f.Hi != NoHi:
+		return 0.25
+	default:
+		return 1.0 / 3
 	}
 }
 
 // estimateOrSelectivity bounds the selectivity of a disjunction group: the
-// union of the disjuncts admits at most the sum of their fractions.
-func estimateOrSelectivity(snap *execSnap, table string, group []Filter) float64 {
+// union of the disjuncts admits at most the sum of their fractions. A
+// disjunct whose column lacks a decomposition no longer collapses the
+// whole group to 1.0 — it contributes a row-count default instead, and the
+// group's estimate is tagged with the weakest source used.
+func estimateOrSelectivity(snap *execSnap, table string, group []Filter) (float64, estSource) {
+	src := estHistogram
 	var sum float64
 	for _, f := range group {
 		d := snap.get(table, f.Col)
 		if d == nil {
-			return 1
+			sum += defaultFilterSel(snap.snapFor(table), f)
+			src = weakest(src, estRowCount)
+			continue
 		}
-		sum += estimateSelectivity(d, f)
+		s, fsrc := estimateSelectivity(d, f)
+		sum += s
+		src = weakest(src, fsrc)
 	}
 	if sum > 1 {
 		sum = 1
 	}
-	return sum
+	return sum, src
+}
+
+// estimateJoinSel estimates the fraction of fact candidates surviving a
+// join stage: the product of the dimension filters' selectivities, damped
+// by the dimension's live fraction (an FK probe hitting a deleted
+// dimension row drops the fact row).
+func estimateJoinSel(snap *execSnap, j JoinSpec) (float64, estSource) {
+	ds := snap.snapFor(j.Dim)
+	src := estHistogram
+	sel := 1.0
+	if bl := ds.BaseLen(); bl > 0 {
+		sel = float64(ds.LiveBase()) / float64(bl)
+	}
+	for _, f := range j.DimFilters {
+		d := snap.get(j.Dim, f.Col)
+		if d == nil {
+			sel *= defaultFilterSel(ds, f)
+			src = weakest(src, estRowCount)
+			continue
+		}
+		s, fsrc := estimateSelectivity(d, f)
+		sel *= s
+		src = weakest(src, fsrc)
+	}
+	return sel, src
 }
 
 // execSnap is the set of table versions one query execution works against:
@@ -128,8 +234,8 @@ func (q *Query) pinSnapshots(c *Catalog) (*execSnap, error) {
 			return nil, err
 		}
 		ds := dim.Snapshot()
-		if ds.DeltaLen() > 0 {
-			return nil, fmt.Errorf("plan: dimension table %s has unmerged delta rows; merge it before joining", j.Dim)
+		if n := ds.DeltaLen(); n > 0 {
+			return nil, fmt.Errorf("plan: dimension table %s has %d unmerged delta rows; run \\merge %s (Catalog.MergeTable) before joining", j.Dim, n, j.Dim)
 		}
 		if ds.BaseLen() == 0 {
 			// Guard both executors: the A&R dense-PK arithmetic reads
@@ -301,6 +407,13 @@ func (q *Query) validateClassic(c *Catalog) (*execSnap, error) {
 	check := func(table, col string) error {
 		if _, err := snap.snapFor(table).Column(col); err != nil {
 			return err
+		}
+		// Record decompositions that happen to exist: classic execution
+		// never needs them, but the estimator reads histograms off them so
+		// classic plans print real estimates instead of est=n/a wherever
+		// statistics are available.
+		if d := snap.snapFor(table).Dec(col); d != nil {
+			snap.decs[table+"."+col] = d
 		}
 		return nil
 	}

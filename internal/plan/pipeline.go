@@ -23,6 +23,7 @@ package plan
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/stats"
 )
 
 // pipeline is one assembled physical plan: the scan-strategy choice plus
@@ -50,25 +52,32 @@ type pipeline struct {
 }
 
 // orGroupStage is one disjunction operator: the group's predicates, the
-// candidate-attachment group id, and the selectivity bound for \explain.
+// candidate-attachment group id, and the selectivity bound (with its
+// estimate source) for \explain.
 type orGroupStage struct {
 	filters []Filter
 	id      int
 	sel     float64
+	src     estSource
 }
 
 // joinStage is one FK-probe stage of the join chain with its (possibly
-// cost-ordered) dimension-side filters.
+// cost-ordered) dimension-side filters. sel estimates the fraction of fact
+// candidates surviving the probe itself (the dimension's live fraction);
+// the dimension filters carry their own estimates.
 type joinStage struct {
 	spec       JoinSpec
 	dimFilters []rankedFilter
+	sel        float64
+	src        estSource
 }
 
 // buildPipeline assembles the physical pipeline for one execution. The
-// A&R assembly cost-orders the fact-side and dimension-side filters by
-// estimated selectivity; the classic assembly preserves the written order
-// (the bulk engine has no approximation metadata to estimate from) but
-// still records estimates for \explain when decompositions exist.
+// A&R assembly cost-orders the fact-side and dimension-side filters — and
+// the join chain — by estimated selectivity from the statistics provider;
+// the classic assembly preserves the written order (the bulk engine
+// predates the statistics) but still records estimates for \explain when
+// decompositions exist.
 func buildPipeline(q Query, snap *execSnap, classic bool) *pipeline {
 	pl := &pipeline{q: q, snap: snap, classic: classic}
 	if classic {
@@ -77,20 +86,46 @@ func buildPipeline(q Query, snap *execSnap, classic bool) *pipeline {
 		pl.factFilters = orderFilters(snap, q.Table, q.Filters)
 	}
 	for i, group := range q.Or {
+		sel, src := estimateOrSelectivity(snap, q.Table, group)
 		pl.orGroups = append(pl.orGroups, orGroupStage{
 			filters: group,
 			id:      i + 1,
-			sel:     estimateOrSelectivity(snap, q.Table, group),
+			sel:     sel,
+			src:     src,
 		})
 	}
+	type ordJoin struct {
+		st  joinStage
+		key float64
+	}
+	ord := make([]ordJoin, 0, len(q.Joins))
 	for _, j := range q.Joins {
 		st := joinStage{spec: j}
+		st.sel = 1.0
+		if ds := snap.snapFor(j.Dim); ds.BaseLen() > 0 {
+			st.sel = float64(ds.LiveBase()) / float64(ds.BaseLen())
+		}
+		st.src = estRowCount
 		if classic {
 			st.dimFilters = rankFilters(snap, j.Dim, j.DimFilters)
 		} else {
 			st.dimFilters = orderFilters(snap, j.Dim, j.DimFilters)
 		}
-		pl.joins = append(pl.joins, st)
+		// The ordering key is the stage's whole survival fraction: probe
+		// survival times the dimension filters' combined selectivity.
+		key, _ := estimateJoinSel(snap, j)
+		ord = append(ord, ordJoin{st: st, key: key})
+	}
+	if !classic && len(ord) > 1 {
+		// Cost-order the join chain: most selective stage first. FK probes
+		// are n:1 and order-preserving over the fact candidate list, so the
+		// surviving set — and therefore the result bytes — is identical for
+		// every permutation; only the intermediate cardinalities shrink
+		// sooner. Classic keeps the written order.
+		sort.SliceStable(ord, func(a, b int) bool { return ord[a].key < ord[b].key })
+	}
+	for _, o := range ord {
+		pl.joins = append(pl.joins, o.st)
 	}
 	return pl
 }
@@ -116,6 +151,10 @@ type pipeState struct {
 	mark  time.Time
 	last  device.Meter
 	est   float64
+	// estCand is the planner's candidate-set estimate captured at the end
+	// of the selection chain (-1 when unknown); the trace footer compares
+	// it against the actual candidate count to expose estimation error.
+	estCand int64
 }
 
 // trace appends one MAL-style plan line (and, when tracing, closes a span
@@ -177,7 +216,17 @@ func (st *pipeState) estApply(sel float64) int64 {
 // estReset restarts the running estimate at the live base cardinality —
 // phase R walks the same filter chain a second time.
 func (st *pipeState) estReset(pl *pipeline) {
-	st.est = float64(pl.snap.fact.BaseLen() - pl.snap.fact.BaseDeletedCount())
+	st.est = float64(pl.snap.fact.LiveBase())
+}
+
+// estCapture snapshots the running estimate as the candidate-set estimate
+// the trace footer reports (kept at -1 once the chain lost its stats).
+func (st *pipeState) estCapture() {
+	if st.est >= 0 {
+		st.estCand = int64(st.est + 0.5)
+	} else {
+		st.estCand = -1
+	}
 }
 
 func (st *pipeState) step(s Stage) error {
@@ -198,7 +247,7 @@ type scanOut struct {
 // run executes the assembled pipeline: scan source, then the shared tail.
 func (pl *pipeline) run(ctx context.Context, sys *device.System, opts ExecOpts) (*Result, error) {
 	m := device.NewMeter(sys)
-	st := &pipeState{ctx: ctx, opts: opts, pp: opts.par(ctx), m: m, res: &Result{Meter: m}}
+	st := &pipeState{ctx: ctx, opts: opts, pp: opts.par(ctx), m: m, res: &Result{Meter: m}, estCand: -1}
 	st.res.InputBytes = pl.snap.inputBytes(pl.q)
 	st.estReset(pl)
 	if opts.Trace {
@@ -234,6 +283,7 @@ func (pl *pipeline) run(ctx context.Context, sys *device.System, opts ExecOpts) 
 		st.tr.Candidates = int64(st.res.Candidates)
 		st.tr.Refined = int64(st.res.Refined)
 		st.tr.Rows = int64(len(st.res.Rows))
+		st.tr.EstCandidates = st.estCand
 	}
 	return st.res, nil
 }
@@ -414,28 +464,49 @@ func (pl *pipeline) describe() []string {
 	if pl.classic {
 		mode = "classic"
 	}
+	// The running estimate folds each operator's selectivity into the live
+	// base cardinality, so every rendered operator carries the planner's
+	// predicted output rows. One estimate-free link (a filter on a column
+	// with no decomposition) poisons the rest of the chain to n/a.
+	est := float64(pl.snap.fact.LiveBase())
+	known := true
+	fold := func(sel float64, src estSource) string {
+		if src == estNone || !known {
+			known = false
+			return " est=n/a (no stats)"
+		}
+		est *= sel
+		return fmt.Sprintf(" (est sel %s, est=%d rows)", pctText(sel), int64(est+0.5))
+	}
 	var out []string
 	out = append(out, fmt.Sprintf("pipeline: mode=%s over %s", mode, q.Table))
 	if pl.classic {
-		out = append(out, fmt.Sprintf("  scan: classic row-major base of %s (filters in written order)", q.Table))
+		out = append(out, fmt.Sprintf("  scan: classic row-major base of %s (filters in written order) est=%d rows", q.Table, int64(est)))
 	} else {
-		out = append(out, fmt.Sprintf("  scan: a&r bit-sliced base of %s (filters cost-ordered by estimated selectivity)", q.Table))
+		out = append(out, fmt.Sprintf("  scan: a&r bit-sliced base of %s (filters cost-ordered by estimated selectivity) est=%d rows", q.Table, int64(est)))
 	}
 	for _, rf := range pl.factFilters {
-		out = append(out, fmt.Sprintf("    filter %s.%s in %s%s", q.Table, rf.f.Col, rangeText(rf.f), selText(rf.sel)))
+		out = append(out, fmt.Sprintf("    filter %s.%s in %s%s", q.Table, rf.f.Col, rangeText(rf.f), fold(rf.sel, rf.src)))
 	}
 	for _, g := range pl.orGroups {
 		parts := make([]string, len(g.filters))
 		for i, f := range g.filters {
 			parts[i] = fmt.Sprintf("%s.%s in %s", q.Table, f.Col, rangeText(f))
 		}
-		out = append(out, fmt.Sprintf("    or: %s (est sel <= %s)", strings.Join(parts, " | "), pctText(g.sel)))
+		suffix := " est=n/a (no stats)"
+		if known && g.src != estNone {
+			est *= g.sel
+			suffix = fmt.Sprintf(" (est sel <= %s, est=%d rows)", pctText(g.sel), int64(est+0.5))
+		} else {
+			known = false
+		}
+		out = append(out, fmt.Sprintf("    or: %s%s", strings.Join(parts, " | "), suffix))
 	}
 	for i, j := range pl.joins {
-		out = append(out, fmt.Sprintf("  join %d/%d: %s.%s -> %s.%s (fk probe)",
-			i+1, len(pl.joins), q.Table, j.spec.FKCol, j.spec.Dim, j.spec.DimPK))
+		out = append(out, fmt.Sprintf("  join %d/%d: %s.%s -> %s.%s (fk probe)%s",
+			i+1, len(pl.joins), q.Table, j.spec.FKCol, j.spec.Dim, j.spec.DimPK, fold(j.sel, j.src)))
 		for _, rf := range j.dimFilters {
-			out = append(out, fmt.Sprintf("    filter %s.%s in %s%s", j.spec.Dim, rf.f.Col, rangeText(rf.f), selText(rf.sel)))
+			out = append(out, fmt.Sprintf("    filter %s.%s in %s%s", j.spec.Dim, rf.f.Col, rangeText(rf.f), fold(rf.sel, rf.src)))
 		}
 	}
 	if n := pl.snap.fact.DeltaLen(); n > 0 {
@@ -448,7 +519,11 @@ func (pl *pipeline) describe() []string {
 		if !pl.classic && !pl.noDevGroup && pl.snap.fact.LiveDelta() == 0 {
 			how = "device pre-group + refine"
 		}
-		out = append(out, fmt.Sprintf("  group: %s (%s)", join(q.GroupBy), how))
+		line := fmt.Sprintf("  group: %s (%s)", join(q.GroupBy), how)
+		if h := stats.FromColumn(pl.snap.get(q.Table, q.GroupBy[0])); h != nil {
+			line += fmt.Sprintf(" est<=%d groups", h.Distinct())
+		}
+		out = append(out, line)
 	}
 	var aggs []string
 	for _, a := range q.Aggs {
@@ -523,13 +598,6 @@ func rangeText(f Filter) string {
 		hi = fmt.Sprintf("%d", f.Hi)
 	}
 	return fmt.Sprintf("[%s,%s]", lo, hi)
-}
-
-func selText(sel float64) string {
-	if sel < 0 {
-		return ""
-	}
-	return fmt.Sprintf(" (est sel %s)", pctText(sel))
 }
 
 func pctText(sel float64) string {

@@ -19,6 +19,7 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strconv"
 	"strings"
@@ -114,6 +115,37 @@ func (s Spec) Route(v int64) int {
 	default:
 		return int((uint64(v) * fibMul) % uint64(s.N))
 	}
+}
+
+// Slab inverts Range routing: the closed interval [lo, hi] of column
+// values that Route maps onto partition i. Filters on the partitioning
+// column that exclude a whole slab let the planner skip that partition
+// before scattering. ok is false for Hash specs (no contiguous value
+// interval routes to one hash partition) and out-of-range indices.
+func (s Spec) Slab(i int) (lo, hi int64, ok bool) {
+	if s.Kind != Range || i < 0 || i >= s.N {
+		return 0, 0, false
+	}
+	if s.N == 1 {
+		return math.MinInt64, math.MaxInt64, true
+	}
+	// Route sends biased value u to int((u*N) >> 64), so partition i
+	// owns u in [ceil(i*2^64/N), ceil((i+1)*2^64/N) - 1]; Div64(k, 0, N)
+	// computes floor(k*2^64/N) exactly.
+	n := uint64(s.N)
+	ceilDiv := func(k uint64) uint64 {
+		q, r := bits.Div64(k, 0, n)
+		if r > 0 {
+			q++
+		}
+		return q
+	}
+	loU := ceilDiv(uint64(i))
+	hiU := ^uint64(0)
+	if i < s.N-1 {
+		hiU = ceilDiv(uint64(i+1)) - 1
+	}
+	return int64(loU ^ (1 << 63)), int64(hiU ^ (1 << 63)), true
 }
 
 // PartName returns the store.Table name of partition i: <table>.p<i>.

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -151,5 +152,65 @@ func TestPartitionedSplit(t *testing.T) {
 
 	if _, err := NewPartitioned("trips", Spec{Kind: Hash, Col: "missing", N: 3}, parts); err == nil {
 		t.Fatalf("NewPartitioned accepted a partition column outside the schema")
+	}
+}
+
+// TestRangeSlabPruneInverse proves Slab is the exact inverse of Range
+// routing: a value routes to partition i if and only if it lies inside
+// Slab(i). Partition pruning relies on this equivalence to skip slabs
+// without ever dropping a routed row.
+func TestRangeSlabPruneInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 3, 6, 7, 64, MaxPartitions} {
+		spec := Spec{Kind: Range, Col: "v", N: n}
+		// Slabs tile the whole signed domain in order, without gaps.
+		prev := int64(math.MinInt64) // expected lo of the next slab
+		for i := 0; i < n; i++ {
+			lo, hi, ok := spec.Slab(i)
+			if !ok {
+				t.Fatalf("n=%d: Slab(%d) not ok", n, i)
+			}
+			if lo != prev {
+				t.Fatalf("n=%d: Slab(%d) starts at %d, want %d (gap or overlap)", n, i, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d: Slab(%d) = [%d, %d] inverted", n, i, lo, hi)
+			}
+			// Slab endpoints route back to their own partition.
+			for _, v := range []int64{lo, hi} {
+				if got := spec.Route(v); got != i {
+					t.Fatalf("n=%d: Route(%d) = %d, want %d (Slab(%d) endpoint)", n, v, got, i, i)
+				}
+			}
+			if hi < math.MaxInt64 {
+				prev = hi + 1
+			}
+		}
+		if _, _, last := spec.Slab(n - 1); !last {
+			t.Fatalf("n=%d: last slab missing", n)
+		}
+		if lo, hi, _ := spec.Slab(n - 1); lo > math.MaxInt64 || hi != math.MaxInt64 {
+			t.Fatalf("n=%d: last slab [%d, %d] does not end the domain", n, lo, hi)
+		}
+		// Random values: routed partition's slab contains the value.
+		for k := 0; k < 2000; k++ {
+			v := int64(rng.Uint64())
+			i := spec.Route(v)
+			lo, hi, ok := spec.Slab(i)
+			if !ok || v < lo || v > hi {
+				t.Fatalf("n=%d: Route(%d) = %d but Slab = [%d, %d] ok=%v", n, v, i, lo, hi, ok)
+			}
+		}
+	}
+	// Hash specs and out-of-range indices never produce slabs.
+	h := Spec{Kind: Hash, Col: "v", N: 4}
+	if _, _, ok := h.Slab(0); ok {
+		t.Fatal("hash spec produced a slab")
+	}
+	r := Spec{Kind: Range, Col: "v", N: 4}
+	for _, i := range []int{-1, 4} {
+		if _, _, ok := r.Slab(i); ok {
+			t.Fatalf("Slab(%d) ok for a 4-way spec", i)
+		}
 	}
 }

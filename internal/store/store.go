@@ -122,6 +122,9 @@ func (s *Snapshot) DeltaLen() int { return s.deltaN }
 // Len returns the live row count (base + delta, minus deletions).
 func (s *Snapshot) Len() int { return s.liveBase + s.liveDelta }
 
+// LiveBase returns the live base-segment row count (base minus deletions).
+func (s *Snapshot) LiveBase() int { return s.liveBase }
+
 // LiveDelta returns the live delta row count.
 func (s *Snapshot) LiveDelta() int { return s.liveDelta }
 
