@@ -20,10 +20,29 @@
 package ar
 
 import (
+	"sync"
+
 	"repro/internal/bat"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 )
+
+// oidPool recycles candidate ID lists through the shared bat.OIDPool
+// arena; codes ride the shared mem.U64 pool.
+var oidPool = &bat.OIDPool
+
+// candPool recycles Candidates headers (struct + attach backing array) so
+// a refine step's output costs no allocation at all in steady state.
+var candPool = sync.Pool{New: func() any { return new(Candidates) }}
+
+// getCandidates takes a recycled (or fresh) empty candidate set marked as
+// arena-backed.
+func getCandidates() *Candidates {
+	c := candPool.Get().(*Candidates)
+	c.pooled = true
+	return c
+}
 
 // attachment carries the approximation codes of one column, positionally
 // aligned with a candidate list, together with the relaxed predicate range
@@ -49,6 +68,31 @@ type Candidates struct {
 	IDs     []bat.OID
 	attach  []attachment
 	shipped bool
+	// pooled marks IDs and every attachment's codes as arena-backed:
+	// Release returns them to the pools. Sets built from caller-owned
+	// slices stay unpooled and Release is a no-op on them.
+	pooled bool
+}
+
+// Release returns an arena-backed candidate set's buffers (IDs and every
+// attached code column) to the arena and empties the set. It must only be
+// called once nothing references the set — the pipeline calls it when a
+// stage hands off and the predecessor intermediate is provably dead.
+// Releasing an unpooled set is a no-op.
+func (c *Candidates) Release() {
+	if c == nil || !c.pooled {
+		return
+	}
+	c.pooled = false
+	oidPool.Put(c.IDs)
+	c.IDs = nil
+	for i := range c.attach {
+		mem.U64.Put(c.attach[i].codes)
+		c.attach[i] = attachment{}
+	}
+	c.attach = c.attach[:0]
+	c.shipped = false
+	candPool.Put(c)
 }
 
 // Len returns the number of candidate tuples.
@@ -173,20 +217,22 @@ func (c *Candidates) Ship(m *device.Meter) {
 // filterTo builds a new candidate set containing the positions listed in
 // keep (indices into c), compacting every attachment to preserve
 // alignment. Order of keep indices is preserved, so the result has the
-// same permutation as c (§IV-A item 2).
+// same permutation as c (§IV-A item 2). The new set's buffers come from
+// the arena; the input is left untouched (callers release it when dead).
 func (c *Candidates) filterTo(keep []int) *Candidates {
-	out := &Candidates{IDs: make([]bat.OID, len(keep)), shipped: c.shipped}
+	out := getCandidates()
+	out.IDs = oidPool.GetN(len(keep))
+	out.shipped = c.shipped
 	for i, k := range keep {
 		out.IDs[i] = c.IDs[k]
 	}
-	out.attach = make([]attachment, len(c.attach))
 	for ai := range c.attach {
 		src := &c.attach[ai]
-		codes := make([]uint64, len(keep))
+		codes := mem.U64.GetN(len(keep))
 		for i, k := range keep {
 			codes[i] = src.codes[k]
 		}
-		out.attach[ai] = attachment{col: src.col, codes: codes, rng: src.rng, filtered: src.filtered, group: src.group}
+		out.attach = append(out.attach, attachment{col: src.col, codes: codes, rng: src.rng, filtered: src.filtered, group: src.group})
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -20,9 +21,9 @@ import (
 // dimension codes attached for later refinement — and the correspondingly
 // filtered position list.
 func SelectApproxAt(m *device.Meter, col *bwd.Column, r bwd.ApproxRange, in *Candidates, at []bat.OID) (*Candidates, []bat.OID) {
-	keep := make([]int, 0, len(in.IDs))
-	codes := make([]uint64, 0, len(in.IDs))
-	outAt := make([]bat.OID, 0, len(in.IDs))
+	keep := mem.Ints.Get(len(in.IDs))
+	codes := mem.U64.Get(len(in.IDs))
+	outAt := oidPool.Get(len(in.IDs))
 	if !r.Empty {
 		for i := range in.IDs {
 			code := col.Approx.Get(int(at[i]))
@@ -41,6 +42,7 @@ func SelectApproxAt(m *device.Meter, col *bwd.Column, r bwd.ApproxRange, in *Can
 		seq := int64(n)*8 + int64(len(keep))*8 + packedBytes(len(keep), col.Dec.ApproxBits)
 		m.GPUKernel(seq, packedBytes(n, col.Dec.ApproxBits), int64(n)*OpsPackedScan)
 	}
+	mem.Ints.Put(keep)
 	return out, outAt
 }
 
@@ -62,8 +64,10 @@ func SelectRefineAtPar(p par.P, m *device.Meter, col *bwd.Column, lo, hi int64, 
 		panic("ar: SelectRefineAt on a dimension column without attached codes")
 	}
 	n := len(in.IDs)
-	pairs := par.GatherOrdered(p, n, func(mlo, mhi int) []keepVal {
-		part := make([]keepVal, 0, mhi-mlo)
+	keepBuf := mem.Ints.GetN(n)
+	valsBuf := mem.I64.GetN(n)
+	counts, total, err := par.ForCounted(p, n, func(_ *mem.Scratch, _, mlo, mhi int) int {
+		cnt := 0
 		for i := mlo; i < mhi; i++ {
 			var r uint64
 			if col.Dec.ResBits > 0 {
@@ -71,20 +75,30 @@ func SelectRefineAtPar(p par.P, m *device.Meter, col *bwd.Column, lo, hi int64, 
 			}
 			v := col.ReconstructFrom(codes[i], r)
 			if v >= lo && v <= hi {
-				part = append(part, keepVal{i, v})
+				keepBuf[mlo+cnt] = i
+				valsBuf[mlo+cnt] = v
+				cnt++
 			}
 		}
-		return part
+		return cnt
 	})
-	keep := make([]int, len(pairs))
-	outAt := make([]bat.OID, len(pairs))
-	vals := make([]int64, len(pairs))
-	for i, kv := range pairs {
-		keep[i] = kv.i
-		outAt[i] = at[kv.i]
-		vals[i] = kv.v
+	var keep []int
+	var vals []int64
+	var outAt []bat.OID
+	if err != nil {
+		keep, vals, outAt = keepBuf[:0], valsBuf[:0], oidPool.GetN(0)
+	} else {
+		chunk := p.ChunkSize()
+		keep = par.Compact(counts, chunk, keepBuf)
+		vals = par.Compact(counts, chunk, valsBuf)
+		mem.Ints.Put(counts)
+		outAt = oidPool.GetN(total)
+		for i, k := range keep {
+			outAt[i] = at[k]
+		}
 	}
 	out := in.filterTo(keep)
+	mem.Ints.Put(keepBuf)
 	if m != nil && col.Dec.ResBits > 0 {
 		// Fully resident dimension columns need no refinement (§IV-C).
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
@@ -108,7 +122,7 @@ func ProjectRefineAtPar(pp par.P, m *device.Meter, p *Projection, refined *Candi
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, len(refined.IDs))
+	out := mem.I64.GetN(len(refined.IDs))
 	col := p.Col
 	pp.For(len(pos), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -119,6 +133,7 @@ func ProjectRefineAtPar(pp par.P, m *device.Meter, p *Projection, refined *Candi
 			out[i] = col.ReconstructFrom(p.Codes[pos[i]], r)
 		}
 	})
+	mem.Ints.Put(pos)
 	if m != nil && col.Dec.ResBits > 0 {
 		n := len(refined.IDs)
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())

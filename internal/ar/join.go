@@ -7,6 +7,7 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 )
 
 // FKPositionsApprox computes, on the device, the dimension-table positions
@@ -27,7 +28,7 @@ func FKPositionsApprox(m *device.Meter, fkCol *bwd.Column, cands *Candidates, pk
 	if fkCol.Dec.ResBits != 0 {
 		return nil, fmt.Errorf("ar: FK join needs a fully device-resident key column, got %v", fkCol.Dec)
 	}
-	out := make([]bat.OID, len(cands.IDs))
+	out := oidPool.GetN(len(cands.IDs))
 	for i, id := range cands.IDs {
 		fk := fkCol.Dec.Base + int64(fkCol.Approx.Get(int(id)))
 		pos := fk - pkBase
@@ -50,14 +51,16 @@ func FKPositionsApprox(m *device.Meter, fkCol *bwd.Column, cands *Candidates, pk
 // counterpart of FKPositionsApprox.
 func FKPositionsRefine(m *device.Meter, threads int, fkCol *bwd.Column, refined *Candidates, ix *bulk.FKIndex) ([]bat.OID, error) {
 	vals := ReconstructAll(m, threads, fkCol, refined)
-	out := make([]bat.OID, len(vals))
+	out := oidPool.GetN(len(vals))
 	for i, fk := range vals {
 		pos, ok := ix.Lookup(fk)
 		if !ok {
+			mem.I64.Put(vals)
 			return nil, fmt.Errorf("ar: dangling foreign key %d", fk)
 		}
 		out[i] = pos
 	}
+	mem.I64.Put(vals)
 	if m != nil {
 		m.CPUWork(threads, int64(len(vals))*8, int64(len(vals))*4,
 			int64(len(vals))*bulk.OpsHashProbe)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -27,6 +28,7 @@ type MultiGrouping struct {
 func GroupApproxMulti(m *device.Meter, cols []*bwd.Column, cands *Candidates) *MultiGrouping {
 	n := len(cands.IDs)
 	colCodes := make([][]uint64, len(cols))
+	projected := make([]bool, len(cols))
 	for k, col := range cols {
 		if attached := cands.CodesFor(col); attached != nil {
 			colCodes[k] = attached
@@ -34,6 +36,7 @@ func GroupApproxMulti(m *device.Meter, cols []*bwd.Column, cands *Candidates) *M
 		}
 		p := ProjectApprox(m, col, cands)
 		colCodes[k] = p.Codes
+		projected[k] = true
 	}
 	// Combine code tuples into single hash keys; code widths are bounded
 	// by the columns' approximation bits.
@@ -65,6 +68,11 @@ func GroupApproxMulti(m *device.Meter, cols []*bwd.Column, cands *Candidates) *M
 		mask := uint64(1)<<col.Dec.ApproxBits - 1
 		for g, key := range uniq {
 			codes[k][g] = key >> shift[k] & mask
+		}
+	}
+	for k := range colCodes {
+		if projected[k] {
+			mem.U64.Put(colCodes[k])
 		}
 	}
 	if m != nil {
@@ -147,6 +155,7 @@ func GroupRefineMultiPar(p par.P, m *device.Meter, g *MultiGrouping, refined *Ca
 		if m != nil {
 			m.CPUWork(p.NThreads(), int64(len(pos))*8, 0, int64(len(pos)))
 		}
+		mem.Ints.Put(pos)
 		return &bulk.Grouping{IDs: ids, NGroups: len(used), Keys: nil}, keys, nil
 	}
 
@@ -176,5 +185,6 @@ func GroupRefineMultiPar(p par.P, m *device.Meter, g *MultiGrouping, refined *Ca
 	if m != nil {
 		m.CPUWork(p.NThreads(), int64(n)*8*int64(len(g.Cols)), 0, int64(n)*bulk.OpsHashGroup)
 	}
+	mem.Ints.Put(pos)
 	return grouping, keys, nil
 }

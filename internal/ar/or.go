@@ -4,6 +4,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -14,14 +15,6 @@ import (
 // disjunct per tuple, so the device output is already the union, in the
 // same deterministic permutation as a conjunctive scan.
 
-// orCodes is the per-tuple scratch of one disjunction scan: the tuple id
-// plus the code of every disjunct column, kept aligned so all columns
-// attach to the candidate set.
-type orCodes struct {
-	id    bat.OID
-	codes []uint64
-}
-
 // SelectApproxAny is the approximation of a disjunctive selection over the
 // bitwise decomposed columns cols with relaxed ranges rs (one per
 // disjunct, possibly repeating a column): the device scans every disjunct
@@ -29,34 +22,87 @@ type orCodes struct {
 // any relaxed range — a superset of the exact OR result. All disjunct
 // columns' codes attach to the candidates under one disjunction group id,
 // so Certain and the refinement can evaluate the group as a whole.
+//
+// Host-side, every disjunct column is decoded word-parallel into one flat
+// morsel-scratch block (bitpack.UnpackRange) and matches land in disjoint
+// arena regions, concatenated in the deterministic device permutation.
 func SelectApproxAny(m *device.Meter, cols []*bwd.Column, rs []bwd.ApproxRange, group int) *Candidates {
 	n := cols[0].Len()
-	pairs := par.Gather(n, gpuChunk, 0, false, func(lo, hi int) []orCodes {
-		out := make([]orCodes, 0, (hi-lo)/4)
-		for i := lo; i < hi; i++ {
-			keep := false
-			codes := make([]uint64, len(cols))
-			for k, col := range cols {
-				codes[k] = col.Approx.Get(i)
-				if rs[k].Contains(codes[k]) {
-					keep = true
+	k := len(cols)
+	c := getCandidates()
+	total := 0
+	nchunks := (n + gpuChunk - 1) / gpuChunk
+	if n > 0 {
+		idsBuf := oidPool.GetN(n)
+		colBufs := make([][]uint64, k)
+		for j := range colBufs {
+			colBufs[j] = mem.U64.GetN(n)
+		}
+		counts := mem.Ints.GetN(nchunks)
+		par.ForScratch(n, gpuChunk, 0, func(s *mem.Scratch, lo, hi int) {
+			g := hi - lo
+			dec := s.U64(k * g)
+			for j, col := range cols {
+				col.Approx.UnpackRange(dec[j*g:j*g:(j+1)*g], lo, hi)
+			}
+			cnt := 0
+			for i := 0; i < g; i++ {
+				match := false
+				for j := range cols {
+					if rs[j].Contains(dec[j*g+i]) {
+						match = true
+						break
+					}
+				}
+				if match {
+					idsBuf[lo+cnt] = bat.OID(lo + i)
+					for j := range cols {
+						colBufs[j][lo+cnt] = dec[j*g+i]
+					}
+					cnt++
 				}
 			}
-			if keep {
-				out = append(out, orCodes{bat.OID(i), codes})
-			}
+			counts[lo/gpuChunk] = cnt
+		})
+		for _, cnt := range counts {
+			total += cnt
 		}
-		return out
-	})
-	c := buildOrCandidates(pairs, cols, rs, group, false)
+		order := par.PermuteInto(mem.Ints.GetN(nchunks))
+		c.IDs = oidPool.GetN(total)
+		off := 0
+		for _, ci := range order {
+			cnt := counts[ci]
+			copy(c.IDs[off:off+cnt], idsBuf[ci*gpuChunk:ci*gpuChunk+cnt])
+			off += cnt
+		}
+		for j, col := range cols {
+			codes := mem.U64.GetN(total)
+			off = 0
+			for _, ci := range order {
+				cnt := counts[ci]
+				copy(codes[off:off+cnt], colBufs[j][ci*gpuChunk:ci*gpuChunk+cnt])
+				off += cnt
+			}
+			c.attach = append(c.attach, attachment{col: col, codes: codes, rng: rs[j], filtered: true, group: group})
+			mem.U64.Put(colBufs[j])
+		}
+		mem.Ints.Put(order)
+		mem.Ints.Put(counts)
+		oidPool.Put(idsBuf)
+	} else {
+		c.IDs = oidPool.GetN(0)
+		for j, col := range cols {
+			c.attach = append(c.attach, attachment{col: col, codes: mem.U64.GetN(0), rng: rs[j], filtered: true, group: group})
+		}
+	}
 	if m != nil {
 		var scanned int64
-		var written int64 = int64(len(pairs)) * 4
+		var written int64 = int64(total) * 4
 		for _, col := range cols {
 			scanned += col.Approx.Bytes()
-			written += packedBytes(len(pairs), col.Dec.ApproxBits)
+			written += packedBytes(total, col.Dec.ApproxBits)
 		}
-		m.GPUKernel(scanned+written, 0, int64(n)*OpsPackedScan*int64(len(cols)))
+		m.GPUKernel(scanned+written, 0, int64(n)*OpsPackedScan*int64(k))
 	}
 	return c
 }
@@ -67,30 +113,32 @@ func SelectApproxAny(m *device.Meter, cols []*bwd.Column, rs []bwd.ApproxRange, 
 // range, preserving candidate order so later translucent joins remain
 // valid.
 func SelectApproxAnyOver(m *device.Meter, cols []*bwd.Column, rs []bwd.ApproxRange, in *Candidates, group int) *Candidates {
-	keep := make([]int, 0, len(in.IDs))
-	kept := make([][]uint64, 0, len(in.IDs))
+	keep := mem.Ints.Get(len(in.IDs))
+	colBufs := make([][]uint64, len(cols))
+	for j := range colBufs {
+		colBufs[j] = mem.U64.Get(len(in.IDs))
+	}
 	for i, id := range in.IDs {
 		match := false
-		codes := make([]uint64, len(cols))
-		for k, col := range cols {
-			codes[k] = col.Approx.Get(int(id))
-			if rs[k].Contains(codes[k]) {
+		for j, col := range cols {
+			code := col.Approx.Get(int(id))
+			colBufs[j] = append(colBufs[j], code)
+			if rs[j].Contains(code) {
 				match = true
 			}
 		}
 		if match {
 			keep = append(keep, i)
-			kept = append(kept, codes)
+		} else {
+			for j := range colBufs {
+				colBufs[j] = colBufs[j][:len(colBufs[j])-1]
+			}
 		}
 	}
 	out := in.filterTo(keep)
 	out.shipped = false // a fresh device-side intermediate
-	for k, col := range cols {
-		codes := make([]uint64, len(kept))
-		for i := range kept {
-			codes[i] = kept[i][k]
-		}
-		out.attach = append(out.attach, attachment{col: col, codes: codes, rng: rs[k], filtered: true, group: group})
+	for j, col := range cols {
+		out.attach = append(out.attach, attachment{col: col, codes: colBufs[j], rng: rs[j], filtered: true, group: group})
 	}
 	if m != nil {
 		n := len(in.IDs)
@@ -102,35 +150,17 @@ func SelectApproxAnyOver(m *device.Meter, cols []*bwd.Column, rs []bwd.ApproxRan
 		}
 		m.GPUKernel(seq, rnd, int64(n)*OpsPackedScan*int64(len(cols)))
 	}
+	mem.Ints.Put(keep)
 	return out
-}
-
-// buildOrCandidates assembles a candidate set from disjunction scan pairs,
-// attaching every disjunct column's codes under the group id.
-func buildOrCandidates(pairs []orCodes, cols []*bwd.Column, rs []bwd.ApproxRange, group int, shipped bool) *Candidates {
-	c := &Candidates{IDs: make([]bat.OID, len(pairs)), shipped: shipped}
-	perCol := make([][]uint64, len(cols))
-	for k := range cols {
-		perCol[k] = make([]uint64, len(pairs))
-	}
-	for i, p := range pairs {
-		c.IDs[i] = p.id
-		for k := range cols {
-			perCol[k][i] = p.codes[k]
-		}
-	}
-	for k, col := range cols {
-		c.attach = append(c.attach, attachment{col: col, codes: perCol[k], rng: rs[k], filtered: true, group: group})
-	}
-	return c
 }
 
 // SelectRefineAnyPar is the refinement of a disjunctive selection: on the
 // CPU, each candidate's exact value is reconstructed per disjunct column
 // (shipped code + host-resident residual) and the precise disjunction —
 // any lo_k <= v_k <= hi_k — is re-evaluated, eliminating false positives.
-// Morsel survivors concatenate in morsel order, preserving candidate
-// order exactly like the conjunctive refinement.
+// Morsel survivors land in disjoint arena regions and left-pack in morsel
+// order, preserving candidate order exactly like the conjunctive
+// refinement.
 func SelectRefineAnyPar(p par.P, m *device.Meter, cols []*bwd.Column, los, his []int64, in *Candidates) *Candidates {
 	codes := make([][]uint64, len(cols))
 	for k, col := range cols {
@@ -140,8 +170,9 @@ func SelectRefineAnyPar(p par.P, m *device.Meter, cols []*bwd.Column, los, his [
 		}
 	}
 	n := len(in.IDs)
-	keep := par.GatherOrdered(p, n, func(mlo, mhi int) []int {
-		part := make([]int, 0, mhi-mlo)
+	keepBuf := mem.Ints.GetN(n)
+	counts, _, err := par.ForCounted(p, n, func(_ *mem.Scratch, _, mlo, mhi int) int {
+		cnt := 0
 		for i := mlo; i < mhi; i++ {
 			for k, col := range cols {
 				var r uint64
@@ -150,14 +181,23 @@ func SelectRefineAnyPar(p par.P, m *device.Meter, cols []*bwd.Column, los, his [
 				}
 				v := col.ReconstructFrom(codes[k][i], r)
 				if v >= los[k] && v <= his[k] {
-					part = append(part, i)
+					keepBuf[mlo+cnt] = i
+					cnt++
 					break
 				}
 			}
 		}
-		return part
+		return cnt
 	})
+	var keep []int
+	if err != nil {
+		keep = keepBuf[:0]
+	} else {
+		keep = par.Compact(counts, p.ChunkSize(), keepBuf)
+		mem.Ints.Put(counts)
+	}
 	out := in.filterTo(keep)
+	mem.Ints.Put(keepBuf)
 	if m != nil {
 		// Charge one fused disjunction pass: IDs and every disjunct's codes
 		// stream sequentially, residuals are touched at candidate order.

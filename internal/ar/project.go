@@ -5,6 +5,7 @@ import (
 	"repro/internal/bulk"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -22,6 +23,15 @@ type Projection struct {
 
 // Len returns the number of projected tuples.
 func (p *Projection) Len() int { return len(p.Codes) }
+
+// Release returns the projection's code buffer to the arena. The source
+// candidate set is not owned by the projection and stays untouched. Must
+// only be called once nothing references the projection.
+func (p *Projection) Release() {
+	mem.U64.Put(p.Codes)
+	p.Codes = nil
+	p.Src = nil
+}
 
 // Exact reports whether the projected codes need no refinement.
 func (p *Projection) Exact() bool { return p.Col.Dec.ResBits == 0 }
@@ -50,7 +60,7 @@ func (p *Projection) Ship(m *device.Meter) {
 // for free because each lane writes at the position of its input id
 // (§IV-A item 2).
 func ProjectApprox(m *device.Meter, col *bwd.Column, cands *Candidates) *Projection {
-	codes := make([]uint64, len(cands.IDs))
+	codes := mem.U64.GetN(len(cands.IDs))
 	par.For(len(cands.IDs), gpuChunk, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			codes[i] = col.Approx.Get(int(cands.IDs[i]))
@@ -71,7 +81,7 @@ func ProjectApprox(m *device.Meter, col *bwd.Column, cands *Candidates) *Project
 // positions for each fact-side candidate, and projecting a dimension
 // column "via" the join shares this code path.
 func ProjectApproxAt(m *device.Meter, col *bwd.Column, cands *Candidates, at []bat.OID) *Projection {
-	codes := make([]uint64, len(at))
+	codes := mem.U64.GetN(len(at))
 	par.For(len(at), gpuChunk, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			codes[i] = col.Approx.Get(int(at[i]))
@@ -106,7 +116,7 @@ func ProjectRefinePar(pp par.P, m *device.Meter, p *Projection, refined *Candida
 		// §IV-C: all bits of the projected attribute are device resident
 		// and no candidates were eliminated — the shipped codes already
 		// are the exact result (a view, no refinement operator runs).
-		out := make([]int64, len(p.Codes))
+		out := mem.I64.GetN(len(p.Codes))
 		pp.For(len(out), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				out[i] = p.ApproxLow(i)
@@ -118,7 +128,7 @@ func ProjectRefinePar(pp par.P, m *device.Meter, p *Projection, refined *Candida
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, len(refined.IDs))
+	out := mem.I64.GetN(len(refined.IDs))
 	col := p.Col
 	pp.For(len(pos), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -129,6 +139,7 @@ func ProjectRefinePar(pp par.P, m *device.Meter, p *Projection, refined *Candida
 			out[i] = col.ReconstructFrom(p.Codes[pos[i]], r)
 		}
 	})
+	mem.Ints.Put(pos)
 	if m != nil {
 		// Reads: refined IDs (32-bit), shipped codes, residuals (at
 		// candidate order); writes: reconstructed values at the column's

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -18,11 +19,6 @@ const gpuChunk = 64 << 10
 // packed width, Fig 8c).
 const OpsPackedScan = 6
 
-type idCode struct {
-	id   bat.OID
-	code uint64
-}
-
 // SelectApprox is the approximation of a selection on a bitwise decomposed
 // column (§IV-B): the device scans the bit-packed approximation with the
 // relaxed predicate r and emits every tuple whose approximation code
@@ -32,37 +28,80 @@ type idCode struct {
 //
 // The candidate codes ride along with the IDs; they are the host's only
 // view of the device-resident major bits once the candidates are shipped.
+//
+// Host-side, the scan is word-parallel and allocation-free: each worker
+// decodes a work-group into its morsel scratch with bitpack.UnpackRange
+// (word-at-a-time instead of branch-and-shift per element), writes matches
+// into its own disjoint region of arena buffers, and the regions are
+// concatenated in the deterministic device permutation.
 func SelectApprox(m *device.Meter, col *bwd.Column, r bwd.ApproxRange) *Candidates {
 	n := col.Len()
-	var pairs []idCode
-	switch {
-	case r.Empty:
-		pairs = nil
-	default:
-		pairs = par.Gather(n, gpuChunk, 0, false, func(lo, hi int) []idCode {
-			out := make([]idCode, 0, (hi-lo)/4)
-			for i := lo; i < hi; i++ {
-				code := col.Approx.Get(i)
-				if r.Contains(code) {
-					out = append(out, idCode{bat.OID(i), code})
-				}
-			}
-			return out
-		})
+	c := getCandidates()
+	total := 0
+	if !r.Empty && n > 0 {
+		nchunks := (n + gpuChunk - 1) / gpuChunk
+		idsBuf := oidPool.GetN(n)
+		codesBuf := mem.U64.GetN(n)
+		counts := mem.Ints.GetN(nchunks)
+		if nchunks == 1 {
+			// One work-group: run it on the calling goroutine without
+			// materializing a closure, keeping the scan allocation-free.
+			s := mem.GetScratch()
+			counts[0] = scanGroup(s, col, r, idsBuf, codesBuf, 0, n)
+			mem.PutScratch(s)
+		} else {
+			par.ForScratch(n, gpuChunk, 0, func(s *mem.Scratch, lo, hi int) {
+				counts[lo/gpuChunk] = scanGroup(s, col, r, idsBuf, codesBuf, lo, hi)
+			})
+		}
+		for _, cnt := range counts {
+			total += cnt
+		}
+		// Concatenate the per-group regions in the deterministic shuffled
+		// completion order — the unordered device discipline.
+		order := par.PermuteInto(mem.Ints.GetN(nchunks))
+		ids := oidPool.GetN(total)
+		codes := mem.U64.GetN(total)
+		off := 0
+		for _, ci := range order {
+			cnt := counts[ci]
+			lo := ci * gpuChunk
+			copy(ids[off:off+cnt], idsBuf[lo:lo+cnt])
+			copy(codes[off:off+cnt], codesBuf[lo:lo+cnt])
+			off += cnt
+		}
+		mem.Ints.Put(order)
+		mem.Ints.Put(counts)
+		oidPool.Put(idsBuf)
+		mem.U64.Put(codesBuf)
+		c.IDs = ids
+		c.attach = append(c.attach, attachment{col: col, codes: codes, rng: r, filtered: true})
+	} else {
+		c.IDs = oidPool.GetN(0)
+		c.attach = append(c.attach, attachment{col: col, codes: mem.U64.GetN(0), rng: r, filtered: true})
 	}
-	c := &Candidates{IDs: make([]bat.OID, len(pairs))}
-	codes := make([]uint64, len(pairs))
-	for i, p := range pairs {
-		c.IDs[i] = p.id
-		codes[i] = p.code
-	}
-	c.attach = []attachment{{col: col, codes: codes, rng: r, filtered: true}}
 	if m != nil {
 		scanned := col.Approx.Bytes()
-		written := int64(len(pairs))*4 + packedBytes(len(pairs), col.Dec.ApproxBits)
+		written := int64(total)*4 + packedBytes(total, col.Dec.ApproxBits)
 		m.GPUKernel(scanned+written, 0, int64(n)*OpsPackedScan)
 	}
 	return c
+}
+
+// scanGroup decodes one device work-group [lo,hi) into the worker scratch
+// and writes the matching (id, code) pairs into the group's disjoint
+// region of the output buffers, returning the match count.
+func scanGroup(s *mem.Scratch, col *bwd.Column, r bwd.ApproxRange, idsBuf []bat.OID, codesBuf []uint64, lo, hi int) int {
+	dec := col.Approx.UnpackRange(s.U64(hi - lo)[:0], lo, hi)
+	cnt := 0
+	for j, code := range dec {
+		if r.Contains(code) {
+			idsBuf[lo+cnt] = bat.OID(lo + j)
+			codesBuf[lo+cnt] = code
+			cnt++
+		}
+	}
+	return cnt
 }
 
 // SelectApproxOver narrows an existing candidate set with a further relaxed
@@ -71,8 +110,8 @@ func SelectApprox(m *device.Meter, col *bwd.Column, r bwd.ApproxRange) *Candidat
 // the candidate positions and keeps the matches, preserving candidate
 // order so later translucent joins remain valid.
 func SelectApproxOver(m *device.Meter, col *bwd.Column, r bwd.ApproxRange, in *Candidates) *Candidates {
-	keep := make([]int, 0, len(in.IDs))
-	codes := make([]uint64, 0, len(in.IDs))
+	keep := mem.Ints.Get(len(in.IDs))
+	codes := mem.U64.Get(len(in.IDs))
 	if !r.Empty {
 		for i, id := range in.IDs {
 			code := col.Approx.Get(int(id))
@@ -90,6 +129,7 @@ func SelectApproxOver(m *device.Meter, col *bwd.Column, r bwd.ApproxRange, in *C
 		seq := int64(n)*4 + int64(len(keep))*4 + packedBytes(len(keep), col.Dec.ApproxBits)
 		m.GPUKernel(seq, packedBytes(n, col.Dec.ApproxBits), int64(n)*OpsPackedScan)
 	}
+	mem.Ints.Put(keep)
 	return out
 }
 
@@ -110,52 +150,69 @@ func SelectRefine(m *device.Meter, threads int, col *bwd.Column, lo, hi int64, i
 	return SelectRefinePar(par.Bill(threads), m, col, lo, hi, in)
 }
 
-// keepVal pairs a surviving candidate position with its reconstructed
-// exact value, so one ordered morsel gather keeps both aligned.
-type keepVal struct {
-	i int
-	v int64
-}
-
 // SelectRefinePar is the morsel-parallel SelectRefine: morsels reconstruct
-// and re-evaluate independently, and their survivors concatenate in morsel
-// order, preserving candidate order exactly like the serial loop.
+// and re-evaluate independently, each writing survivors into its own
+// disjoint region of arena buffers (positions and values stay aligned),
+// and the regions left-pack in morsel order — the same candidate order as
+// the serial loop, with zero allocations in steady state. The returned
+// value slice is arena-backed; ownership passes to the caller.
 func SelectRefinePar(p par.P, m *device.Meter, col *bwd.Column, lo, hi int64, in *Candidates) (*Candidates, []int64) {
 	codes := in.CodesFor(col)
 	if codes == nil {
 		panic("ar: SelectRefine on a column that was never approximated over these candidates")
 	}
 	n := len(in.IDs)
-	res := col.Residual
-	resBits := col.Dec.ResBits
-	pairs := par.GatherOrdered(p, n, func(mlo, mhi int) []keepVal {
-		part := make([]keepVal, 0, mhi-mlo)
-		for i := mlo; i < mhi; i++ {
-			var r uint64
-			if resBits > 0 {
-				r = res.Get(int(in.IDs[i]))
+	keepBuf := mem.Ints.GetN(n)
+	valsBuf := mem.I64.GetN(n)
+	chunk := p.ChunkSize()
+	nchunks := (n + chunk - 1) / chunk
+	var counts []int
+	var err error
+	if p.NWorkers() <= 1 {
+		// Single worker: run the morsels on the calling goroutine without
+		// materializing a closure — the refinement's steady state allocates
+		// nothing.
+		counts = mem.Ints.GetN(nchunks)
+		for ci := 0; ci < nchunks; ci++ {
+			if err = p.Cancelled(); err != nil {
+				break
 			}
-			v := col.ReconstructFrom(codes[i], r)
-			if v >= lo && v <= hi {
-				part = append(part, keepVal{i, v})
+			mlo := ci * chunk
+			mhi := mlo + chunk
+			if mhi > n {
+				mhi = n
 			}
+			counts[ci] = refineMorsel(col, codes, in.IDs, lo, hi, keepBuf, valsBuf, mlo, mhi)
 		}
-		return part
-	})
-	keep := make([]int, len(pairs))
-	vals := make([]int64, len(pairs))
-	for i, kv := range pairs {
-		keep[i] = kv.i
-		vals[i] = kv.v
+		if err != nil {
+			mem.Ints.Put(counts)
+			counts = nil
+		}
+	} else {
+		counts, _, err = par.ForCounted(p, n, func(_ *mem.Scratch, _, mlo, mhi int) int {
+			return refineMorsel(col, codes, in.IDs, lo, hi, keepBuf, valsBuf, mlo, mhi)
+		})
+	}
+	var keep []int
+	var vals []int64
+	if err != nil {
+		// Cancelled mid-pass: the executor discards the result at its next
+		// checkpoint, so an empty survivor set stands in for the partial.
+		keep, vals = keepBuf[:0], valsBuf[:0]
+	} else {
+		keep = par.Compact(counts, chunk, keepBuf)
+		vals = par.Compact(counts, chunk, valsBuf)
+		mem.Ints.Put(counts)
 	}
 	out := in.filterTo(keep)
-	if m != nil && resBits > 0 {
+	mem.Ints.Put(keepBuf)
+	if m != nil && col.Dec.ResBits > 0 {
 		// §IV-C: fully device-resident data needs no refinement — exact
 		// codes admit no false positives, so that case charges nothing
 		// (the candidate list already is the result). Otherwise the fused
 		// loop streams IDs and codes and touches the residual at candidate
 		// order: cache-line-bounded when sparse, array-bounded when dense.
-		resFetch := device.RandomFetchBytes(int64(n), residualBytes(resBits), col.Residual.Bytes())
+		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
 		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits) +
 			resFetch + int64(len(keep))*4
 		m.CPUWork(p.NThreads(), seq, 0, int64(n)*2)
@@ -171,27 +228,60 @@ func ReconstructAll(m *device.Meter, threads int, col *bwd.Column, in *Candidate
 }
 
 // ReconstructAllPar is the morsel-parallel ReconstructAll: every worker
-// writes a disjoint slice of the output, so alignment is free.
+// writes a disjoint slice of the output, so alignment is free. The
+// returned slice is arena-backed; ownership passes to the caller.
 func ReconstructAllPar(p par.P, m *device.Meter, col *bwd.Column, in *Candidates) []int64 {
 	codes := in.CodesFor(col)
 	if codes == nil {
 		panic("ar: ReconstructAll on a column without attached codes")
 	}
 	n := len(in.IDs)
-	vals := make([]int64, n)
-	p.For(n, func(mlo, mhi int) {
-		for i := mlo; i < mhi; i++ {
-			var r uint64
-			if col.Dec.ResBits > 0 {
-				r = col.Residual.Get(int(in.IDs[i]))
-			}
-			vals[i] = col.ReconstructFrom(codes[i], r)
-		}
-	})
+	vals := mem.I64.GetN(n)
+	if p.NWorkers() <= 1 {
+		reconstructRange(col, codes, in.IDs, vals, 0, n)
+	} else {
+		p.For(n, func(mlo, mhi int) {
+			reconstructRange(col, codes, in.IDs, vals, mlo, mhi)
+		})
+	}
 	if m != nil && col.Dec.ResBits > 0 {
 		resFetch := device.RandomFetchBytes(int64(n), residualBytes(col.Dec.ResBits), col.Residual.Bytes())
 		seq := int64(n)*4 + packedBytes(n, col.Dec.ApproxBits) + resFetch + int64(n)*8
 		m.CPUWork(p.NThreads(), seq, 0, int64(n))
 	}
 	return vals
+}
+
+// refineMorsel reconstructs and re-evaluates one morsel of candidates,
+// writing survivor indices and exact values into the morsel's disjoint
+// region [mlo, mlo+count) of the overallocated buffers. A named function
+// (not a closure) so the single-worker path allocates nothing.
+func refineMorsel(col *bwd.Column, codes []uint64, ids []bat.OID, lo, hi int64, keepBuf []int, valsBuf []int64, mlo, mhi int) int {
+	res := col.Residual
+	resBits := col.Dec.ResBits
+	cnt := 0
+	for i := mlo; i < mhi; i++ {
+		var r uint64
+		if resBits > 0 {
+			r = res.Get(int(ids[i]))
+		}
+		v := col.ReconstructFrom(codes[i], r)
+		if v >= lo && v <= hi {
+			keepBuf[mlo+cnt] = i
+			valsBuf[mlo+cnt] = v
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// reconstructRange materializes exact values for candidates [mlo, mhi).
+func reconstructRange(col *bwd.Column, codes []uint64, ids []bat.OID, vals []int64, mlo, mhi int) {
+	for i := mlo; i < mhi; i++ {
+		var r uint64
+		if col.Dec.ResBits > 0 {
+			r = col.Residual.Get(int(ids[i]))
+		}
+		vals[i] = col.ReconstructFrom(codes[i], r)
+	}
 }

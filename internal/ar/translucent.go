@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/device"
+	"repro/internal/mem"
 )
 
 // ErrTranslucentPrecondition is returned when the translucent join's input
@@ -31,7 +32,7 @@ var ErrTranslucentPrecondition = errors.New("ar: translucent join precondition v
 // The preconditions are verified as a side effect: if any B element cannot
 // be located before A is exhausted, ErrTranslucentPrecondition is returned.
 func TranslucentJoin(aIDs, bIDs []bat.OID) ([]int, error) {
-	out := make([]int, len(bIDs))
+	out := mem.Ints.GetN(len(bIDs))
 	if sortedDense(aIDs) {
 		// Invisible join: position derivable from the ID itself.
 		base := bat.OID(0)
@@ -40,6 +41,7 @@ func TranslucentJoin(aIDs, bIDs []bat.OID) ([]int, error) {
 		}
 		for i, id := range bIDs {
 			if id < base || int(id-base) >= len(aIDs) {
+				mem.Ints.Put(out)
 				return nil, fmt.Errorf("%w: id %d outside dense range", ErrTranslucentPrecondition, id)
 			}
 			out[i] = int(id - base)
@@ -52,6 +54,7 @@ func TranslucentJoin(aIDs, bIDs []bat.OID) ([]int, error) {
 			iA++
 		}
 		if iA == len(aIDs) {
+			mem.Ints.Put(out)
 			return nil, fmt.Errorf("%w: id %d not found in remaining superset", ErrTranslucentPrecondition, id)
 		}
 		out[iB] = iA

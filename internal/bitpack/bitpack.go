@@ -40,13 +40,37 @@ func New(width uint, n int) *Array {
 
 // Pack packs vals into a new Array of the given width. Values must fit in
 // width bits; excess high bits are masked off.
+//
+// The words are built directly with a shift-carry accumulator — one store
+// per output word instead of a read-modify-write per value — so bulk
+// re-decomposition (merges re-pack every merged row) runs at memory speed.
 func Pack(width uint, vals []uint64) *Array {
 	a := New(width, len(vals))
-	if width == 0 {
+	if width == 0 || len(vals) == 0 {
 		return a
 	}
-	for i, v := range vals {
-		a.Set(i, v)
+	if width == 64 {
+		copy(a.words, vals)
+		return a
+	}
+	mask := Mask(width)
+	var acc uint64 // bits accumulated, low-aligned
+	var fill uint  // number of valid bits in acc
+	w := 0
+	for _, v := range vals {
+		v &= mask
+		acc |= v << fill
+		fill += width
+		if fill >= 64 {
+			a.words[w] = acc
+			w++
+			fill -= 64
+			// Bits of v that did not fit (width-fill..width) carry over.
+			acc = v >> (width - fill)
+		}
+	}
+	if fill > 0 {
+		a.words[w] = acc
 	}
 	return a
 }
@@ -114,13 +138,91 @@ func (a *Array) Set(i int, v uint64) {
 
 // Unpack appends all values to dst and returns the extended slice.
 func (a *Array) Unpack(dst []uint64) []uint64 {
-	if cap(dst)-len(dst) < a.n {
-		grown := make([]uint64, len(dst), len(dst)+a.n)
+	return a.UnpackRange(dst, 0, a.n)
+}
+
+// UnpackRange appends the values at positions [lo, hi) to dst and returns
+// the extended slice. It decodes word-at-a-time: widths that divide 64
+// (1, 2, 4, 8, 16, 32, 64) never straddle a word boundary and run as a
+// branch-free shift loop per 64-bit word; other widths use a shift-carry
+// loop that reads each backing word exactly once. Both replace the
+// branch-and-shift-per-element Get in scan-shaped loops.
+func (a *Array) UnpackRange(dst []uint64, lo, hi int) []uint64 {
+	if lo < 0 || hi > a.n || lo > hi {
+		panic(fmt.Sprintf("bitpack: range [%d,%d) out of bounds [0,%d]", lo, hi, a.n))
+	}
+	n := hi - lo
+	if n == 0 {
+		return dst
+	}
+	if cap(dst)-len(dst) < n {
+		grown := make([]uint64, len(dst), len(dst)+n)
 		copy(grown, dst)
 		dst = grown
 	}
-	for i := 0; i < a.n; i++ {
-		dst = append(dst, a.Get(i))
+	if a.width == 0 {
+		base := len(dst)
+		dst = dst[:base+n]
+		clear(dst[base:])
+		return dst
+	}
+	if a.width == 64 {
+		return append(dst, a.words[lo:hi]...)
+	}
+	width := a.width
+	mask := Mask(width)
+	if 64%width == 0 {
+		// Values never straddle a word: emit per-word runs.
+		per := int(64 / width) // values per word
+		i := lo
+		// Head: finish the word lo starts in.
+		if r := i % per; r != 0 {
+			w := a.words[i/per]
+			w >>= uint(r) * width
+			for ; i < hi && i%per != 0; i++ {
+				dst = append(dst, w&mask)
+				w >>= width
+			}
+		}
+		// Body: whole words.
+		for ; i+per <= hi; i += per {
+			w := a.words[i/per]
+			for k := 0; k < per; k++ {
+				dst = append(dst, w&mask)
+				w >>= width
+			}
+		}
+		// Tail.
+		if i < hi {
+			w := a.words[i/per]
+			for ; i < hi; i++ {
+				dst = append(dst, w&mask)
+				w >>= width
+			}
+		}
+		return dst
+	}
+	// Generic shift-carry loop: keep a bit cursor and read each backing
+	// word once, carrying straddled low bits into the next value.
+	off := uint64(lo) * uint64(width)
+	w := int(off >> 6)
+	sh := uint(off & 63)
+	cur := a.words[w] >> sh
+	avail := 64 - sh // valid low bits in cur
+	for i := 0; i < n; i++ {
+		var v uint64
+		if avail >= width {
+			v = cur & mask
+			cur >>= width
+			avail -= width
+		} else {
+			w++
+			next := a.words[w]
+			v = (cur | next<<avail) & mask
+			cur = next >> (width - avail)
+			avail = 64 - (width - avail)
+		}
+		dst = append(dst, v)
 	}
 	return dst
 }
@@ -144,6 +246,51 @@ func (a *Array) Append(v uint64) int {
 			a.words = append(a.words, make([]uint64, need-len(a.words))...)
 		}
 		a.Set(i, v)
+	}
+	return a.n
+}
+
+// AppendPacked appends every value of b (which must have the same width)
+// at word level: when the append cursor is word-aligned the backing words
+// are copied verbatim, otherwise each source word is split across two
+// destination words with one shift-or pair — either way the per-element
+// Set round-trip is gone. It panics on a width mismatch.
+func (a *Array) AppendPacked(b *Array) int {
+	if a.width != b.width {
+		panic(fmt.Sprintf("bitpack: AppendPacked width mismatch %d != %d", a.width, b.width))
+	}
+	if b.n == 0 {
+		return a.n
+	}
+	if a.width == 0 {
+		a.n += b.n
+		return a.n
+	}
+	oldN := a.n
+	a.n += b.n
+	if need := wordsFor(a.width, a.n); need > len(a.words) {
+		a.words = append(a.words, make([]uint64, need-len(a.words))...)
+	}
+	off := uint64(oldN) * uint64(a.width)
+	w := int(off >> 6)
+	sh := uint(off & 63)
+	srcWords := wordsFor(b.width, b.n)
+	if sh == 0 {
+		copy(a.words[w:], b.words[:srcWords])
+		return a.n
+	}
+	// Clear any stale high bits of the partial word, then interleave.
+	a.words[w] &= Mask(sh)
+	srcRem := uint(uint64(b.width) * uint64(b.n) & 63)
+	for i := 0; i < srcWords; i++ {
+		v := b.words[i]
+		if i == srcWords-1 && srcRem != 0 {
+			v &= Mask(srcRem) // tolerate tail garbage in deserialized words
+		}
+		a.words[w+i] |= v << sh
+		if w+i+1 < len(a.words) {
+			a.words[w+i+1] = v >> (64 - sh)
+		}
 	}
 	return a.n
 }
@@ -187,13 +334,26 @@ func (a *Array) Clone() *Array {
 	return c
 }
 
-// Equal reports whether two arrays have the same width and contents.
+// Equal reports whether two arrays have the same width and contents. The
+// comparison is word-level: all full backing words compare directly, and
+// the final partial word is masked to the bits the n values actually
+// occupy (so tail garbage from deserialized words cannot flip the answer).
 func (a *Array) Equal(b *Array) bool {
 	if a.width != b.width || a.n != b.n {
 		return false
 	}
-	for i := 0; i < a.n; i++ {
-		if a.Get(i) != b.Get(i) {
+	if a.width == 0 || a.n == 0 {
+		return true
+	}
+	bits := uint64(a.width) * uint64(a.n)
+	full := int(bits >> 6)
+	for i := 0; i < full; i++ {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	if rem := uint(bits & 63); rem != 0 {
+		if (a.words[full]^b.words[full])&Mask(rem) != 0 {
 			return false
 		}
 	}

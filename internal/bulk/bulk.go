@@ -30,8 +30,13 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
+
+// oidPool recycles candidate lists through the shared bat.OIDPool arena;
+// values and aggregate partials ride the shared mem pools.
+var oidPool = &bat.OIDPool
 
 // Per-tuple op weights used for compute-cost charging. A plain comparison
 // in a selection loop is the unit; hashing costs several units, matching
@@ -77,22 +82,30 @@ func SelectRangePar(p par.P, m *device.Meter, b *bat.BAT, lo, hi int64) []bat.OI
 	tails := b.Tails()
 	var out []bat.OID
 	if serial(p, len(tails)) {
-		out = make([]bat.OID, 0, len(tails)/4)
+		out = oidPool.Get(len(tails))
 		for i, v := range tails {
 			if v >= lo && v <= hi {
 				out = append(out, bat.OID(i))
 			}
 		}
 	} else {
-		out = par.GatherOrdered(p, len(tails), func(mlo, mhi int) []bat.OID {
-			part := make([]bat.OID, 0, (mhi-mlo)/4)
+		buf := oidPool.GetN(len(tails))
+		counts, _, err := par.ForCounted(p, len(tails), func(_ *mem.Scratch, _, mlo, mhi int) int {
+			cnt := 0
 			for i := mlo; i < mhi; i++ {
 				if v := tails[i]; v >= lo && v <= hi {
-					part = append(part, bat.OID(i))
+					buf[mlo+cnt] = bat.OID(i)
+					cnt++
 				}
 			}
-			return part
+			return cnt
 		})
+		if err != nil {
+			out = buf[:0]
+		} else {
+			out = par.Compact(counts, p.ChunkSize(), buf)
+			mem.Ints.Put(counts)
+		}
 	}
 	if m != nil {
 		m.CPUWork(p.NThreads(),
@@ -114,22 +127,30 @@ func SelectOIDsPar(p par.P, m *device.Meter, b *bat.BAT, ids []bat.OID, lo, hi i
 	tails := b.Tails()
 	var out []bat.OID
 	if serial(p, len(ids)) {
-		out = make([]bat.OID, 0, len(ids)/2)
+		out = oidPool.Get(len(ids))
 		for _, id := range ids {
 			if v := tails[id]; v >= lo && v <= hi {
 				out = append(out, id)
 			}
 		}
 	} else {
-		out = par.GatherOrdered(p, len(ids), func(mlo, mhi int) []bat.OID {
-			part := make([]bat.OID, 0, (mhi-mlo)/2)
+		buf := oidPool.GetN(len(ids))
+		counts, _, err := par.ForCounted(p, len(ids), func(_ *mem.Scratch, _, mlo, mhi int) int {
+			cnt := 0
 			for _, id := range ids[mlo:mhi] {
 				if v := tails[id]; v >= lo && v <= hi {
-					part = append(part, id)
+					buf[mlo+cnt] = id
+					cnt++
 				}
 			}
-			return part
+			return cnt
 		})
+		if err != nil {
+			out = buf[:0]
+		} else {
+			out = par.Compact(counts, p.ChunkSize(), buf)
+			mem.Ints.Put(counts)
+		}
 	}
 	if m != nil {
 		gather := device.RandomFetchBytes(int64(len(ids)), int64(b.Width()), b.TailBytes())
@@ -152,7 +173,7 @@ func Fetch(m *device.Meter, threads int, b *bat.BAT, ids []bat.OID) []int64 {
 // slice of the output, so candidate alignment is preserved for free.
 func FetchPar(p par.P, m *device.Meter, b *bat.BAT, ids []bat.OID) []int64 {
 	tails := b.Tails()
-	out := make([]int64, len(ids))
+	out := mem.I64.GetN(len(ids))
 	if serial(p, len(ids)) {
 		for i, id := range ids {
 			out[i] = tails[id]
@@ -328,28 +349,29 @@ func SumGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64
 // arrays merged by addition (exact for int64, so the result is identical
 // for every worker count).
 func SumGroupedPar(p par.P, m *device.Meter, vals []int64, g *Grouping) []int64 {
-	out := make([]int64, g.NGroups)
+	out := mem.I64.GetN(g.NGroups)
+	clear(out)
 	if serial(p, len(vals)) {
 		for i, v := range vals {
 			out[g.IDs[i]] += v
 		}
 	} else {
-		blocks := p.Blocks(len(vals))
-		parts := make([][]int64, len(blocks))
+		nb := p.NBlocks(len(vals))
+		parts := mem.I64.GetN(nb * g.NGroups)
+		clear(parts)
 		par.RunBlocks(p, len(vals), func(b, lo, hi int) {
-			if parts[b] == nil {
-				parts[b] = make([]int64, g.NGroups)
-			}
-			pb := parts[b]
+			pb := parts[b*g.NGroups : (b+1)*g.NGroups]
 			for i := lo; i < hi; i++ {
 				pb[g.IDs[i]] += vals[i]
 			}
 		})
-		for _, pb := range parts {
+		for b := 0; b < nb; b++ {
+			pb := parts[b*g.NGroups : (b+1)*g.NGroups]
 			for gi, v := range pb {
 				out[gi] += v
 			}
 		}
+		mem.I64.Put(parts)
 	}
 	charge(m, p.NThreads(), len(vals), 12)
 	return out
@@ -362,28 +384,29 @@ func CountGrouped(m *device.Meter, threads int, g *Grouping) []int64 {
 
 // CountGroupedPar is the morsel-parallel CountGrouped.
 func CountGroupedPar(p par.P, m *device.Meter, g *Grouping) []int64 {
-	out := make([]int64, g.NGroups)
+	out := mem.I64.GetN(g.NGroups)
+	clear(out)
 	if serial(p, len(g.IDs)) {
 		for _, id := range g.IDs {
 			out[id]++
 		}
 	} else {
-		blocks := p.Blocks(len(g.IDs))
-		parts := make([][]int64, len(blocks))
+		nb := p.NBlocks(len(g.IDs))
+		parts := mem.I64.GetN(nb * g.NGroups)
+		clear(parts)
 		par.RunBlocks(p, len(g.IDs), func(b, lo, hi int) {
-			if parts[b] == nil {
-				parts[b] = make([]int64, g.NGroups)
-			}
-			pb := parts[b]
+			pb := parts[b*g.NGroups : (b+1)*g.NGroups]
 			for i := lo; i < hi; i++ {
 				pb[g.IDs[i]]++
 			}
 		})
-		for _, pb := range parts {
+		for b := 0; b < nb; b++ {
+			pb := parts[b*g.NGroups : (b+1)*g.NGroups]
 			for gi, v := range pb {
 				out[gi] += v
 			}
 		}
+		mem.I64.Put(parts)
 	}
 	charge(m, p.NThreads(), len(g.IDs), 4)
 	return out
@@ -396,7 +419,8 @@ func MinGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64
 
 // MinGroupedPar is the morsel-parallel MinGrouped.
 func MinGroupedPar(p par.P, m *device.Meter, vals []int64, g *Grouping) []int64 {
-	out, _ := extremaGrouped(p, vals, g, true)
+	out, seen := extremaGrouped(p, vals, g, true)
+	mem.Bools.Put(seen)
 	charge(m, p.NThreads(), len(vals), 12)
 	return out
 }
@@ -408,7 +432,8 @@ func MaxGrouped(m *device.Meter, threads int, vals []int64, g *Grouping) []int64
 
 // MaxGroupedPar is the morsel-parallel MaxGrouped.
 func MaxGroupedPar(p par.P, m *device.Meter, vals []int64, g *Grouping) []int64 {
-	out, _ := extremaGrouped(p, vals, g, false)
+	out, seen := extremaGrouped(p, vals, g, false)
+	mem.Bools.Put(seen)
 	charge(m, p.NThreads(), len(vals), 12)
 	return out
 }
@@ -416,56 +441,48 @@ func MaxGroupedPar(p par.P, m *device.Meter, vals []int64, g *Grouping) []int64 
 // extremaGrouped computes per-group minima (min=true) or maxima with
 // per-worker partial (value, seen) states merged per group.
 func extremaGrouped(p par.P, vals []int64, g *Grouping, min bool) ([]int64, []bool) {
-	better := func(a, b int64) bool {
-		if min {
-			return a < b
-		}
-		return a > b
-	}
+	out := mem.I64.GetN(g.NGroups)
+	clear(out)
+	seen := mem.Bools.GetN(g.NGroups)
+	clear(seen)
 	if serial(p, len(vals)) {
-		out := make([]int64, g.NGroups)
-		seen := make([]bool, g.NGroups)
 		for i, v := range vals {
 			id := g.IDs[i]
-			if !seen[id] || better(v, out[id]) {
+			if !seen[id] || better(min, v, out[id]) {
 				out[id], seen[id] = v, true
 			}
 		}
 		return out, seen
 	}
-	blocks := p.Blocks(len(vals))
-	type partial struct {
-		out  []int64
-		seen []bool
-	}
-	parts := make([]partial, len(blocks))
+	nb := p.NBlocks(len(vals))
+	parts := mem.I64.GetN(nb * g.NGroups)
+	clear(parts)
+	pseen := mem.Bools.GetN(nb * g.NGroups)
+	clear(pseen)
 	par.RunBlocks(p, len(vals), func(b, lo, hi int) {
-		if parts[b].out == nil {
-			parts[b] = partial{out: make([]int64, g.NGroups), seen: make([]bool, g.NGroups)}
-		}
-		pb := &parts[b]
+		pb := parts[b*g.NGroups : (b+1)*g.NGroups]
+		ps := pseen[b*g.NGroups : (b+1)*g.NGroups]
 		for i := lo; i < hi; i++ {
 			id := g.IDs[i]
-			if !pb.seen[id] || better(vals[i], pb.out[id]) {
-				pb.out[id], pb.seen[id] = vals[i], true
+			if !ps[id] || better(min, vals[i], pb[id]) {
+				pb[id], ps[id] = vals[i], true
 			}
 		}
 	})
-	out := make([]int64, g.NGroups)
-	seen := make([]bool, g.NGroups)
-	for _, pb := range parts {
-		if pb.out == nil {
-			continue
-		}
-		for gi := range pb.out {
-			if !pb.seen[gi] {
+	for b := 0; b < nb; b++ {
+		pb := parts[b*g.NGroups : (b+1)*g.NGroups]
+		ps := pseen[b*g.NGroups : (b+1)*g.NGroups]
+		for gi := range pb {
+			if !ps[gi] {
 				continue
 			}
-			if !seen[gi] || better(pb.out[gi], out[gi]) {
-				out[gi], seen[gi] = pb.out[gi], true
+			if !seen[gi] || better(min, pb[gi], out[gi]) {
+				out[gi], seen[gi] = pb[gi], true
 			}
 		}
 	}
+	mem.I64.Put(parts)
+	mem.Bools.Put(pseen)
 	return out, seen
 }
 
@@ -482,8 +499,9 @@ func SumPar(p par.P, m *device.Meter, vals []int64) int64 {
 			s += v
 		}
 	} else {
-		blocks := p.Blocks(len(vals))
-		parts := make([]int64, len(blocks))
+		nb := p.NBlocks(len(vals))
+		parts := mem.I64.GetN(nb)
+		clear(parts)
 		par.RunBlocks(p, len(vals), func(b, lo, hi int) {
 			var bs int64
 			for _, v := range vals[lo:hi] {
@@ -494,6 +512,7 @@ func SumPar(p par.P, m *device.Meter, vals []int64) int64 {
 		for _, v := range parts {
 			s += v
 		}
+		mem.I64.Put(parts)
 	}
 	charge(m, p.NThreads(), len(vals), 8)
 	return s
@@ -526,42 +545,48 @@ func extremaPar(p par.P, m *device.Meter, vals []int64, min bool) (int64, bool) 
 	if len(vals) == 0 {
 		return 0, false
 	}
-	better := func(a, b int64) bool {
-		if min {
-			return a < b
-		}
-		return a > b
-	}
 	best := vals[0]
 	if serial(p, len(vals)) {
 		for _, v := range vals[1:] {
-			if better(v, best) {
+			if better(min, v, best) {
 				best = v
 			}
 		}
 	} else {
-		blocks := p.Blocks(len(vals))
-		parts := make([]int64, len(blocks))
+		nb := p.NBlocks(len(vals))
+		parts := mem.I64.GetN(nb)
+		clear(parts)
 		par.RunBlocks(p, len(vals), func(b, lo, hi int) {
 			bb := vals[lo]
 			for _, v := range vals[lo+1 : hi] {
-				if better(v, bb) {
+				if better(min, v, bb) {
 					bb = v
 				}
 			}
-			if lo == blocks[b].Lo || better(bb, parts[b]) {
+			if blo, _ := p.BlockRange(len(vals), b); lo == blo || better(min, bb, parts[b]) {
 				parts[b] = bb
 			}
 		})
 		best = parts[0]
 		for _, v := range parts[1:] {
-			if better(v, best) {
+			if better(min, v, best) {
 				best = v
 			}
 		}
+		mem.I64.Put(parts)
 	}
 	charge(m, p.NThreads(), len(vals), 8)
 	return best, true
+}
+
+// better is the extremum comparison: a improves on b. A named function
+// (not a captured closure) so the serial aggregate paths stay
+// allocation-free.
+func better(min bool, a, b int64) bool {
+	if min {
+		return a < b
+	}
+	return a > b
 }
 
 func charge(m *device.Meter, threads, n, bytesPer int) {

@@ -3,6 +3,7 @@ package bulk
 import (
 	"repro/internal/bat"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -110,13 +111,16 @@ func FKJoin(m *device.Meter, threads int, ix *FKIndex, fks []int64) (pkPos []bat
 // FKJoinPar is the morsel-parallel FKJoin: probes are independent and each
 // worker writes a disjoint slice of pkPos/hit.
 func FKJoinPar(p par.P, m *device.Meter, ix *FKIndex, fks []int64) (pkPos []bat.OID, hit []bool) {
-	pkPos = make([]bat.OID, len(fks))
-	hit = make([]bool, len(fks))
+	pkPos = oidPool.GetN(len(fks))
+	hit = mem.Bools.GetN(len(fks))
+	clear(hit)
 	probe := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if pos, ok := ix.Lookup(fks[i]); ok {
 				pkPos[i] = pos
 				hit[i] = true
+			} else {
+				pkPos[i] = 0
 			}
 		}
 	}

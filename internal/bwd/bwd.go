@@ -28,6 +28,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/bitpack"
 	"repro/internal/device"
+	"repro/internal/mem"
 )
 
 // Decomposition describes how a column's bits are split across devices.
@@ -115,20 +116,26 @@ func Decompose(b *bat.BAT, approxBits uint, sys *device.System) (*Column, error)
 	}
 
 	n := b.Len()
-	approx := bitpack.New(dec.ApproxBits, n)
-	res := bitpack.New(dec.ResBits, n)
 	hshift := histShiftFor(dec.ApproxBits)
 	hist := make([]int64, (dec.MaxApprox()>>hshift)+1)
 	tails := b.Tails()
+	// Split the values into code planes through arena scratch, then let
+	// bitpack.Pack build whole words with its shift-carry accumulator — one
+	// store per output word instead of a read-modify-write per value.
+	codes := mem.U64.GetN(n)
+	rcodes := mem.U64.GetN(n)
+	rmask := bitpack.Mask(dec.ResBits)
 	for i, v := range tails {
 		shifted := uint64(v - dec.Base)
 		code := shifted >> dec.ResBits
-		approx.Set(i, code)
+		codes[i] = code
+		rcodes[i] = shifted & rmask
 		hist[code>>hshift]++
-		if dec.ResBits > 0 {
-			res.Set(i, shifted&bitpack.Mask(dec.ResBits))
-		}
 	}
+	approx := bitpack.Pack(dec.ApproxBits, codes)
+	res := bitpack.Pack(dec.ResBits, rcodes)
+	mem.U64.Put(codes)
+	mem.U64.Put(rcodes)
 
 	c := &Column{Dec: dec, Approx: approx, Residual: res, n: n, hist: hist, histShift: hshift}
 	if sys != nil {
@@ -163,13 +170,24 @@ func Restore(dec Decomposition, approx, res *bitpack.Array, sys *device.System) 
 			approx.Width(), res.Width(), dec.ApproxBits, dec.ResBits)
 	}
 	c := &Column{Dec: dec, Approx: approx, Residual: res, n: approx.Len()}
-	// The histogram is not persisted: recompute it with one pass over the
-	// restored approximation plane so statistics survive reboot unchanged.
+	// The histogram is not persisted: recompute it with one word-parallel
+	// pass over the restored approximation plane (block decode through
+	// morsel scratch) so statistics survive reboot unchanged.
 	c.histShift = histShiftFor(dec.ApproxBits)
 	c.hist = make([]int64, (dec.MaxApprox()>>c.histShift)+1)
-	for i := 0; i < c.n; i++ {
-		c.hist[approx.Get(i)>>c.histShift]++
+	s := mem.GetScratch()
+	const blk = 64 << 10
+	for lo := 0; lo < c.n; lo += blk {
+		hi := lo + blk
+		if hi > c.n {
+			hi = c.n
+		}
+		s.Reset()
+		for _, code := range approx.UnpackRange(s.U64(hi - lo)[:0], lo, hi) {
+			c.hist[code>>c.histShift]++
+		}
 	}
+	mem.PutScratch(s)
 	if sys != nil {
 		ga, err := sys.GPU.Alloc(approx.Bytes())
 		if err != nil {

@@ -50,6 +50,7 @@ func newMetrics(e *Engine, slowCap int) *metrics {
 
 	// Scrape-time metrics over the mutex-guarded stats the subsystems
 	// already keep: reading them only costs anything when someone scrapes.
+	obs.RegisterRuntime(reg)
 	reg.GaugeFunc("ar_sessions_active", "", "Open engine sessions.", func() float64 {
 		return float64(e.SessionCount())
 	})

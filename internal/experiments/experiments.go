@@ -55,28 +55,32 @@ func Quick() Options {
 
 // Series is one labelled line of a figure.
 type Series struct {
-	Label string
-	X     []float64
-	Y     []float64 // milliseconds unless the figure says otherwise
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"` // milliseconds unless the figure says otherwise
 }
 
 // Bar is one labelled bar with the per-device breakdown of Figs 9/10.
 type Bar struct {
-	Label         string
-	Total         float64 // seconds
-	GPU, CPU, PCI float64 // seconds
+	Label string  `json:"label"`
+	Total float64 `json:"total_seconds"`
+	GPU   float64 `json:"gpu_seconds"`
+	CPU   float64 `json:"cpu_seconds"`
+	PCI   float64 `json:"pci_seconds"`
 }
 
-// Figure is a reproduced chart: either line series (Fig 8, 11) or bars
-// (Fig 9, 10).
+// Figure is a reproduced chart: line series (Fig 8, 11), bars (Fig 9, 10),
+// or host memory-discipline rows (the alloc experiment). The JSON names
+// are the stable -json report schema BENCH files are compared across.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Bars   []Bar
-	Notes  []string
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label,omitempty"`
+	YLabel string       `json:"y_label,omitempty"`
+	Series []Series     `json:"series,omitempty"`
+	Bars   []Bar        `json:"bars,omitempty"`
+	Alloc  []AllocStats `json:"alloc,omitempty"`
+	Notes  []string     `json:"notes,omitempty"`
 }
 
 // Render formats the figure as text tables for terminal output.
@@ -105,6 +109,13 @@ func (f *Figure) Render() string {
 		fmt.Fprintf(&sb, "%-28s %12s %12s %12s %12s\n", "configuration", "total s", "GPU s", "CPU s", "PCI s")
 		for _, b := range f.Bars {
 			fmt.Fprintf(&sb, "%-28s %12.3f %12.3f %12.3f %12.3f\n", b.Label, b.Total, b.GPU, b.CPU, b.PCI)
+		}
+	}
+	if len(f.Alloc) > 0 {
+		fmt.Fprintf(&sb, "%-28s %12s %12s %14s %12s %8s\n", "configuration", "wall ms/op", "allocs/op", "bytes/op", "gc pause ms", "gc runs")
+		for _, a := range f.Alloc {
+			fmt.Fprintf(&sb, "%-28s %12.3f %12.1f %14.0f %12.3f %8d\n",
+				a.Label, a.WallSecondsPerOp*1e3, a.AllocsPerOp, a.BytesPerOp, a.GCPauseSeconds*1e3, a.GCCycles)
 		}
 	}
 	for _, n := range f.Notes {

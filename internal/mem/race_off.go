@@ -1,0 +1,6 @@
+//go:build !race
+
+package mem
+
+// RaceEnabled reports whether the race detector is active. See race_on.go.
+const RaceEnabled = false

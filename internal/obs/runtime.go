@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/metrics"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Runtime telemetry: Go heap footprint, GC pause time, cumulative
+// allocation counts, and the morsel-arena hit/miss counters. The kernel
+// layers run at zero allocations per operation in steady state (PR 10);
+// these series are how a deployment verifies that claim stays true under
+// its own workload — a rising ar_go_allocs_total slope or arena miss rate
+// is the regression signal.
+const (
+	sampleHeapBytes = "/memory/classes/heap/objects:bytes"
+	sampleGCPauses  = "/gc/pauses:seconds"
+	sampleAllocs    = "/gc/heap/allocs:objects"
+)
+
+// RegisterRuntime registers the Go runtime and arena series on a registry.
+// Values are read at scrape time with a single runtime/metrics batch, so an
+// idle registry costs nothing.
+func RegisterRuntime(r *Registry) {
+	var mu sync.Mutex
+	samples := []metrics.Sample{
+		{Name: sampleHeapBytes},
+		{Name: sampleGCPauses},
+		{Name: sampleAllocs},
+	}
+	r.Collector(func(emit Emit) {
+		mu.Lock()
+		metrics.Read(samples)
+		heap := float64(samples[0].Value.Uint64())
+		pauses := histTotalSeconds(samples[1].Value.Float64Histogram())
+		allocs := float64(samples[2].Value.Uint64())
+		mu.Unlock()
+		emit("ar_go_heap_bytes", "", "Bytes of live heap objects.", "gauge", heap)
+		emit("ar_go_gc_pauses_seconds", "", "Cumulative stop-the-world GC pause time.", "counter", pauses)
+		emit("ar_go_allocs_total", "", "Cumulative heap objects allocated.", "counter", allocs)
+		st := mem.Stats()
+		emit("ar_mem_pool_gets_total", `result="hit"`, "Arena buffer requests, by whether a pooled buffer was reused.", "counter", float64(st.Hits))
+		emit("ar_mem_pool_gets_total", `result="miss"`, "Arena buffer requests, by whether a pooled buffer was reused.", "counter", float64(st.Misses))
+		emit("ar_mem_pool_puts_total", "", "Arena buffers recycled back to the free lists.", "counter", float64(st.Puts))
+	})
+}
+
+// histTotalSeconds integrates a runtime pause histogram into total seconds,
+// scoring each bucket at its midpoint (the runtime only exports counts).
+func histTotalSeconds(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := lo
+		if !isInf(lo) && !isInf(hi) {
+			mid = (lo + hi) / 2
+		} else if isInf(lo) {
+			mid = hi
+		}
+		total += float64(n) * mid
+	}
+	return total
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }
+
+// RuntimeMemLine renders the one-line memory summary for \stats: live heap,
+// cumulative GC pause time, and the arena hit rate.
+func RuntimeMemLine() string {
+	samples := []metrics.Sample{{Name: sampleHeapBytes}, {Name: sampleGCPauses}}
+	metrics.Read(samples)
+	heap := samples[0].Value.Uint64()
+	pauses := histTotalSeconds(samples[1].Value.Float64Histogram())
+	st := mem.Stats()
+	rate := 0.0
+	if st.Hits+st.Misses > 0 {
+		rate = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	return fmt.Sprintf("mem: heap %.1f MiB, gc pauses %.1f ms, arena %d/%d gets pooled (%.0f%%), %d puts",
+		float64(heap)/(1<<20), pauses*1e3, st.Hits, st.Hits+st.Misses, rate, st.Puts)
+}

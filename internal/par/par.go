@@ -27,6 +27,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/mem"
 )
 
 // DefaultChunk is the default number of tuples per parallel chunk. It is
@@ -95,6 +97,66 @@ func For(n, chunk, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ForScratch is For with a per-worker morsel scratch: each worker takes
+// one mem.Scratch for the duration of its claim loop and hands it to fn,
+// reset, for every morsel it processes — so decode buffers and selection
+// vectors are reused across morsels instead of allocated per morsel.
+// Buffers carved from the scratch must not escape fn.
+func ForScratch(n, chunk, workers int, fn func(s *mem.Scratch, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	nchunks := (n + chunk - 1) / chunk
+	w := Workers(workers)
+	if w > nchunks {
+		w = nchunks
+	}
+	if w <= 1 {
+		s := mem.GetScratch()
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			s.Reset()
+			fn(s, lo, hi)
+		}
+		mem.PutScratch(s)
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			s := mem.GetScratch()
+			defer mem.PutScratch(s)
+			for {
+				mu.Lock()
+				c := next
+				next++
+				mu.Unlock()
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				s.Reset()
+				fn(s, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Gather runs fn over [0,n) in chunks and concatenates the per-chunk
 // results. If ordered is true the concatenation follows chunk order (the
 // output permutation equals the input permutation); otherwise chunks are
@@ -135,7 +197,14 @@ func Gather[T any](n, chunk, workers int, ordered bool, fn func(lo, hi int) []T)
 // which scatters chunk completion order the way an unsynchronized device
 // would.
 func Permute(n int) []int {
-	p := make([]int, n)
+	return PermuteInto(make([]int, n))
+}
+
+// PermuteInto fills p with the deterministic Permute permutation of
+// [0,len(p)) and returns it — the allocation-free form for callers that
+// draw p from the arena.
+func PermuteInto(p []int) []int {
+	n := len(p)
 	if n <= 0 {
 		return p
 	}
@@ -233,6 +302,17 @@ func (p P) cancelled() bool {
 	}
 }
 
+// Cancelled returns the context error once the P's context is done, nil
+// otherwise. Kernels that run their own serial morsel loop (avoiding a
+// closure on the single-worker path) check it at morsel boundaries,
+// mirroring For's per-claim check.
+func (p P) Cancelled() error {
+	if p.cancelled() {
+		return p.Ctx.Err()
+	}
+	return nil
+}
+
 // For runs fn over [0,n) split into morsels that workers claim dynamically.
 // fn must be safe for concurrent invocation on disjoint ranges. The context
 // is checked before every morsel claim; on cancellation the remaining
@@ -295,6 +375,117 @@ func (p P) For(n int, fn func(lo, hi int)) error {
 	return nil
 }
 
+// ForScratch is P.For with a per-worker morsel scratch, the CPU-side twin
+// of the package-level ForScratch: each worker reuses one mem.Scratch
+// (reset per morsel) across every morsel it claims. Buffers carved from
+// the scratch must not escape fn.
+func (p P) ForScratch(n int, fn func(s *mem.Scratch, lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	chunk := p.ChunkSize()
+	nchunks := (n + chunk - 1) / chunk
+	w := p.NWorkers()
+	if w > nchunks {
+		w = nchunks
+	}
+	if w <= 1 {
+		s := mem.GetScratch()
+		defer mem.PutScratch(s)
+		for lo := 0; lo < n; lo += chunk {
+			if p.cancelled() {
+				return p.Ctx.Err()
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			s.Reset()
+			fn(s, lo, hi)
+		}
+		return nil
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			s := mem.GetScratch()
+			defer mem.PutScratch(s)
+			for {
+				if p.cancelled() {
+					return
+				}
+				mu.Lock()
+				c := next
+				next++
+				mu.Unlock()
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				s.Reset()
+				fn(s, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.cancelled() {
+		return p.Ctx.Err()
+	}
+	return nil
+}
+
+// ForCounted runs fn over [0,n) in morsels, recording how many outputs
+// each morsel produced. fn writes its survivors into the caller's
+// overallocated output buffers at the morsel's own offset (positions
+// [lo, lo+count)) — regions are disjoint, so no synchronization — and
+// returns the count. Compact then left-packs the regions in morsel order.
+// counts is drawn from the arena; the caller releases it with
+// mem.Ints.Put. On cancellation counts is released and nil is returned
+// with the context error.
+func ForCounted(p P, n int, fn func(s *mem.Scratch, ci, lo, hi int) int) (counts []int, total int, err error) {
+	chunk := p.ChunkSize()
+	nchunks := (n + chunk - 1) / chunk
+	counts = mem.Ints.GetN(nchunks)
+	clear(counts)
+	err = p.ForScratch(n, func(s *mem.Scratch, lo, hi int) {
+		ci := lo / chunk
+		counts[ci] = fn(s, ci, lo, hi)
+	})
+	if err != nil {
+		mem.Ints.Put(counts)
+		return nil, 0, err
+	}
+	for _, c := range counts {
+		total += c
+	}
+	return counts, total, nil
+}
+
+// Compact left-packs the per-morsel regions a ForCounted pass produced:
+// morsel ci's count survivors sit at [ci*chunk, ci*chunk+counts[ci]) of
+// buf and are moved to the running offset. Because the target offset never
+// exceeds the source offset, the move is in-place and allocation-free.
+// Returns buf truncated to the packed length.
+func Compact[T any](counts []int, chunk int, buf []T) []T {
+	off := 0
+	for ci, cnt := range counts {
+		lo := ci * chunk
+		if off != lo {
+			copy(buf[off:off+cnt], buf[lo:lo+cnt])
+		}
+		off += cnt
+	}
+	return buf[:off]
+}
+
 // ForEach runs fn once per index in [0,n), with indices claimed
 // dynamically by NWorkers goroutines and the context polled between
 // claims. It is the item-granular For used to distribute pre-computed
@@ -345,8 +536,23 @@ type Block struct{ Lo, Hi int }
 // exact serial result: a key's global first appearance is its first block's
 // first appearance.
 func (p P) Blocks(n int) []Block {
-	if n <= 0 {
+	nb := p.NBlocks(n)
+	if nb == 0 {
 		return nil
+	}
+	out := make([]Block, nb)
+	for b := range out {
+		out[b].Lo, out[b].Hi = p.BlockRange(n, b)
+	}
+	return out
+}
+
+// NBlocks returns how many blocks Blocks(n) partitions [0,n) into,
+// without materializing them — the allocation-free form aggregate kernels
+// size their flat partial-state buffers with.
+func (p P) NBlocks(n int) int {
+	if n <= 0 {
+		return 0
 	}
 	w := p.NWorkers()
 	if w > n {
@@ -356,15 +562,25 @@ func (p P) Blocks(n int) []Block {
 		w = 1
 	}
 	size := (n + w - 1) / w
-	out := make([]Block, 0, w)
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		out = append(out, Block{Lo: lo, Hi: hi})
+	return (n + size - 1) / size
+}
+
+// BlockRange returns the bounds of block b of the Blocks(n) partition.
+func (p P) BlockRange(n, b int) (lo, hi int) {
+	w := p.NWorkers()
+	if w > n {
+		w = n
 	}
-	return out
+	if w < 1 {
+		w = 1
+	}
+	size := (n + w - 1) / w
+	lo = b * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // RunBlocks executes fn(b, lo, hi) for morsel-sized sub-ranges of every
@@ -374,20 +590,21 @@ func (p P) Blocks(n int) []Block {
 // context is polled between morsels. Returns the context error if the run
 // was interrupted (partial block states must then be discarded).
 func RunBlocks(p P, n int, fn func(b, lo, hi int)) error {
-	blocks := p.Blocks(n)
-	if len(blocks) == 0 {
+	nb := p.NBlocks(n)
+	if nb == 0 {
 		return nil
 	}
 	chunk := p.ChunkSize()
-	if len(blocks) == 1 || p.NWorkers() <= 1 {
-		for b, blk := range blocks {
-			for lo := blk.Lo; lo < blk.Hi; lo += chunk {
+	if nb == 1 || p.NWorkers() <= 1 {
+		for b := 0; b < nb; b++ {
+			blo, bhi := p.BlockRange(n, b)
+			for lo := blo; lo < bhi; lo += chunk {
 				if p.cancelled() {
 					return p.Ctx.Err()
 				}
 				hi := lo + chunk
-				if hi > blk.Hi {
-					hi = blk.Hi
+				if hi > bhi {
+					hi = bhi
 				}
 				fn(b, lo, hi)
 			}
@@ -395,21 +612,22 @@ func RunBlocks(p P, n int, fn func(b, lo, hi int)) error {
 		return nil
 	}
 	var wg sync.WaitGroup
-	wg.Add(len(blocks))
-	for b, blk := range blocks {
-		go func(b int, blk Block) {
+	wg.Add(nb)
+	for b := 0; b < nb; b++ {
+		go func(b int) {
 			defer wg.Done()
-			for lo := blk.Lo; lo < blk.Hi; lo += chunk {
+			blo, bhi := p.BlockRange(n, b)
+			for lo := blo; lo < bhi; lo += chunk {
 				if p.cancelled() {
 					return
 				}
 				hi := lo + chunk
-				if hi > blk.Hi {
-					hi = blk.Hi
+				if hi > bhi {
+					hi = bhi
 				}
 				fn(b, lo, hi)
 			}
-		}(b, blk)
+		}(b)
 	}
 	wg.Wait()
 	if p.cancelled() {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/bwd"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -143,7 +144,9 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 				return nil, err
 			}
 			d := snap.get(q.Table, rf.f.Col)
-			cands = ar.SelectApproxOver(m, d, d.Relax(rf.f.Lo, rf.f.Hi), cands)
+			prev := cands
+			cands = ar.SelectApproxOver(m, d, d.Relax(rf.f.Lo, rf.f.Hi), prev)
+			prev.Release()
 			st.traceEst(cands.Len(), st.estApply(rf.estSel()), "bwd.uselectapproximate(%s.%s)", q.Table, rf.f.Col)
 		}
 	case len(pl.orGroups) > 0:
@@ -171,7 +174,9 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			return nil, err
 		}
 		cols, rs, _, _ := pl.orGroupRelax(g)
-		cands = ar.SelectApproxAnyOver(m, cols, rs, cands, g.id)
+		prev := cands
+		cands = ar.SelectApproxAnyOver(m, cols, rs, prev, g.id)
+		prev.Release()
 		st.traceEst(cands.Len(), st.estApply(g.sel), "bwd.uselectanyapproximate(%s)", orGroupText(q.Table, g.filters))
 	}
 
@@ -190,7 +195,9 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			return part
 		})
 		m.GPUKernel(int64(cands.Len())*4+int64(fs.BaseLen()+7)/8, 0, int64(cands.Len()))
-		cands = cands.Filter(keep)
+		prev := cands
+		cands = prev.Filter(keep)
+		prev.Release()
 		st.traceRows(cands.Len(), "bwd.maskdeleted(%s)", q.Table)
 	}
 
@@ -238,18 +245,23 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 				kept[i] = kp.pos
 			}
 			m.GPUKernel(int64(len(jr.pos))*4+int64(ds.BaseLen()+7)/8, 0, int64(len(jr.pos)))
-			cands = cands.Filter(keep)
+			prev := cands
+			cands = prev.Filter(keep)
+			prev.Release()
+			bat.OIDPool.Put(jr.pos)
 			jr.pos = kept
 			remapJoinPos(pp, joins[:ji], keep)
 			st.traceRows(cands.Len(), "bwd.maskdeleted(%s)", spec.Dim)
 		}
 		for _, rf := range jr.stage.dimFilters {
 			dd := snap.get(spec.Dim, rf.f.Col)
-			prev := cands
-			cands, jr.pos = ar.SelectApproxAt(m, dd, dd.Relax(rf.f.Lo, rf.f.Hi), cands, jr.pos)
+			prev, prevPos := cands, jr.pos
+			cands, jr.pos = ar.SelectApproxAt(m, dd, dd.Relax(rf.f.Lo, rf.f.Hi), prev, prevPos)
 			if err := remapJoinLists(pp, joins[:ji], nil, prev, cands); err != nil {
 				return nil, err
 			}
+			prev.Release()
+			bat.OIDPool.Put(prevPos)
 			st.traceEst(cands.Len(), st.estApply(rf.estSel()), "bwd.uselectapproximate(%s.%s)", spec.Dim, rf.f.Col)
 		}
 	}
@@ -370,18 +382,25 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 			return nil, err
 		}
 		d := snap.get(q.Table, rf.f.Col)
+		prev := refined
 		if len(joins) == 0 {
-			refined, _ = ar.SelectRefinePar(pp, m, d, rf.f.Lo, rf.f.Hi, refined)
+			var vals []int64
+			refined, vals = ar.SelectRefinePar(pp, m, d, rf.f.Lo, rf.f.Hi, prev)
+			mem.I64.Put(vals)
 		} else {
 			// Keep every join's positions aligned while filtering.
 			var err error
 			refined, err = refineKeepingJoins(pp, joins, func() *ar.Candidates {
-				out, _ := ar.SelectRefinePar(pp, m, d, rf.f.Lo, rf.f.Hi, refined)
+				out, vals := ar.SelectRefinePar(pp, m, d, rf.f.Lo, rf.f.Hi, prev)
+				mem.I64.Put(vals)
 				return out
-			}, refined)
+			}, prev)
 			if err != nil {
 				return nil, err
 			}
+		}
+		if prev != cands {
+			prev.Release()
 		}
 		st.traceEst(refined.Len(), st.estApply(rf.estSel()), "bwd.uselectrefine(%s.%s)", q.Table, rf.f.Col)
 	}
@@ -394,9 +413,12 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		var err error
 		refined, err = refineKeepingJoins(pp, joins, func() *ar.Candidates {
 			return ar.SelectRefineAnyPar(pp, m, cols, los, his, cur)
-		}, refined)
+		}, cur)
 		if err != nil {
 			return nil, err
+		}
+		if cur != cands {
+			cur.Release()
 		}
 		st.traceEst(refined.Len(), st.estApply(g.sel), "bwd.uselectanyrefine(%s)", orGroupText(q.Table, g.filters))
 	}
@@ -408,10 +430,16 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 				return nil, err
 			}
 			dd := snap.get(spec.Dim, rf.f.Col)
-			prev := refined
-			refined, jr.pos, _ = ar.SelectRefineAtPar(pp, m, dd, rf.f.Lo, rf.f.Hi, refined, jr.pos)
+			prev, prevPos := refined, jr.pos
+			var vals []int64
+			refined, jr.pos, vals = ar.SelectRefineAtPar(pp, m, dd, rf.f.Lo, rf.f.Hi, prev, prevPos)
+			mem.I64.Put(vals)
 			if err := remapJoinLists(pp, joins, jr, prev, refined); err != nil {
 				return nil, err
+			}
+			bat.OIDPool.Put(prevPos)
+			if prev != cands {
+				prev.Release()
 			}
 			st.traceEst(refined.Len(), st.estApply(rf.estSel()), "bwd.uselectrefine(%s.%s)", spec.Dim, rf.f.Col)
 		}
@@ -437,6 +465,17 @@ func (pl *pipeline) scanAR(st *pipeState) (*scanOut, error) {
 		}
 		ectx.vals[ref] = vals
 		st.traceRows(refined.Len(), "bwd.leftjoinrefine(%s)", ref.Name)
+	}
+
+	// The projection code buffers and the original candidate set are dead
+	// once every projection has refined; the surviving set travels on to
+	// the shared tail (run releases it after aggregation). mg still holds
+	// cands as its Src until the group refinement, so keep it alive then.
+	for _, ref := range refList {
+		projections[ref].Release()
+	}
+	if cands != refined && mg == nil {
+		cands.Release()
 	}
 
 	return &scanOut{ectx: ectx, dset: dset, mg: mg, refined: refined}, nil
@@ -507,15 +546,17 @@ func remapJoinLists(pp par.P, joins []*arJoinRT, skip *arJoinRT, prev, cur *ar.C
 		if jr == skip || jr.pos == nil {
 			continue
 		}
-		keep := make([]bat.OID, len(pos))
+		keep := bat.OIDPool.GetN(len(pos))
 		at := jr.pos
 		pp.For(len(pos), func(mlo, mhi int) {
 			for i := mlo; i < mhi; i++ {
 				keep[i] = at[pos[i]]
 			}
 		})
+		bat.OIDPool.Put(at)
 		jr.pos = keep
 	}
+	mem.Ints.Put(pos)
 	return nil
 }
 
@@ -526,13 +567,14 @@ func remapJoinPos(pp par.P, joins []*arJoinRT, keep []int) {
 		if jr.pos == nil {
 			continue
 		}
-		kept := make([]bat.OID, len(keep))
+		kept := bat.OIDPool.GetN(len(keep))
 		at := jr.pos
 		pp.For(len(keep), func(mlo, mhi int) {
 			for i := mlo; i < mhi; i++ {
 				kept[i] = at[keep[i]]
 			}
 		})
+		bat.OIDPool.Put(at)
 		jr.pos = kept
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/bulk"
+	"repro/internal/mem"
 	"repro/internal/par"
 )
 
@@ -71,11 +72,13 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			if err != nil {
 				return nil, err
 			}
-			ids = bulk.SelectOIDsPar(pp, m, b, ids, rf.f.Lo, rf.f.Hi)
+			prev := ids
+			ids = bulk.SelectOIDsPar(pp, m, b, prev, rf.f.Lo, rf.f.Hi)
+			bat.OIDPool.Put(prev)
 			st.traceEst(len(ids), st.estApply(rf.estSel()), "algebra.uselect(%s.%s)", q.Table, rf.f.Col)
 		}
 	} else {
-		ids = make([]bat.OID, fact.BaseLen())
+		ids = bat.OIDPool.GetN(fact.BaseLen())
 		pp.For(len(ids), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				ids[i] = bat.OID(i)
@@ -101,12 +104,13 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			cols[k] = bulk.FetchPar(pp, m, b, ids)
 		}
 		filters := g.filters
-		ids = par.GatherOrdered(pp, len(ids), func(lo, hi int) []bat.OID {
+		prev := ids
+		ids = par.GatherOrdered(pp, len(prev), func(lo, hi int) []bat.OID {
 			part := make([]bat.OID, 0, hi-lo)
 			for i := lo; i < hi; i++ {
 				for k, f := range filters {
 					if v := cols[k][i]; v >= f.Lo && v <= f.Hi {
-						part = append(part, ids[i])
+						part = append(part, prev[i])
 						break
 					}
 				}
@@ -114,6 +118,10 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			return part
 		})
 		m.CPUWork(pp.NThreads(), int64(len(cols))*int64(len(cols[0]))*8, 0, int64(len(cols))*int64(len(cols[0])))
+		bat.OIDPool.Put(prev)
+		for k := range cols {
+			mem.I64.Put(cols[k])
+		}
 		st.traceEst(len(ids), st.estApply(g.sel), "algebra.uselectany(%s)", orGroupText(q.Table, g.filters))
 	}
 
@@ -143,6 +151,7 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 		lookups[spec.Dim] = ix.Lookup
 		fkVals := bulk.FetchPar(pp, m, fkBAT, ids)
 		pos, hit := bulk.FKJoinPar(pp, m, ix, fkVals)
+		mem.I64.Put(fkVals)
 		// Keep the id list, this join's positions, and every earlier
 		// join's positions aligned while dropping misses and rows joined
 		// to deleted dimension rows.
@@ -156,7 +165,11 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 			return part
 		})
 		var keep []int
+		prevIDs := ids
 		ids, joinPos[ji], keep = splitKeep(pairs)
+		bat.OIDPool.Put(prevIDs)
+		bat.OIDPool.Put(pos)
+		mem.Bools.Put(hit)
 		compactJoinPos(pp, joinPos[:ji], keep)
 		st.traceRows(len(ids), "algebra.leftjoin(%s.%s -> %s)", q.Table, spec.FKCol, spec.Dim)
 
@@ -177,7 +190,11 @@ func (pl *pipeline) scanClassic(st *pipeState) (*scanOut, error) {
 				}
 				return part
 			})
+			prevIDs, prevPos := ids, joinPos[ji]
 			ids, joinPos[ji], keep = splitKeep(pairs)
+			bat.OIDPool.Put(prevIDs)
+			bat.OIDPool.Put(prevPos)
+			mem.I64.Put(vals)
 			compactJoinPos(pp, joinPos[:ji], keep)
 			m.CPUWork(pp.NThreads(), int64(len(vals))*8, 0, int64(len(vals)))
 			st.traceEst(len(ids), st.estApply(rf.estSel()), "algebra.uselect(%s.%s)", spec.Dim, rf.f.Col)
@@ -248,9 +265,9 @@ type idKeep struct {
 // splitKeep unpacks gathered survivors into the new id list, the new
 // position list, and the keep indexes that realign earlier joins.
 func splitKeep(pairs []idKeep) (ids, pos []bat.OID, keep []int) {
-	ids = make([]bat.OID, len(pairs))
-	pos = make([]bat.OID, len(pairs))
-	keep = make([]int, len(pairs))
+	ids = bat.OIDPool.GetN(len(pairs))
+	pos = bat.OIDPool.GetN(len(pairs))
+	keep = mem.Ints.GetN(len(pairs))
 	for i, ik := range pairs {
 		ids[i] = ik.id
 		pos[i] = ik.pos
@@ -266,12 +283,13 @@ func compactJoinPos(pp par.P, lists [][]bat.OID, keep []int) {
 		if at == nil {
 			continue
 		}
-		kept := make([]bat.OID, len(keep))
+		kept := bat.OIDPool.GetN(len(keep))
 		pp.For(len(keep), func(mlo, mhi int) {
 			for i := mlo; i < mhi; i++ {
 				kept[i] = at[keep[i]]
 			}
 		})
+		bat.OIDPool.Put(at)
 		lists[li] = kept
 	}
 }

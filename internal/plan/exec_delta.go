@@ -313,5 +313,6 @@ func maskDeletedOIDs(m *device.Meter, pp par.P, s *store.Snapshot, ids []bat.OID
 	if m != nil {
 		m.CPUWork(pp.NThreads(), int64(len(ids))*8+int64(s.BaseLen()+7)/8, 0, int64(len(ids)))
 	}
+	bat.OIDPool.Put(ids)
 	return out
 }

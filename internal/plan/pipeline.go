@@ -30,6 +30,7 @@ import (
 	"repro/internal/ar"
 	"repro/internal/bulk"
 	"repro/internal/device"
+	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stats"
@@ -272,6 +273,14 @@ func (pl *pipeline) run(ctx context.Context, sys *device.System, opts ExecOpts) 
 	if err := pl.finish(st, out); err != nil {
 		return nil, err
 	}
+	// The surviving candidate set (and the pre-grouping's source when one
+	// exists) is dead once the tail has aggregated.
+	if out.refined != nil {
+		if out.mg != nil && out.mg.Src != out.refined {
+			out.mg.Src.Release()
+		}
+		out.refined.Release()
+	}
 	// A context cancelled mid-kernel leaves that kernel's output incomplete
 	// (workers stop claiming morsels); the final check guarantees such
 	// partial results are never returned as an answer.
@@ -357,6 +366,11 @@ func (pl *pipeline) finish(st *pipeState, out *scanOut) error {
 		return err
 	}
 	st.res.Rows = dropHidden(q, rows)
+	// The combined tuple values are dead once aggregated: the result rows
+	// own their key/value slices, so the exact-value buffers recycle.
+	for _, vals := range ectx.vals {
+		mem.I64.Put(vals)
+	}
 	return nil
 }
 
@@ -692,18 +706,22 @@ func aggregateRows(m *device.Meter, pp par.P, q Query, ctx *exprCtx, grouping *b
 		case Avg:
 			sums := bulk.SumGroupedPar(pp, m, a.Expr.Eval(ctx), grouping)
 			counts := bulk.CountGroupedPar(pp, m, grouping)
-			per = make([]int64, len(sums))
+			per = mem.I64.GetN(len(sums))
 			for i := range per {
+				per[i] = 0
 				if counts[i] > 0 {
 					per[i] = sums[i] / counts[i]
 				}
 			}
+			mem.I64.Put(sums)
+			mem.I64.Put(counts)
 		default:
 			return nil, fmt.Errorf("plan: unsupported aggregate %v", a.Func)
 		}
 		for g := range rows {
 			rows[g].Vals = append(rows[g].Vals, per[g])
 		}
+		mem.I64.Put(per)
 	}
 	return rows, nil
 }
